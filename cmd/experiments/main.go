@@ -1,0 +1,74 @@
+// Command experiments regenerates the tables and figures of Heiss & Wagner
+// (VLDB 1991). Without arguments it runs the full suite at full fidelity;
+// -run selects a comma-separated subset; -scale trades fidelity for speed.
+//
+//	experiments -out results              # everything, CSVs into results/
+//	experiments -run fig12,fig13,fig14    # just the headline figures
+//	experiments -scale 0.2                # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale = flag.Float64("scale", 1.0, "fidelity scale in (0,1]")
+		out   = flag.String("out", "", "directory for CSV outputs (optional)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, OutDir: *out, W: os.Stdout}
+	selected := experiments.All
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failures := 0
+	start := time.Now()
+	for _, e := range selected {
+		fmt.Printf("\n================ %s — %s ================\n", e.ID, e.Title)
+		t0 := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			log.Printf("%s failed: %v", e.ID, err)
+			failures++
+			continue
+		}
+		fmt.Printf("%s  (%.1fs)\n", out, time.Since(t0).Seconds())
+		if !out.Pass {
+			failures++
+		}
+	}
+	fmt.Printf("\nsuite finished in %.0fs, %d/%d experiments shape-ok\n",
+		time.Since(start).Seconds(), len(selected)-failures, len(selected))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

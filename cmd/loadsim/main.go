@@ -1,0 +1,116 @@
+// Command loadsim runs one transaction-processing simulation with an
+// optional adaptive load controller and prints the per-interval time series
+// as CSV: the raw material of the paper's trajectory figures 13 and 14.
+//
+// Examples:
+//
+//	loadsim -controller pa -terminals 800 -dur 1000
+//	loadsim -controller is -jump-k 6,12,500
+//	loadsim -controller none -terminals 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/tpsim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadsim: ")
+
+	var (
+		controller = flag.String("controller", "pa", "controller: pa, is, static, tay, iyer, none")
+		staticN    = flag.Float64("static-n", 200, "bound for -controller static")
+		terminals  = flag.Int("terminals", 800, "number of terminals N")
+		dur        = flag.Float64("dur", 1000, "simulated seconds")
+		warmup     = flag.Float64("warmup", 0, "seconds excluded from aggregates")
+		seed       = flag.Int64("seed", 1, "random seed")
+		interval   = flag.Float64("interval", 5, "measurement interval seconds")
+		proto      = flag.String("proto", "occ", "concurrency control: occ or 2pl")
+		jumpK      = flag.String("jump-k", "", "k jump as before,after,at (e.g. 6,12,500)")
+		sinQ       = flag.String("sin-query", "", "sinusoidal query fraction as mean,amp,period")
+		displace   = flag.Bool("displace", false, "enable displacement (§4.3 option ii)")
+	)
+	flag.Parse()
+
+	cfg := tpsim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Terminals = *terminals
+	cfg.Duration = *dur
+	cfg.WarmUp = *warmup
+	cfg.MeasureEvery = *interval
+	cfg.Displacement = *displace
+	if *proto == "2pl" {
+		cfg.Protocol = tpsim.TwoPL
+	}
+	if *jumpK != "" {
+		before, after, at := parse3(*jumpK)
+		cfg.Mix.K = workload.Jump{At: at, Before: before, After: after}
+	}
+	if *sinQ != "" {
+		mean, amp, period := parse3(*sinQ)
+		cfg.Mix.QueryFrac = workload.Clamp{
+			S:  workload.Sinusoid{Mean: mean, Amp: amp, Period: period},
+			Lo: 0, Hi: 1,
+		}
+	}
+
+	switch *controller {
+	case "pa":
+		cfg.Controller = core.NewPA(core.DefaultPAConfig())
+	case "is":
+		cfg.Controller = core.NewIS(core.DefaultISConfig())
+	case "static":
+		cfg.Controller = core.NewStatic(*staticN)
+	case "tay":
+		mix := cfg.Mix
+		cfg.Controller = core.NewTayRule(float64(cfg.DBSize),
+			func(t float64) float64 { return float64(mix.KAt(t)) }, core.DefaultBounds())
+	case "iyer":
+		cfg.Controller = core.NewIyerRule(200, core.DefaultBounds())
+	case "none":
+		cfg.Controller = nil
+	default:
+		log.Fatalf("unknown controller %q", *controller)
+	}
+
+	res := tpsim.New(cfg).Run()
+
+	fmt.Println("time,throughput,load,bound,resp,conflict_rate,util,goodput,gate_queue")
+	for i, p := range res.Throughput.Points {
+		fmt.Printf("%.1f,%.2f,%.1f,%.1f,%.3f,%.3f,%.3f,%.3f,%.0f\n",
+			p.T, p.V,
+			res.Load.Points[i].V,
+			res.Bound.Points[i].V,
+			res.Resp.Points[i].V,
+			res.ConflictRate.Points[i].V,
+			res.Util.Points[i].V,
+			res.Goodput.Points[i].V,
+			res.GateQueue.Points[i].V)
+	}
+	log.Println(res.Summary())
+}
+
+// parse3 parses "a,b,c" into three floats.
+func parse3(s string) (a, b, c float64) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		log.Fatalf("expected three comma-separated numbers, got %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad number %q in %q: %v", p, s, err)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2]
+}

@@ -1,0 +1,37 @@
+// Command sweep runs stationary fixed-MPL simulations across a range of
+// terminal counts and prints the resulting throughput curve — the raw
+// material of figures 1 and 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/tpsim"
+)
+
+func main() {
+	lo := flag.Int("from", 50, "lowest terminal count")
+	hi := flag.Int("to", 800, "highest terminal count")
+	step := flag.Int("step", 50, "terminal count step")
+	dur := flag.Float64("dur", 300, "simulated seconds per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	proto := flag.String("proto", "occ", "concurrency control: occ or 2pl")
+	flag.Parse()
+
+	fmt.Println("terminals,throughput,resp,aborts_per_commit,wasted_cpu_frac,util,mean_load")
+	for n := *lo; n <= *hi; n += *step {
+		cfg := tpsim.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Terminals = n
+		cfg.Duration = *dur
+		cfg.WarmUp = *dur / 6
+		if *proto == "2pl" {
+			cfg.Protocol = tpsim.TwoPL
+		}
+		res := tpsim.New(cfg).Run()
+		fmt.Printf("%d,%.2f,%.3f,%.3f,%.3f,%.3f,%.1f\n",
+			n, res.MeanThroughput(), res.MeanResp(), res.AbortRatio(),
+			res.WastedFraction(), res.CPUUtil, res.Load.MeanAfter(cfg.WarmUp))
+	}
+}

@@ -1,0 +1,69 @@
+package loadctl_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/tpctl/loadctl"
+)
+
+// ExampleNewPA shows the Parabola Approximation controller converging on a
+// synthetic unimodal performance function with its optimum at n = 200.
+func ExampleNewPA() {
+	pa := loadctl.NewPA(loadctl.DefaultPAConfig())
+	perf := func(n float64) float64 { return 100 - 0.002*(n-200)*(n-200) }
+	load := 50.0
+	for i := 0; i < 120; i++ {
+		// The realized load follows the bound; measure and update.
+		load += 0.7 * (pa.Bound() - load)
+		pa.Update(loadctl.Sample{Time: float64(i), Load: load, Perf: perf(load)})
+	}
+	centre := pa.Centre()
+	fmt.Println(centre > 170 && centre < 230)
+	// Output: true
+}
+
+// ExampleNewIS shows the Incremental Steps hill climber settling near the
+// same optimum.
+func ExampleNewIS() {
+	is := loadctl.NewIS(loadctl.DefaultISConfig())
+	perf := func(n float64) float64 { return 100 - 0.002*(n-200)*(n-200) }
+	load := 50.0
+	var bound float64
+	for i := 0; i < 300; i++ {
+		load += 0.7 * (bound - load)
+		if load < 1 {
+			load = 1
+		}
+		bound = is.Update(loadctl.Sample{Time: float64(i), Load: load, Perf: perf(load)})
+	}
+	fmt.Println(bound > 120 && bound < 280)
+	// Output: true
+}
+
+// ExampleNewTayRule computes the k²n/D ≤ 1.5 rule-of-thumb bound.
+func ExampleNewTayRule() {
+	rule := loadctl.NewTayRule(8000, func(t float64) float64 { return 8 }, loadctl.DefaultBounds())
+	fmt.Println(rule.Bound())
+	// Output: 187.5
+}
+
+// ExampleAdaptiveGate throttles concurrent work with a static controller
+// (an adaptive controller plugs in the same way).
+func ExampleAdaptiveGate() {
+	gate := loadctl.NewAdaptiveGate(loadctl.AdaptiveGateConfig{
+		Controller: loadctl.NewStatic(2),
+		Interval:   time.Second,
+	})
+	defer gate.Close()
+
+	ctx := context.Background()
+	_ = gate.Acquire(ctx)
+	_ = gate.Acquire(ctx)
+	fmt.Println(gate.Active(), gate.TryAcquire())
+	gate.Observe(true)
+	gate.Release()
+	gate.Release()
+	// Output: 2 false
+}

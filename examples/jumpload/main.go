@@ -1,0 +1,57 @@
+// Jumpload reproduces the figure 13/14 scenario interactively: the
+// transaction size k jumps 4 → 16 mid-run, abruptly moving the
+// throughput-optimal concurrency level, and the Incremental Steps and
+// Parabola Approximation controllers race to re-find it.
+//
+//	go run ./examples/jumpload
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/tpctl/loadctl"
+	"github.com/tpctl/loadctl/internal/plot"
+	"github.com/tpctl/loadctl/internal/tpsim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+func main() {
+	base := tpsim.DefaultConfig()
+	base.Terminals = 900
+	base.Duration = 1000
+	base.WarmUp = 0
+	base.Mix = workload.Mix{
+		K:         workload.Jump{At: 500, Before: 4, After: 16},
+		QueryFrac: workload.Constant{V: 0.25},
+		WriteFrac: workload.Constant{V: 0.5},
+	}
+
+	run := func(c loadctl.Controller) *tpsim.Result {
+		cfg := base
+		cfg.Controller = c
+		return tpsim.New(cfg).Run()
+	}
+	isCfg := loadctl.DefaultISConfig()
+	isCfg.Initial = 200
+	paCfg := loadctl.DefaultPAConfig()
+	paCfg.Initial = 200
+
+	isRes := run(loadctl.NewIS(isCfg))
+	paRes := run(loadctl.NewPA(paCfg))
+
+	isB := isRes.Bound
+	isB.Name = "IS bound"
+	paB := paRes.Bound
+	paB.Name = "PA bound"
+	chart := plot.NewChart("Load bound trajectories: k jumps 4 → 16 at t=500 (figs. 13/14)")
+	chart.XLabel, chart.YLabel = "time (s)", "bound n*"
+	chart.AddSeries(isB)
+	chart.AddSeries(paB)
+	chart.Render(os.Stdout)
+
+	fmt.Printf("\nIS: %s\n", isRes.Summary())
+	fmt.Printf("PA: %s\n", paRes.Summary())
+	fmt.Println("\nThe paper's §9 finding: IS reacts quickly but settles poorly;")
+	fmt.Println("PA responds more slowly but tracks the new optimum accurately.")
+}

@@ -1,0 +1,120 @@
+// Livestore runs adaptive load control on REAL goroutines — not a
+// simulation. A pool of workers executes optimistic read-modify-write
+// transactions against an in-memory versioned store; too many concurrent
+// workers cause certification conflicts and wasted retries (thrashing),
+// too few leave throughput on the table. An AdaptiveGate with the
+// Parabola Approximation controller finds the sweet spot at run time,
+// using only the public loadctl API.
+//
+//	go run ./examples/livestore            # ~15 s wall clock
+//	go run ./examples/livestore -dur 30s -workers 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tpctl/loadctl"
+	"github.com/tpctl/loadctl/internal/kv"
+)
+
+func main() {
+	var (
+		workers = flag.Int("workers", 192, "worker goroutines (offered load)")
+		items   = flag.Int("items", 512, "store size (smaller = more contention)")
+		k       = flag.Int("k", 8, "items touched per transaction")
+		dur     = flag.Duration("dur", 15*time.Second, "run duration")
+		spin    = flag.Duration("spin", 200*time.Microsecond, "CPU work per item access")
+	)
+	flag.Parse()
+
+	store := kv.NewStore(*items)
+	paCfg := loadctl.DefaultPAConfig()
+	paCfg.Bounds = loadctl.Bounds{Lo: 2, Hi: float64(*workers)}
+	paCfg.Initial = 16
+	paCfg.Scale = 32
+	paCfg.Dither = 3
+	paCfg.MaxStep = 12
+	paCfg.RecoveryStep = 6
+	gate := loadctl.NewAdaptiveGate(loadctl.AdaptiveGateConfig{
+		Controller: loadctl.NewPA(paCfg),
+		Interval:   time.Second,
+	})
+	defer gate.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *dur)
+	defer cancel()
+
+	var commits, conflicts atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := uint64(id)*2654435761 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for ctx.Err() == nil {
+				if err := gate.Acquire(ctx); err != nil {
+					return
+				}
+				// One optimistic transaction: read-modify-write k items
+				// with a CPU burst per access (the "phases").
+				_, err := store.Update(1, func(txn *kv.Txn) error {
+					for i := 0; i < *k; i++ {
+						item := next(*items)
+						busy(*spin)
+						txn.Set(item, txn.Get(item)+1)
+					}
+					return nil
+				})
+				gate.Release()
+				switch {
+				case err == nil:
+					commits.Add(1)
+					gate.Observe(true)
+				case errors.Is(err, kv.ErrConflict):
+					conflicts.Add(1)
+					gate.Observe(false)
+				}
+			}
+		}(w)
+	}
+
+	// Progress line once per second.
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	var lastC uint64
+	fmt.Println("  t   limit  active  queued   tx/s  conflicts")
+	for i := 1; ; i++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			c, a := store.Stats()
+			fmt.Printf("\nfinal: %d commits, %d conflict aborts (%.1f%% wasted attempts), adapted limit %.0f of %d workers\n",
+				c, a, 100*float64(a)/float64(c+a), gate.Limit(), *workers)
+			return
+		case <-ticker.C:
+			cNow := commits.Load()
+			fmt.Printf("%3ds   %5.1f  %6d  %6d  %5d  %9d\n",
+				i, gate.Limit(), gate.Active(), gate.Queued(), cNow-lastC, conflicts.Load())
+			lastC = cNow
+		}
+	}
+}
+
+// busy burns CPU for roughly d (simulated per-item processing cost).
+func busy(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

@@ -1,0 +1,187 @@
+// Package analytic implements closed-form approximations for the two
+// contention regimes the paper builds on: a fixed-point throughput model
+// for optimistic (certification) concurrency control under finite CPU
+// capacity, and the quadratic-blocking estimate behind Tay, Goodman &
+// Suri's (1985) k²n/D ≤ 1.5 rule for locking. The experiments use them as
+// independent cross-checks of the simulator (and they power the TayRule
+// baseline controller); tests assert the model and the simulator agree on
+// where the optimum falls.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// OCCModel approximates the closed transaction-processing system of the
+// paper's figure 11 under timestamp certification with re-sampled
+// immediate restarts.
+//
+// At concurrency level n the attempt rate is bounded both by the
+// population cycling through its minimal residence and by the CPU:
+//
+//	A(n) = min( n / r0 , m / c ) · u
+//
+// where r0 is the no-queueing residence of one attempt, c its CPU demand
+// and m the number of processors (u ≤ 1 de-rates for imperfect overlap).
+// An attempt aborts if any of its k accessed items was overwritten by a
+// commit during its residence; with uniform access over D items and
+// committed write rate W = T·(1−q)·k·w this gives
+//
+//	p = 1 − exp(−k · W · resid / D),   resid = n / A(n)
+//
+// and the committed throughput solves the fixed point T = A(n)·(1−p(T)).
+type OCCModel struct {
+	// M is the number of processors.
+	M int
+	// CPUPerAttempt is the total CPU demand of one attempt (seconds).
+	CPUPerAttempt float64
+	// ResidencePerAttempt is the no-queueing duration of one attempt
+	// (seconds): all phase CPU plus all phase I/O.
+	ResidencePerAttempt float64
+	// K is the number of items accessed per transaction.
+	K float64
+	// D is the database size in items.
+	D float64
+	// QueryFrac is the fraction of read-only transactions.
+	QueryFrac float64
+	// WriteFrac is the per-item write probability of updaters.
+	WriteFrac float64
+	// Overlap de-rates the ideal attempt rate for imperfect CPU/disk
+	// overlap (1 = perfect; the calibrated simulator sits near 0.9).
+	Overlap float64
+}
+
+// Validate reports parameter errors.
+func (m OCCModel) Validate() error {
+	switch {
+	case m.M < 1:
+		return fmt.Errorf("analytic: M %d < 1", m.M)
+	case m.CPUPerAttempt <= 0 || m.ResidencePerAttempt <= 0:
+		return fmt.Errorf("analytic: non-positive demands")
+	case m.K < 1 || m.D < 1:
+		return fmt.Errorf("analytic: bad K/D")
+	case m.QueryFrac < 0 || m.QueryFrac > 1 || m.WriteFrac < 0 || m.WriteFrac > 1:
+		return fmt.Errorf("analytic: fractions outside [0,1]")
+	}
+	return nil
+}
+
+// AttemptRate returns A(n), the attempt completion rate at concurrency n.
+func (m OCCModel) AttemptRate(n float64) float64 {
+	u := m.Overlap
+	if u <= 0 || u > 1 {
+		u = 1
+	}
+	byPopulation := n / m.ResidencePerAttempt
+	byCPU := float64(m.M) / m.CPUPerAttempt
+	return math.Min(byPopulation, byCPU) * u
+}
+
+// AbortProb returns the per-attempt abort probability at concurrency n and
+// committed throughput T.
+func (m OCCModel) AbortProb(n, T float64) float64 {
+	a := m.AttemptRate(n)
+	if a <= 0 {
+		return 0
+	}
+	resid := n / a
+	writes := T * (1 - m.QueryFrac) * m.K * m.WriteFrac
+	x := m.K * writes * resid / m.D
+	return 1 - math.Exp(-x)
+}
+
+// Throughput solves the fixed point T = A(n)·(1 − p(n, T)) by damped
+// iteration (the map is monotone contracting in T, so this converges).
+func (m OCCModel) Throughput(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	a := m.AttemptRate(n)
+	T := a // optimistic start
+	for i := 0; i < 200; i++ {
+		next := a * (1 - m.AbortProb(n, T))
+		T = 0.5*T + 0.5*next
+	}
+	return T
+}
+
+// Optimum returns the concurrency level maximizing Throughput over
+// [1, hi] (grid + local refinement) and the throughput there.
+func (m OCCModel) Optimum(hi float64) (nOpt, tOpt float64) {
+	if hi < 2 {
+		hi = 2
+	}
+	best, bestT := 1.0, m.Throughput(1)
+	for n := 1.0; n <= hi; n += hi / 200 {
+		if t := m.Throughput(n); t > bestT {
+			best, bestT = n, t
+		}
+	}
+	// refine around the grid winner
+	step := hi / 200
+	for n := best - step; n <= best+step; n += step / 20 {
+		if n < 1 {
+			continue
+		}
+		if t := m.Throughput(n); t > bestT {
+			best, bestT = n, t
+		}
+	}
+	return best, bestT
+}
+
+// TayBlocking is the Tay, Goodman & Suri (1985) style quadratic-blocking
+// estimate for locking systems: with n transactions each holding on
+// average k/2 of its k locks, a new lock request conflicts with
+// probability ≈ n·k/(2D), so the expected number of blocked transactions
+//
+//	b(n) ≈ n · k²·n / (2·D) · w̄
+//
+// grows quadratically in n. Beyond db(n)/dn > 1 adding a transaction
+// removes more than one from the active set — the §1 blocking-thrashing
+// criterion. w̄ folds in the fraction of conflicting (write-involved)
+// pairs.
+type TayBlocking struct {
+	// K is locks per transaction, D the database size.
+	K, D float64
+	// WriteMix is the probability that a given pair of lock requests
+	// actually conflicts (read-read never does); 1 is the conservative
+	// all-write case.
+	WriteMix float64
+}
+
+// Blocked returns the expected number of blocked transactions at level n.
+func (t TayBlocking) Blocked(n float64) float64 {
+	return n * n * t.K * t.K * t.WriteMix / (2 * t.D)
+}
+
+// CriticalN returns the level where db/dn = 1: beyond it, admitting one
+// more transaction blocks more than one — the thrashing onset.
+func (t TayBlocking) CriticalN() float64 {
+	// d/dn [n²k²w/(2D)] = n·k²·w/D = 1  =>  n = D/(k²·w)
+	if t.K == 0 || t.WriteMix == 0 {
+		return math.Inf(1)
+	}
+	return t.D / (t.K * t.K * t.WriteMix)
+}
+
+// TayBound returns the paper-quoted rule of thumb n ≤ 1.5·D/k² (which the
+// authors of the rule derived from the same model with their workload
+// constants).
+func (t TayBlocking) TayBound() float64 {
+	if t.K == 0 {
+		return math.Inf(1)
+	}
+	return 1.5 * t.D / (t.K * t.K)
+}
+
+// IyerBound inverts the Iyer (1988) criterion "conflicts per transaction
+// ≤ 0.75" under the same uniform-access approximation: conflicts per
+// transaction ≈ k²·n·w̄/D ≤ 0.75.
+func IyerBound(k, d, writeMix float64) float64 {
+	if k == 0 || writeMix == 0 {
+		return math.Inf(1)
+	}
+	return 0.75 * d / (k * k * writeMix)
+}

@@ -1,0 +1,171 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/tpsim"
+)
+
+// calibratedModel mirrors tpsim.DefaultConfig(): m=8, init/commit CPU 6 ms,
+// access CPU 1 ms ×8, disk 90 ms ×9, k=8, D=8000, q=0.25, w=0.5.
+func calibratedModel() OCCModel {
+	k := 8.0
+	cpu := 0.006 + k*0.001 + 0.006
+	resid := cpu + (k+1)*0.090
+	return OCCModel{
+		M:                   8,
+		CPUPerAttempt:       cpu,
+		ResidencePerAttempt: resid,
+		K:                   k,
+		D:                   8000,
+		QueryFrac:           0.25,
+		WriteFrac:           0.5,
+		Overlap:             0.9,
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if err := calibratedModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := calibratedModel()
+	bad.M = 0
+	if bad.Validate() == nil {
+		t.Fatal("invalid model accepted")
+	}
+	bad2 := calibratedModel()
+	bad2.QueryFrac = 2
+	if bad2.Validate() == nil {
+		t.Fatal("bad fraction accepted")
+	}
+}
+
+func TestThroughputZeroAtZeroLoad(t *testing.T) {
+	if calibratedModel().Throughput(0) != 0 {
+		t.Fatal("T(0) must be 0")
+	}
+}
+
+func TestThroughputRisesThenFalls(t *testing.T) {
+	m := calibratedModel()
+	t100 := m.Throughput(100)
+	t300 := m.Throughput(300)
+	t800 := m.Throughput(800)
+	if !(t300 > t100) {
+		t.Fatalf("model not rising: T(100)=%v T(300)=%v", t100, t300)
+	}
+	if !(t300 > t800) {
+		t.Fatalf("model not thrashing: T(300)=%v T(800)=%v", t300, t800)
+	}
+}
+
+func TestAbortProbMonotone(t *testing.T) {
+	m := calibratedModel()
+	T := 150.0
+	if m.AbortProb(100, T) >= m.AbortProb(400, T) {
+		t.Fatal("abort probability must grow with residence (n)")
+	}
+	if p := m.AbortProb(300, T); p < 0 || p > 1 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+// Cross-validation: the analytic optimum must agree with the simulated
+// optimum within a factor ~1.6 (the model ignores queueing and batching).
+func TestModelMatchesSimulatorOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-check")
+	}
+	m := calibratedModel()
+	nOpt, tOpt := m.Optimum(900)
+
+	// Simulated optimum via a coarse static-bound sweep at heavy load.
+	cfg := tpsim.DefaultConfig()
+	cfg.Terminals = 900
+	cfg.Duration = 120
+	cfg.WarmUp = 40
+	bestN, bestT := 0.0, -1.0
+	for _, b := range []float64{150, 250, 350, 450, 550} {
+		c := cfg
+		c.Controller = core.NewStatic(b)
+		tput := tpsim.New(c).Run().MeanThroughput()
+		if tput > bestT {
+			bestN, bestT = b, tput
+		}
+	}
+	if r := nOpt / bestN; r < 0.6 || r > 1.6 {
+		t.Fatalf("analytic optimum n=%.0f vs simulated %.0f: ratio %.2f out of band",
+			nOpt, bestN, r)
+	}
+	if r := tOpt / bestT; r < 0.5 || r > 2.0 {
+		t.Fatalf("analytic peak T=%.0f vs simulated %.0f: ratio %.2f out of band",
+			tOpt, bestT, r)
+	}
+}
+
+func TestModelPredictsPositionShiftWithK(t *testing.T) {
+	// The DESIGN.md duty-cycle mechanism: the optimum position must grow
+	// with k (longer disk-heavy transactions need more concurrency).
+	mk := func(k float64) OCCModel {
+		m := calibratedModel()
+		m.K = k
+		m.CPUPerAttempt = 0.012 + k*0.001
+		m.ResidencePerAttempt = m.CPUPerAttempt + (k+1)*0.090
+		return m
+	}
+	n4, _ := mk(4).Optimum(900)
+	n16, _ := mk(16).Optimum(900)
+	if !(n16 > 1.3*n4) {
+		t.Fatalf("optimum did not shift with k: n(4)=%v n(16)=%v", n4, n16)
+	}
+}
+
+func TestTayBlockingQuadratic(t *testing.T) {
+	tb := TayBlocking{K: 8, D: 8000, WriteMix: 0.5}
+	b100 := tb.Blocked(100)
+	b200 := tb.Blocked(200)
+	if math.Abs(b200/b100-4) > 1e-9 {
+		t.Fatalf("blocking not quadratic: %v vs %v", b100, b200)
+	}
+}
+
+func TestTayCriticalAndBound(t *testing.T) {
+	tb := TayBlocking{K: 8, D: 8000, WriteMix: 1}
+	if c := tb.CriticalN(); math.Abs(c-125) > 1e-9 {
+		t.Fatalf("critical n = %v, want 125", c)
+	}
+	if b := tb.TayBound(); math.Abs(b-187.5) > 1e-9 {
+		t.Fatalf("Tay bound = %v, want 187.5", b)
+	}
+	inf := TayBlocking{K: 0, D: 100, WriteMix: 1}
+	if !math.IsInf(inf.CriticalN(), 1) || !math.IsInf(inf.TayBound(), 1) {
+		t.Fatal("degenerate K must give unbounded levels")
+	}
+}
+
+func TestIyerBound(t *testing.T) {
+	// conflicts/txn = k²·n·w/D = 0.75 -> n = 0.75·8000/(64·0.5) = 187.5
+	if b := IyerBound(8, 8000, 0.5); math.Abs(b-187.5) > 1e-9 {
+		t.Fatalf("Iyer bound = %v", b)
+	}
+	if !math.IsInf(IyerBound(0, 100, 1), 1) {
+		t.Fatal("degenerate Iyer bound must be unbounded")
+	}
+}
+
+func TestOptimumRefinement(t *testing.T) {
+	m := calibratedModel()
+	n, tput := m.Optimum(900)
+	if n <= 1 || n >= 900 {
+		t.Fatalf("optimum %v not interior", n)
+	}
+	// No neighbour on a fine grid may beat the reported optimum by much.
+	for _, d := range []float64{-20, -10, 10, 20} {
+		if tt := m.Throughput(n + d); tt > tput*1.02 {
+			t.Fatalf("optimum not locally maximal: T(%v)=%v > T(%v)=%v",
+				n+d, tt, n, tput)
+		}
+	}
+}

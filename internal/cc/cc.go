@@ -1,0 +1,90 @@
+// Package cc implements the two classes of concurrency control the paper
+// distinguishes (§1):
+//
+//   - a non-blocking certification scheme — "timestamp certification"
+//     (Bernstein, Hadzilacos, Goodman 1987), the optimistic protocol used in
+//     the paper's simulation model (§7): conflicts are discovered at commit
+//     and resolved by abort + restart, so data contention turns into extra
+//     resource contention (the thrashing mechanism of the paper);
+//
+//   - strict two-phase locking, the blocking class, with a waits-for-graph
+//     deadlock detector. It is used for the "blocking CC also thrashes"
+//     ablation (quadratic growth of blocked transactions, Tay et al. 1985).
+//
+// Protocol implementations are deterministic and single-threaded; the
+// simulation engine serializes all calls.
+package cc
+
+import "github.com/tpctl/loadctl/internal/db"
+
+// TxnID identifies a transaction attempt. Restarted transactions receive a
+// fresh TxnID per attempt so the protocols never confuse incarnations.
+type TxnID uint64
+
+// AccessResult is the outcome of requesting one data item.
+type AccessResult int
+
+const (
+	// Granted means the transaction may proceed with the access.
+	Granted AccessResult = iota
+	// Blocked means the transaction must wait; the protocol will report it
+	// in an Unblocked list once the conflicting holder releases.
+	Blocked
+	// AbortSelf means the requester must abort now (deadlock victim).
+	AbortSelf
+)
+
+func (r AccessResult) String() string {
+	switch r {
+	case Granted:
+		return "granted"
+	case Blocked:
+		return "blocked"
+	case AbortSelf:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts protocol events. Conflicts counts certification failures
+// (OCC) or lock waits (2PL); Aborts counts transactions killed by the
+// protocol (validation failure or deadlock victim).
+type Stats struct {
+	Begins    uint64
+	Accesses  uint64
+	Conflicts uint64
+	Certifies uint64
+	Aborts    uint64
+	Commits   uint64
+	Deadlocks uint64
+}
+
+// Protocol is the contract between the transaction engine and a CC scheme.
+//
+// Lifecycle per attempt: Begin → Access* → Certify → (Commit | engine
+// abort) or Abort at any point. After AbortSelf or a false Certify the
+// engine must call Abort to release protocol state.
+type Protocol interface {
+	// Begin registers a new transaction attempt starting at time now.
+	Begin(id TxnID, now float64)
+	// Access requests item; write requests exclusive intent. For
+	// non-blocking protocols this always returns Granted.
+	Access(id TxnID, item db.Item, write bool) AccessResult
+	// Certify validates the transaction at commit point. True means the
+	// engine may call Commit; false means it must call Abort and restart.
+	Certify(id TxnID) bool
+	// Commit finalizes the transaction at time now and returns transactions
+	// whose pending Access became granted by the release (blocking
+	// protocols only).
+	Commit(id TxnID, now float64) (unblocked []TxnID)
+	// Abort discards the transaction and returns newly unblocked
+	// transactions.
+	Abort(id TxnID) (unblocked []TxnID)
+	// Blocked reports whether id is currently waiting for a lock.
+	Blocked(id TxnID) bool
+	// Stats returns a snapshot of protocol counters.
+	Stats() Stats
+	// Name identifies the protocol in experiment records.
+	Name() string
+}

@@ -1,0 +1,146 @@
+package cc
+
+import (
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/db"
+)
+
+// TimestampOrdering implements basic timestamp ordering (Bernstein et al.
+// 1987) — the other non-blocking scheme the paper's §1 names alongside
+// optimistic CC: every transaction gets a start timestamp; a read of item x
+// is rejected if a younger transaction already wrote x, and a write is
+// rejected if a younger transaction already read or wrote x. Rejected
+// operations abort the transaction immediately (conflicts surface *during*
+// execution, unlike certification where they surface at commit), but the
+// macroscopic behaviour is the same: data contention is resolved by aborts
+// and reruns, which burn resources.
+//
+// Simplification relative to a recoverable TO scheduler: writes install at
+// commit (deferred), so cascading aborts cannot occur and the commit test
+// reduces to re-checking the write set; read timestamps are tracked
+// eagerly.
+type TimestampOrdering struct {
+	maxRead  []float64 // largest timestamp that read item i
+	maxWrite []float64 // largest committed-writer timestamp for item i
+	active   map[TxnID]*tsoTxn
+	stats    Stats
+	seq      float64 // tie-breaker so concurrent Begins get distinct stamps
+}
+
+type tsoTxn struct {
+	ts     float64
+	items  []db.Item
+	writes []bool
+}
+
+// NewTimestampOrdering returns a TO protocol over a database of the given
+// size.
+func NewTimestampOrdering(database *db.Database) *TimestampOrdering {
+	mr := make([]float64, database.Size)
+	mw := make([]float64, database.Size)
+	for i := range mr {
+		mr[i] = negInf
+		mw[i] = negInf
+	}
+	return &TimestampOrdering{
+		maxRead:  mr,
+		maxWrite: mw,
+		active:   make(map[TxnID]*tsoTxn),
+	}
+}
+
+// Name implements Protocol.
+func (p *TimestampOrdering) Name() string { return "timestamp-ordering" }
+
+// Begin implements Protocol.
+func (p *TimestampOrdering) Begin(id TxnID, now float64) {
+	if _, dup := p.active[id]; dup {
+		panic(fmt.Sprintf("cc: duplicate Begin for txn %d", id))
+	}
+	p.stats.Begins++
+	p.seq += 1e-12
+	p.active[id] = &tsoTxn{ts: now + p.seq}
+}
+
+// Access implements Protocol. TO never blocks; a timestamp-order violation
+// aborts the requester on the spot.
+func (p *TimestampOrdering) Access(id TxnID, item db.Item, write bool) AccessResult {
+	t := p.must(id)
+	p.stats.Accesses++
+	if write {
+		// Thomas-free strict check: a younger reader or writer wins.
+		if p.maxRead[item] > t.ts || p.maxWrite[item] > t.ts {
+			p.stats.Conflicts++
+			return AbortSelf
+		}
+	} else {
+		if p.maxWrite[item] > t.ts {
+			p.stats.Conflicts++
+			return AbortSelf
+		}
+		if t.ts > p.maxRead[item] {
+			p.maxRead[item] = t.ts
+		}
+	}
+	t.items = append(t.items, item)
+	t.writes = append(t.writes, write)
+	return Granted
+}
+
+// Certify implements Protocol: with deferred writes, the commit point
+// re-validates the write set against operations that arrived since.
+func (p *TimestampOrdering) Certify(id TxnID) bool {
+	t := p.must(id)
+	p.stats.Certifies++
+	for i, item := range t.items {
+		if !t.writes[i] {
+			continue
+		}
+		if p.maxRead[item] > t.ts || p.maxWrite[item] > t.ts {
+			p.stats.Conflicts++
+			return false
+		}
+	}
+	return true
+}
+
+// Commit implements Protocol: install deferred writes.
+func (p *TimestampOrdering) Commit(id TxnID, now float64) []TxnID {
+	t := p.must(id)
+	for i, item := range t.items {
+		if t.writes[i] && t.ts > p.maxWrite[item] {
+			p.maxWrite[item] = t.ts
+		}
+	}
+	delete(p.active, id)
+	p.stats.Commits++
+	return nil
+}
+
+// Abort implements Protocol.
+func (p *TimestampOrdering) Abort(id TxnID) []TxnID {
+	if _, ok := p.active[id]; !ok {
+		panic(fmt.Sprintf("cc: Abort of unknown txn %d", id))
+	}
+	delete(p.active, id)
+	p.stats.Aborts++
+	return nil
+}
+
+// Blocked implements Protocol. TO never blocks.
+func (p *TimestampOrdering) Blocked(TxnID) bool { return false }
+
+// Stats implements Protocol.
+func (p *TimestampOrdering) Stats() Stats { return p.stats }
+
+// Active returns the number of in-flight transactions.
+func (p *TimestampOrdering) Active() int { return len(p.active) }
+
+func (p *TimestampOrdering) must(id TxnID) *tsoTxn {
+	t, ok := p.active[id]
+	if !ok {
+		panic(fmt.Sprintf("cc: unknown txn %d", id))
+	}
+	return t
+}

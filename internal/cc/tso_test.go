@@ -1,0 +1,262 @@
+package cc
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/db"
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+func newTSO(size int) *TimestampOrdering {
+	return NewTimestampOrdering(db.New(size))
+}
+
+func TestTSOCleanRun(t *testing.T) {
+	p := newTSO(100)
+	p.Begin(1, 0)
+	if p.Access(1, 3, false) != Granted || p.Access(1, 4, true) != Granted {
+		t.Fatal("clean accesses must be granted")
+	}
+	if !p.Certify(1) {
+		t.Fatal("clean txn must certify")
+	}
+	p.Commit(1, 1)
+	if p.Active() != 0 {
+		t.Fatal("txn leaked")
+	}
+}
+
+func TestTSOLateReadAborts(t *testing.T) {
+	p := newTSO(100)
+	p.Begin(1, 0) // old
+	p.Begin(2, 1) // young
+	p.Access(2, 5, true)
+	p.Certify(2)
+	p.Commit(2, 2) // young writer committed item 5
+	// Old transaction now reads item 5: its timestamp is below the
+	// committed write's — late read, abort.
+	if p.Access(1, 5, false) != AbortSelf {
+		t.Fatal("late read must abort under TO")
+	}
+	p.Abort(1)
+	if p.Stats().Conflicts != 1 {
+		t.Fatalf("conflicts = %d", p.Stats().Conflicts)
+	}
+}
+
+func TestTSOLateWriteAborts(t *testing.T) {
+	p := newTSO(100)
+	p.Begin(1, 0) // old
+	p.Begin(2, 1) // young
+	if p.Access(2, 7, false) != Granted {
+		t.Fatal("young read should pass")
+	}
+	// Old transaction writes item 7 after a younger read: late write.
+	if p.Access(1, 7, true) != AbortSelf {
+		t.Fatal("late write must abort under TO")
+	}
+	p.Abort(1)
+	p.Certify(2)
+	p.Commit(2, 2)
+}
+
+func TestTSOCommitRevalidatesWrites(t *testing.T) {
+	p := newTSO(100)
+	p.Begin(1, 0) // old, will write 9
+	if p.Access(1, 9, true) != Granted {
+		t.Fatal("write intent should be granted eagerly")
+	}
+	// A younger transaction reads 9 before the old one commits.
+	p.Begin(2, 1)
+	if p.Access(2, 9, false) != Granted {
+		t.Fatal("young read passes (write is deferred)")
+	}
+	p.Certify(2)
+	p.Commit(2, 2)
+	// Old writer must now fail certification: its deferred write would
+	// invalidate the younger committed read.
+	if p.Certify(1) {
+		t.Fatal("commit-time write validation missed a younger read")
+	}
+	p.Abort(1)
+}
+
+func TestTSONeverBlocks(t *testing.T) {
+	p := newTSO(50)
+	p.Begin(1, 0)
+	p.Begin(2, 1)
+	for i := 0; i < 20; i++ {
+		if p.Blocked(1) || p.Blocked(2) {
+			t.Fatal("TO must never block")
+		}
+		if p.Access(2, i, true) == Blocked {
+			t.Fatal("TO access returned Blocked")
+		}
+	}
+	p.Certify(2)
+	p.Commit(2, 2)
+	p.Abort(1)
+}
+
+func TestTSOReadsShareFreely(t *testing.T) {
+	p := newTSO(10)
+	for id := TxnID(1); id <= 5; id++ {
+		p.Begin(id, float64(id))
+		if p.Access(id, 1, false) != Granted {
+			t.Fatal("concurrent reads must all be granted")
+		}
+	}
+	for id := TxnID(1); id <= 5; id++ {
+		if !p.Certify(id) {
+			t.Fatal("read-only txns must certify")
+		}
+		p.Commit(id, 10)
+	}
+}
+
+func TestTSORandomizedAgainstCertification(t *testing.T) {
+	// Macroscopic sanity: both non-blocking schemes driven by the same
+	// random workload end with zero live transactions and conserve
+	// begins = commits + aborts + live.
+	for _, build := range []func() Protocol{
+		func() Protocol { return newTSO(30) },
+		func() Protocol { return newCert(30) },
+	} {
+		p := build()
+		g := sim.NewRNG(7)
+		live := map[TxnID]bool{}
+		next := TxnID(1)
+		for step := 0; step < 3000; step++ {
+			if len(live) < 6 && g.Bernoulli(0.5) {
+				id := next
+				next++
+				p.Begin(id, float64(step))
+				ok := true
+				k := 1 + g.Intn(4)
+				for j := 0; j < k; j++ {
+					if p.Access(id, g.Intn(30), g.Bernoulli(0.5)) == AbortSelf {
+						p.Abort(id)
+						ok = false
+						break
+					}
+				}
+				if ok {
+					live[id] = true
+				}
+				continue
+			}
+			for id := range live {
+				delete(live, id)
+				if p.Certify(id) {
+					p.Commit(id, float64(step))
+				} else {
+					p.Abort(id)
+				}
+				break
+			}
+		}
+		for id := range live {
+			p.Abort(id)
+		}
+		st := p.Stats()
+		if st.Begins != st.Commits+st.Aborts {
+			t.Fatalf("%s: begins %d != commits %d + aborts %d",
+				p.Name(), st.Begins, st.Commits, st.Aborts)
+		}
+		if st.Commits == 0 {
+			t.Fatalf("%s: nothing committed", p.Name())
+		}
+	}
+}
+
+func TestWaitDieOlderWaits(t *testing.T) {
+	p := NewWaitDie()
+	p.Begin(1, 0) // older
+	p.Begin(2, 1) // younger
+	p.Access(2, 5, true)
+	// Older requester conflicts with younger holder: must WAIT.
+	if got := p.Access(1, 5, true); got != Blocked {
+		t.Fatalf("older requester should wait, got %v", got)
+	}
+	un := p.Commit(2, 2)
+	if len(un) != 1 || un[0] != 1 {
+		t.Fatalf("older waiter not granted after release: %v", un)
+	}
+	p.Commit(1, 3)
+}
+
+func TestWaitDieYoungerDies(t *testing.T) {
+	p := NewWaitDie()
+	p.Begin(1, 0) // older
+	p.Begin(2, 1) // younger
+	p.Access(1, 5, true)
+	if got := p.Access(2, 5, true); got != AbortSelf {
+		t.Fatalf("younger requester should die, got %v", got)
+	}
+	p.Abort(2)
+	if p.Stats().Deadlocks != 1 {
+		t.Fatalf("wait-die kill not counted: %d", p.Stats().Deadlocks)
+	}
+	p.Commit(1, 2)
+}
+
+func TestWaitDieNeverDeadlocks(t *testing.T) {
+	// Randomized torture: with wait-die the system can never wedge, even
+	// without any cycle detection.
+	p := NewWaitDie()
+	g := sim.NewRNG(3)
+	type st8 struct {
+		queued  []int
+		blocked bool
+	}
+	live := map[TxnID]*st8{}
+	next := TxnID(1)
+	now := 0.0
+	for step := 0; step < 6000; step++ {
+		now += 1
+		if len(live) < 8 && g.Bernoulli(0.4) {
+			id := next
+			next++
+			k := 1 + g.Intn(4)
+			items := make([]int, k)
+			g.SampleDistinct(items, 12)
+			p.Begin(id, now)
+			live[id] = &st8{queued: items}
+		}
+		var pick TxnID
+		var s *st8
+		for id, t8 := range live {
+			if !t8.blocked {
+				pick, s = id, t8
+				break
+			}
+		}
+		if s == nil {
+			if len(live) > 0 {
+				t.Fatal("wait-die wedged: everyone blocked")
+			}
+			continue
+		}
+		if len(s.queued) == 0 {
+			for _, u := range p.Commit(pick, now) {
+				live[u].blocked = false
+			}
+			delete(live, pick)
+			continue
+		}
+		item := s.queued[0]
+		s.queued = s.queued[1:]
+		switch p.Access(pick, item, g.Bernoulli(0.6)) {
+		case Blocked:
+			s.blocked = true
+		case AbortSelf:
+			for _, u := range p.Abort(pick) {
+				live[u].blocked = false
+			}
+			delete(live, pick)
+		}
+	}
+	if p.Stats().Commits == 0 {
+		t.Fatal("wait-die committed nothing")
+	}
+}

@@ -1,0 +1,316 @@
+package cc
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+func TestTwoPLReadSharing(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	if p.Access(1, 5, false) != Granted {
+		t.Fatal("first reader must be granted")
+	}
+	if p.Access(2, 5, false) != Granted {
+		t.Fatal("second reader must share the read lock")
+	}
+	p.Commit(1, 1)
+	p.Commit(2, 1)
+}
+
+func TestTwoPLWriteExclusion(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	if p.Access(1, 5, true) != Granted {
+		t.Fatal("writer must get free lock")
+	}
+	if p.Access(2, 5, true) != Blocked {
+		t.Fatal("second writer must block")
+	}
+	if !p.Blocked(2) {
+		t.Fatal("Blocked(2) should be true")
+	}
+	unblocked := p.Commit(1, 1)
+	if len(unblocked) != 1 || unblocked[0] != 2 {
+		t.Fatalf("unblocked = %v, want [2]", unblocked)
+	}
+	if p.Blocked(2) {
+		t.Fatal("txn 2 should be running after grant")
+	}
+	p.Commit(2, 2)
+}
+
+func TestTwoPLReaderBlocksWriter(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	p.Access(1, 3, false)
+	if p.Access(2, 3, true) != Blocked {
+		t.Fatal("writer must wait for reader")
+	}
+	un := p.Commit(1, 1)
+	if len(un) != 1 || un[0] != 2 {
+		t.Fatalf("unblocked = %v", un)
+	}
+	p.Commit(2, 2)
+}
+
+func TestTwoPLFIFONoOvertaking(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	p.Begin(3, 0)
+	p.Access(1, 3, true)
+	if p.Access(2, 3, true) != Blocked {
+		t.Fatal("2 must block")
+	}
+	// A reader arriving after a queued writer must not overtake it.
+	if p.Access(3, 3, false) != Blocked {
+		t.Fatal("3 must queue behind writer 2")
+	}
+	un := p.Commit(1, 1)
+	if len(un) != 1 || un[0] != 2 {
+		t.Fatalf("only writer 2 should be granted, got %v", un)
+	}
+	un = p.Commit(2, 2)
+	if len(un) != 1 || un[0] != 3 {
+		t.Fatalf("reader 3 should now be granted, got %v", un)
+	}
+	p.Commit(3, 3)
+}
+
+func TestTwoPLUpgrade(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Access(1, 4, false)
+	if p.Access(1, 4, true) != Granted {
+		t.Fatal("sole reader must upgrade in place")
+	}
+	p.Commit(1, 1)
+}
+
+func TestTwoPLUpgradeBlocksOnSharedRead(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	p.Access(1, 4, false)
+	p.Access(2, 4, false)
+	if p.Access(1, 4, true) != Blocked {
+		t.Fatal("upgrade with co-readers must wait")
+	}
+	un := p.Commit(2, 1)
+	if len(un) != 1 || un[0] != 1 {
+		t.Fatalf("upgrade should be granted after co-reader leaves, got %v", un)
+	}
+	p.Commit(1, 2)
+}
+
+func TestTwoPLDeadlockDetected(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	p.Access(1, 10, true)
+	p.Access(2, 20, true)
+	if p.Access(1, 20, true) != Blocked {
+		t.Fatal("1 must block on 2")
+	}
+	// 2 -> 10 would close the cycle 1 -> 2 -> 1.
+	if p.Access(2, 10, true) != AbortSelf {
+		t.Fatal("deadlock must be detected and requester aborted")
+	}
+	un := p.Abort(2)
+	if len(un) != 1 || un[0] != 1 {
+		t.Fatalf("aborting 2 must unblock 1, got %v", un)
+	}
+	p.Commit(1, 1)
+	if p.Stats().Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d, want 1", p.Stats().Deadlocks)
+	}
+}
+
+func TestTwoPLThreeWayDeadlock(t *testing.T) {
+	p := NewTwoPL()
+	for id := TxnID(1); id <= 3; id++ {
+		p.Begin(id, 0)
+	}
+	p.Access(1, 1, true)
+	p.Access(2, 2, true)
+	p.Access(3, 3, true)
+	if p.Access(1, 2, true) != Blocked {
+		t.Fatal("1 blocks on 2")
+	}
+	if p.Access(2, 3, true) != Blocked {
+		t.Fatal("2 blocks on 3")
+	}
+	if p.Access(3, 1, true) != AbortSelf {
+		t.Fatal("3 closing the 3-cycle must abort")
+	}
+	p.Abort(3)
+	// 2 should now be granted item 3.
+	if p.Blocked(2) {
+		t.Fatal("2 should be unblocked after 3 aborts")
+	}
+}
+
+func TestTwoPLAbortReleasesPendingRequest(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	p.Begin(2, 0)
+	p.Begin(3, 0)
+	p.Access(1, 7, true)
+	p.Access(2, 7, true) // blocked, queued first
+	p.Access(3, 7, true) // blocked, queued second
+	p.Abort(2)           // abandon the queue slot
+	un := p.Commit(1, 1)
+	if len(un) != 1 || un[0] != 3 {
+		t.Fatalf("3 should inherit the lock after 2 vanished, got %v", un)
+	}
+	p.Commit(3, 2)
+}
+
+func TestTwoPLRepeatedAccessIdempotent(t *testing.T) {
+	p := NewTwoPL()
+	p.Begin(1, 0)
+	if p.Access(1, 2, false) != Granted || p.Access(1, 2, false) != Granted {
+		t.Fatal("re-reading a held item must be granted")
+	}
+	if p.Access(1, 2, true) != Granted {
+		t.Fatal("upgrade as sole holder must be granted")
+	}
+	if p.Access(1, 2, false) != Granted {
+		t.Fatal("read under own write lock must be granted")
+	}
+	p.Commit(1, 1)
+	if p.Active() != 0 {
+		t.Fatal("dangling transaction state")
+	}
+}
+
+// Randomized invariant check: drive the protocol with random workloads and
+// assert (a) never two conflicting holders, (b) blocked transactions are in
+// waitsFor, (c) every granted batch leaves the table consistent, (d) the
+// system never wedges (some transaction can always finish).
+func TestTwoPLRandomizedInvariants(t *testing.T) {
+	g := sim.NewRNG(99)
+	const dbSize = 15
+	p := NewTwoPL()
+	type txnState struct {
+		id      TxnID
+		queued  []int // items still to access
+		blocked bool
+	}
+	next := TxnID(1)
+	live := make(map[TxnID]*txnState)
+	steps := 0
+	for steps < 5000 {
+		steps++
+		// Maybe start a new transaction.
+		if len(live) < 6 && g.Bernoulli(0.4) {
+			id := next
+			next++
+			k := 1 + g.Intn(4)
+			items := make([]int, k)
+			g.SampleDistinct(items, dbSize)
+			p.Begin(id, float64(steps))
+			live[id] = &txnState{id: id, queued: items}
+		}
+		// Advance one random runnable transaction.
+		var pick *txnState
+		for _, s := range live {
+			if !s.blocked {
+				pick = s
+				break
+			}
+		}
+		if pick == nil {
+			// Everyone blocked would mean an undetected deadlock.
+			if len(live) > 0 {
+				t.Fatalf("wedged: all %d transactions blocked", len(live))
+			}
+			continue
+		}
+		if len(pick.queued) == 0 {
+			if !p.Certify(pick.id) {
+				t.Fatal("2PL certify must always pass")
+			}
+			for _, u := range p.Commit(pick.id, float64(steps)) {
+				live[u].blocked = false
+			}
+			delete(live, pick.id)
+			continue
+		}
+		item := pick.queued[0]
+		pick.queued = pick.queued[1:]
+		switch p.Access(pick.id, item, g.Bernoulli(0.5)) {
+		case Granted:
+		case Blocked:
+			pick.blocked = true
+		case AbortSelf:
+			for _, u := range p.Abort(pick.id) {
+				live[u].blocked = false
+			}
+			delete(live, pick.id)
+		}
+		// Invariant: protocol's blocked view matches ours.
+		for id, s := range live {
+			if p.Blocked(id) != s.blocked {
+				t.Fatalf("blocked view diverged for %d", id)
+			}
+		}
+		// Invariant: lock table consistency.
+		for item, e := range p.table {
+			writers := 0
+			for _, m := range e.holders {
+				if m == writeLock {
+					writers++
+				}
+			}
+			if writers > 1 {
+				t.Fatalf("item %d has %d write holders", item, writers)
+			}
+			if writers == 1 && len(e.holders) > 1 {
+				t.Fatalf("item %d mixes writer with other holders", item)
+			}
+		}
+	}
+	// Drain: everything should be able to finish.
+	for guard := 0; len(live) > 0 && guard < 10000; guard++ {
+		var pick *txnState
+		for _, s := range live {
+			if !s.blocked {
+				pick = s
+				break
+			}
+		}
+		if pick == nil {
+			t.Fatalf("drain wedged with %d live transactions", len(live))
+		}
+		if len(pick.queued) == 0 {
+			for _, u := range p.Commit(pick.id, 0) {
+				live[u].blocked = false
+			}
+			delete(live, pick.id)
+			continue
+		}
+		item := pick.queued[0]
+		pick.queued = pick.queued[1:]
+		switch p.Access(pick.id, item, true) {
+		case Blocked:
+			pick.blocked = true
+		case AbortSelf:
+			for _, u := range p.Abort(pick.id) {
+				live[u].blocked = false
+			}
+			delete(live, pick.id)
+		}
+	}
+	if p.Active() != 0 {
+		t.Fatalf("protocol retained %d transactions after drain", p.Active())
+	}
+	if len(p.table) != 0 {
+		t.Fatalf("lock table retained %d entries after drain", len(p.table))
+	}
+}

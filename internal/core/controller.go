@@ -1,0 +1,111 @@
+// Package core implements the adaptive load controllers of Heiss & Wagner
+// (VLDB 1991): the Method of Incremental Steps (IS, §4.1) and the Parabola
+// Approximation (PA, §4.2), together with the baselines the paper's
+// introduction discusses — a fixed upper bound, the Tay et al. (1985) rule
+// of thumb k²n/D ≤ 1.5, and the Iyer (1988) rule "conflicts per transaction
+// ≤ 0.75" — behind one Controller interface.
+//
+// A controller consumes one measurement Sample per interval (the realized
+// load/performance pair of §3) and emits a new upper bound n* for the
+// concurrency level, which an admission gate enforces.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one measurement-interval observation handed to a controller.
+// Load is the time-averaged number of active transactions n over the
+// interval; Perf is the chosen performance indicator P (throughput by
+// default — §6 finds it has the most distinct extremum).
+type Sample struct {
+	// Time is the interval end in simulated (or wall-clock) seconds.
+	Time float64
+	// Load is the mean concurrency level n during the interval.
+	Load float64
+	// Perf is the performance indicator P for the interval.
+	Perf float64
+	// Throughput is committed transactions per second (always populated,
+	// even when Perf is a different indicator).
+	Throughput float64
+	// RespTime is the mean response time of transactions completing in the
+	// interval (0 when none completed).
+	RespTime float64
+	// ConflictRate is CC conflicts per commit in the interval (Iyer's
+	// indicator; ∞ is avoided by reporting conflicts per attempt when no
+	// commits happened).
+	ConflictRate float64
+	// Completions is the raw number of commits in the interval.
+	Completions uint64
+}
+
+// Controller adjusts the MPL bound n* from interval measurements.
+type Controller interface {
+	// Update absorbs one sample and returns the new bound n*.
+	Update(s Sample) float64
+	// Bound returns the current bound without updating.
+	Bound() float64
+	// Name identifies the controller in experiment records.
+	Name() string
+}
+
+// Bounds is the static lower/upper clamp for n* that §5.1 prescribes to
+// keep hill climbers recoverable.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Clamp clips v into the interval.
+func (b Bounds) Clamp(v float64) float64 {
+	if v < b.Lo {
+		return b.Lo
+	}
+	if v > b.Hi {
+		return b.Hi
+	}
+	return v
+}
+
+// Validate reports an error for inverted or non-positive bounds.
+func (b Bounds) Validate() error {
+	if !(b.Lo >= 1) || !(b.Hi >= b.Lo) {
+		return fmt.Errorf("core: invalid bounds [%v, %v]", b.Lo, b.Hi)
+	}
+	return nil
+}
+
+// DefaultBounds spans the load axis of the paper's experiments.
+func DefaultBounds() Bounds { return Bounds{Lo: 1, Hi: 1000} }
+
+// Static is the "fixed upper bound" alternative (§1, solution 2): the MPL
+// cap commercial systems of the time exposed as a tuning knob. It ignores
+// all measurements.
+type Static struct {
+	N float64
+}
+
+// NewStatic returns a fixed-bound controller.
+func NewStatic(n float64) *Static { return &Static{N: n} }
+
+// Update implements Controller.
+func (s *Static) Update(Sample) float64 { return s.N }
+
+// Bound implements Controller.
+func (s *Static) Bound() float64 { return s.N }
+
+// Name implements Controller.
+func (s *Static) Name() string { return fmt.Sprintf("static(%g)", s.N) }
+
+// NoControl is the "do nothing" alternative (§1, solution 1): an unbounded
+// gate.
+func NoControl() *Static { return &Static{N: math.Inf(1)} }
+
+// signum is the paper's sign convention: +1 for x > 0, −1 for x ≤ 0
+// (note: zero maps to −1, exactly as defined under the IS control law).
+func signum(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return -1
+}

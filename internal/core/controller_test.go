@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundsClamp(t *testing.T) {
+	b := Bounds{Lo: 10, Hi: 100}
+	cases := map[float64]float64{5: 10, 10: 10, 50: 50, 100: 100, 500: 100}
+	for in, want := range cases {
+		if got := b.Clamp(in); got != want {
+			t.Fatalf("Clamp(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestBoundsValidate(t *testing.T) {
+	if err := (Bounds{Lo: 1, Hi: 100}).Validate(); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+	for _, b := range []Bounds{{Lo: 0, Hi: 10}, {Lo: 10, Hi: 5}, {Lo: math.NaN(), Hi: 10}} {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("invalid bounds %v accepted", b)
+		}
+	}
+}
+
+func TestStaticController(t *testing.T) {
+	c := NewStatic(42)
+	if c.Bound() != 42 {
+		t.Fatal("initial bound wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if got := c.Update(Sample{Load: float64(i * 100), Perf: float64(i)}); got != 42 {
+			t.Fatal("static controller moved")
+		}
+	}
+}
+
+func TestNoControl(t *testing.T) {
+	c := NoControl()
+	if !math.IsInf(c.Update(Sample{}), 1) {
+		t.Fatal("NoControl must emit +inf")
+	}
+}
+
+func TestSignumConvention(t *testing.T) {
+	// §4.1 defines signum(0) = −1.
+	if signum(0) != -1 {
+		t.Fatal("signum(0) must be -1 per the paper")
+	}
+	if signum(3) != 1 || signum(-3) != -1 {
+		t.Fatal("signum wrong on non-zero")
+	}
+}
+
+func TestTayRuleComputesBound(t *testing.T) {
+	// n* = 1.5 D / k² = 1.5·8000/64 = 187.5 for k=8.
+	r := NewTayRule(8000, func(float64) float64 { return 8 }, Bounds{1, 1000})
+	if got := r.Bound(); math.Abs(got-187.5) > 1e-9 {
+		t.Fatalf("Tay bound = %v, want 187.5", got)
+	}
+}
+
+func TestTayRuleFollowsK(t *testing.T) {
+	k := 8.0
+	r := NewTayRule(8000, func(float64) float64 { return k }, Bounds{1, 1000})
+	r.Update(Sample{Time: 1})
+	before := r.Bound()
+	k = 16
+	r.Update(Sample{Time: 2})
+	after := r.Bound()
+	if math.Abs(before-187.5) > 1e-9 || math.Abs(after-46.875) > 1e-9 {
+		t.Fatalf("Tay bounds = %v -> %v, want 187.5 -> 46.875", before, after)
+	}
+}
+
+func TestTayRuleIgnoresPerformance(t *testing.T) {
+	r := NewTayRule(8000, func(float64) float64 { return 8 }, Bounds{1, 1000})
+	a := r.Update(Sample{Perf: 1})
+	b := r.Update(Sample{Perf: 1e9})
+	if a != b {
+		t.Fatal("feed-forward rule must not react to performance")
+	}
+}
+
+func TestTayRuleValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTayRule(0, func(float64) float64 { return 8 }, Bounds{1, 10}) },
+		func() { NewTayRule(100, nil, Bounds{1, 10}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIyerRuleSteersConflictRate(t *testing.T) {
+	r := NewIyerRule(100, Bounds{1, 1000})
+	// Conflict rate far above target -> bound must shrink.
+	for i := 0; i < 10; i++ {
+		r.Update(Sample{ConflictRate: 2.0})
+	}
+	if r.Bound() >= 100 {
+		t.Fatalf("bound should shrink under excess conflicts, got %v", r.Bound())
+	}
+	low := r.Bound()
+	// Conflict rate at zero -> bound must grow again.
+	for i := 0; i < 10; i++ {
+		r.Update(Sample{ConflictRate: 0})
+	}
+	if r.Bound() <= low {
+		t.Fatalf("bound should grow under zero conflicts, got %v", r.Bound())
+	}
+}
+
+func TestIyerRuleEquilibrium(t *testing.T) {
+	r := NewIyerRule(100, Bounds{1, 1000})
+	before := r.Bound()
+	r.Update(Sample{ConflictRate: 0.75})
+	if math.Abs(r.Bound()-before) > 1e-9 {
+		t.Fatal("bound must be stationary exactly at the target rate")
+	}
+}
+
+func TestIyerRuleStepFactorCap(t *testing.T) {
+	r := NewIyerRule(100, Bounds{1, 1000})
+	r.Update(Sample{ConflictRate: 100}) // absurd spike
+	if r.Bound() < 100/r.MaxFactor-1e-9 {
+		t.Fatalf("per-step change exceeded cap: %v", r.Bound())
+	}
+	r2 := NewIyerRule(100, Bounds{1, 1000})
+	r2.Update(Sample{ConflictRate: math.NaN()})
+	if r2.Bound() != 100 {
+		t.Fatal("NaN conflict rate must not move the bound")
+	}
+}

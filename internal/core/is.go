@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ISConfig parameterizes the Method of Incremental Steps (§4.1).
+type ISConfig struct {
+	// Beta scales the step proportionally to the performance change
+	// (the β of the control law).
+	Beta float64
+	// Gamma is the re-approach step used when the bound n* and the actual
+	// load n drift more than Delta apart (the γ of the control law).
+	Gamma float64
+	// Delta is the drift dead band (the δ of the control law).
+	Delta float64
+	// MinStep is the smallest hill-climbing move; without it the climber
+	// freezes when performance changes are tiny. The paper's "increase it
+	// by one at each time step" suggests 1.
+	MinStep float64
+	// MaxStep caps a single move so a noise spike cannot fling the bound
+	// across the whole load axis.
+	MaxStep float64
+	// Bounds is the static lower/upper clamp of §5.1 (recovery aid).
+	Bounds Bounds
+	// Initial is the starting bound n*(0) ("starting with an arbitrary
+	// value of the load bound").
+	Initial float64
+}
+
+// DefaultISConfig returns the tuning used across the paper-reproduction
+// experiments.
+func DefaultISConfig() ISConfig {
+	return ISConfig{
+		Beta:    2.0,
+		Gamma:   8,
+		Delta:   12,
+		MinStep: 2,
+		MaxStep: 40,
+		Bounds:  DefaultBounds(),
+		Initial: 50,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ISConfig) Validate() error {
+	if err := c.Bounds.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Beta <= 0:
+		return fmt.Errorf("core: IS beta %v must be positive", c.Beta)
+	case c.Gamma <= 0:
+		return fmt.Errorf("core: IS gamma %v must be positive", c.Gamma)
+	case c.Delta < 0:
+		return fmt.Errorf("core: IS delta %v must be non-negative", c.Delta)
+	case c.MinStep <= 0:
+		return fmt.Errorf("core: IS min step %v must be positive", c.MinStep)
+	case c.MaxStep < c.MinStep:
+		return fmt.Errorf("core: IS max step %v below min step %v", c.MaxStep, c.MinStep)
+	case c.Initial < c.Bounds.Lo || c.Initial > c.Bounds.Hi:
+		return fmt.Errorf("core: IS initial bound %v outside %v", c.Initial, c.Bounds)
+	}
+	return nil
+}
+
+// IS is the Method of Incremental Steps: a one-dimensional hill climber
+// that moves the bound in its current direction while performance improves
+// and reverses when it worsens, tracking the ridge of P(n, t) in a zig-zag
+// (figure 3). Exact control law (§4.1):
+//
+//	n*(t_{i+1}) = n*(t_i) + β·(P(t_i)−P(t_{i−1}))·signum(n*(t_i)−n*(t_{i−1}))   if |n*−n| ≤ δ
+//	            = n*(t_i) + γ                                                   if |n*−n| > δ ∧ n* < n
+//	            = n*(t_i) − γ                                                   if |n*−n| > δ ∧ n* > n
+type IS struct {
+	cfg       ISConfig
+	bound     float64
+	prevBound float64
+	prevPerf  float64
+	primed    bool // true once one sample has been absorbed
+}
+
+// NewIS returns an Incremental Steps controller. It panics on an invalid
+// configuration (a controller guarding a production gate must not start
+// from garbage).
+func NewIS(cfg ISConfig) *IS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &IS{cfg: cfg, bound: cfg.Initial, prevBound: cfg.Initial - cfg.MinStep}
+}
+
+// Name implements Controller.
+func (c *IS) Name() string { return "incremental-steps" }
+
+// Bound implements Controller.
+func (c *IS) Bound() float64 { return c.bound }
+
+// Config returns the active configuration.
+func (c *IS) Config() ISConfig { return c.cfg }
+
+// Update implements Controller.
+func (c *IS) Update(s Sample) float64 {
+	if !c.primed {
+		// First interval: no ΔP yet; make the initial exploratory move up,
+		// mirroring "we increase it by one at each time step" start-up.
+		c.primed = true
+		c.prevPerf = s.Perf
+		c.move(c.bound + c.cfg.MinStep)
+		return c.bound
+	}
+
+	drift := c.bound - s.Load
+	switch {
+	case math.Abs(drift) <= c.cfg.Delta:
+		dP := s.Perf - c.prevPerf
+		dir := signum(c.bound - c.prevBound)
+		// Reflection at the static bounds (§5.1 recovery aid): pinned at
+		// the lower bound the only informative move is up, and vice versa.
+		// Without this the climber can wedge against a bound forever when
+		// the performance signal is flat there.
+		if c.bound <= c.cfg.Bounds.Lo {
+			dir = 1
+		} else if c.bound >= c.cfg.Bounds.Hi {
+			dir = -1
+		}
+		step := c.cfg.Beta * dP * dir
+		// The control law's |step| is unbounded in theory; clamp magnitude
+		// into [MinStep, MaxStep] so the climber neither freezes nor
+		// catapults on measurement noise (§5 tuning).
+		mag := math.Abs(step)
+		if mag < c.cfg.MinStep {
+			mag = c.cfg.MinStep
+		}
+		if mag > c.cfg.MaxStep {
+			mag = c.cfg.MaxStep
+		}
+		sign := step
+		if sign == 0 {
+			// Performance unchanged: keep exploring in the current
+			// direction rather than stalling.
+			sign = dir
+		}
+		c.move(c.bound + math.Copysign(mag, sign))
+	case c.bound < s.Load:
+		c.move(c.bound + c.cfg.Gamma)
+	default:
+		c.move(c.bound - c.cfg.Gamma)
+	}
+	c.prevPerf = s.Perf
+	return c.bound
+}
+
+func (c *IS) move(to float64) {
+	c.prevBound = c.bound
+	c.bound = c.cfg.Bounds.Clamp(to)
+}

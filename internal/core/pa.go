@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tpctl/loadctl/internal/estimate"
+)
+
+// RecoveryPolicy chooses the countermeasure when the estimated parabola
+// opens upward (a2 ≥ 0), which §5.2 identifies in two situations: a broad
+// flat hump (figure 7) or an abrupt shape change that stranded the bound
+// deep in the thrashing region beyond the inflexion point (figure 8).
+type RecoveryPolicy int
+
+const (
+	// RecoverHold keeps the current bound and keeps dithering until the
+	// estimate becomes concave again. Safe for the flat-hump case; slow
+	// for the stranded case.
+	RecoverHold RecoveryPolicy = iota
+	// RecoverReset keeps the bound but discards the estimator's confidence
+	// (covariance reset) and widens the dither so fresh, informative
+	// samples dominate.
+	RecoverReset
+	// RecoverSlope follows the local empirical gradient: the enforced
+	// dither means consecutive samples sit on opposite sides of the
+	// centre, so their finite difference estimates dP/dn where the system
+	// actually operates. The controller steps downward when performance
+	// falls with load (the stranded-in-thrashing case of figure 8) and
+	// upward when it rises or is flat (the underload and flat-hump
+	// cases). This is the default.
+	RecoverSlope
+)
+
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverHold:
+		return "hold"
+	case RecoverReset:
+		return "reset"
+	case RecoverSlope:
+		return "slope"
+	default:
+		return "unknown"
+	}
+}
+
+// PAConfig parameterizes the Parabola Approximation controller (§4.2).
+type PAConfig struct {
+	// Alpha is the exponential forgetting factor of the RLS estimator
+	// ("aging coefficient a", §5.2). The paper recommends small
+	// measurement intervals with large alpha (e.g. 0.8+) over long
+	// intervals with alpha = 0.
+	Alpha float64
+	// Scale conditions the quadratic regressors; set it near the typical
+	// load (it does not change the fitted function).
+	Scale float64
+	// MinObs is the number of samples required before the vertex is
+	// trusted; below it the controller explores from Initial.
+	MinObs int
+	// Dither is the amplitude of the deliberate threshold oscillation.
+	// A least-squares fit "needs some variations in the measurements to
+	// get useful estimates" (§5.2); the oscillations visible in figure 14
+	// are enforced by the algorithm.
+	Dither float64
+	// MaxStep caps how far the centre target may move in one interval
+	// (trust region against wild early fits).
+	MaxStep float64
+	// Recovery selects the §5.2 countermeasure for upward parabolas.
+	Recovery RecoveryPolicy
+	// RecoveryStep is the per-interval movement applied by RecoverSlope
+	// while the estimate is unusable.
+	RecoveryStep float64
+	// Bounds is the static clamp for the emitted bound.
+	Bounds Bounds
+	// Initial is the starting bound n*(0).
+	Initial float64
+}
+
+// DefaultPAConfig returns the tuning used across the paper-reproduction
+// experiments.
+func DefaultPAConfig() PAConfig {
+	return PAConfig{
+		Alpha:        0.92,
+		Scale:        100,
+		MinObs:       6,
+		Dither:       12,
+		MaxStep:      60,
+		Recovery:     RecoverSlope,
+		RecoveryStep: 30,
+		Bounds:       DefaultBounds(),
+		Initial:      50,
+	}
+}
+
+// Validate reports configuration errors.
+func (c PAConfig) Validate() error {
+	if err := c.Bounds.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("core: PA alpha %v outside (0,1]", c.Alpha)
+	case c.Scale <= 0:
+		return fmt.Errorf("core: PA scale %v must be positive", c.Scale)
+	case c.MinObs < 3:
+		return fmt.Errorf("core: PA needs MinObs >= 3, got %d", c.MinObs)
+	case c.Dither < 0:
+		return fmt.Errorf("core: PA dither %v must be non-negative", c.Dither)
+	case c.MaxStep <= 0:
+		return fmt.Errorf("core: PA max step %v must be positive", c.MaxStep)
+	case c.RecoveryStep <= 0:
+		return fmt.Errorf("core: PA recovery step %v must be positive", c.RecoveryStep)
+	case c.Initial < c.Bounds.Lo || c.Initial > c.Bounds.Hi:
+		return fmt.Errorf("core: PA initial bound %v outside %v", c.Initial, c.Bounds)
+	}
+	return nil
+}
+
+// PA is the Parabola Approximation controller: it maintains a recursive
+// least-squares fit P(n) = a0 + a1·n + a2·n² with exponentially fading
+// memory over the realized (load, performance) pairs and, whenever the
+// parabola opens downward, sets the bound to the parabola's maximum
+//
+//	n* = −a1 / (2·a2)
+//
+// (§4.2). A deliberate dither keeps the regressors informative, a trust
+// region bounds per-interval movement, and a RecoveryPolicy implements the
+// §5.2 countermeasures for upward-opening estimates.
+type PA struct {
+	cfg    PAConfig
+	est    *estimate.Parabola
+	centre float64 // bound before dithering
+	bound  float64 // emitted (dithered) bound
+	phase  int     // dither phase: alternates each update
+	// prev holds the previous sample for the local finite-difference
+	// gradient used by RecoverSlope.
+	prev     Sample
+	havePrev bool
+	// diagnostics
+	recoveries uint64
+	vertexOK   uint64
+}
+
+// NewPA returns a Parabola Approximation controller. It panics on invalid
+// configuration.
+func NewPA(cfg PAConfig) *PA {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &PA{
+		cfg:    cfg,
+		est:    estimate.NewParabola(cfg.Alpha, cfg.Scale),
+		centre: cfg.Initial,
+		bound:  cfg.Initial,
+	}
+}
+
+// Name implements Controller.
+func (c *PA) Name() string { return "parabola-approximation" }
+
+// Bound implements Controller.
+func (c *PA) Bound() float64 { return c.bound }
+
+// Centre returns the undithered target (the estimated optimum).
+func (c *PA) Centre() float64 { return c.centre }
+
+// Config returns the active configuration.
+func (c *PA) Config() PAConfig { return c.cfg }
+
+// Recoveries returns how often a recovery policy fired (diagnostics).
+func (c *PA) Recoveries() uint64 { return c.recoveries }
+
+// Estimate returns the current parabola coefficients (a0, a1, a2).
+func (c *PA) Estimate() (a0, a1, a2 float64) { return c.est.Coefficients() }
+
+// Update implements Controller.
+func (c *PA) Update(s Sample) float64 {
+	c.est.Update(s.Load, s.Perf)
+
+	if c.est.Observations() >= uint64(c.cfg.MinObs) {
+		if v, ok := c.est.Vertex(); ok {
+			c.vertexOK++
+			// Trust region: move the centre at most MaxStep per interval.
+			delta := v - c.centre
+			if math.Abs(delta) > c.cfg.MaxStep {
+				delta = math.Copysign(c.cfg.MaxStep, delta)
+			}
+			c.centre = c.cfg.Bounds.Clamp(c.centre + delta)
+		} else {
+			// Upward parabola: §5.2 countermeasures.
+			c.recoveries++
+			switch c.cfg.Recovery {
+			case RecoverHold:
+				// keep centre; dither continues below
+			case RecoverReset:
+				c.est.ResetCovariance()
+			case RecoverSlope:
+				// Local finite-difference gradient from the dithered
+				// sample pair: under the §3 assumption (monotone rise to
+				// the optimum, then fall), a negative local slope puts us
+				// beyond the optimum (step down), a non-negative one
+				// before it (step up). The global fit is exactly what is
+				// unreliable here, so it is not consulted.
+				step := c.cfg.RecoveryStep
+				if c.havePrev && s.Load != c.prev.Load {
+					if (s.Perf-c.prev.Perf)/(s.Load-c.prev.Load) < 0 {
+						step = -step
+					}
+				}
+				c.centre = c.cfg.Bounds.Clamp(c.centre + step)
+			}
+		}
+	} else {
+		// Warm-up: ramp upward so early samples span a range of loads.
+		c.centre = c.cfg.Bounds.Clamp(c.centre + c.cfg.Dither)
+	}
+
+	c.prev = s
+	c.havePrev = true
+
+	// Enforced oscillation (figure 14): alternate the emitted bound around
+	// the centre so the estimator keeps receiving excitation.
+	c.phase++
+	dither := c.cfg.Dither
+	if c.phase%2 == 0 {
+		dither = -dither
+	}
+	c.bound = c.cfg.Bounds.Clamp(c.centre + dither)
+	return c.bound
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+// plant is a synthetic closed-loop test rig: a time-varying unimodal
+// performance surface P(n, t) plus measurement noise. The realized load
+// follows the controller's bound with slight lag and jitter, exactly the
+// situation of §3 ("all information we can obtain is the series of
+// realized load/performance pairs from the past").
+type plant struct {
+	surface func(n, t float64) float64
+	g       *sim.RNG
+	noise   float64
+	lagged  float64 // realized load, first-order lag of the bound
+}
+
+func newPlant(surface func(n, t float64) float64, seed int64, noise float64) *plant {
+	return &plant{surface: surface, g: sim.NewRNG(seed), noise: noise}
+}
+
+// step applies the bound for one interval ending at time t and returns the
+// resulting measurement sample.
+func (p *plant) step(bound, t float64) Sample {
+	// The actual load approaches the bound but never instantaneously
+	// (departures/admissions take time).
+	p.lagged += 0.7 * (bound - p.lagged)
+	n := p.lagged * (1 + 0.02*p.g.NormFloat64())
+	if n < 1 {
+		n = 1
+	}
+	perf := p.surface(n, t) * (1 + p.noise*p.g.NormFloat64())
+	return Sample{Time: t, Load: n, Perf: perf, Throughput: perf}
+}
+
+// hump is a stationary unimodal surface with its maximum at opt, strictly
+// increasing before and strictly decreasing after — the §3 assumption on
+// P(n). The shape is gamma-like: height·((n/opt)·e^(1−n/opt))^sharp.
+// The curv argument of earlier drafts maps to sharpness: larger = peakier.
+func hump(opt, height, sharp float64) func(n, t float64) float64 {
+	return func(n, t float64) float64 {
+		if n <= 0 {
+			return 0
+		}
+		u := n / opt
+		return height * math.Pow(u*math.Exp(1-u), sharp)
+	}
+}
+
+// run drives a controller against a plant for steps intervals and returns
+// the trajectory of bounds.
+func run(c Controller, p *plant, steps int) []float64 {
+	out := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		s := p.step(c.Bound(), float64(i))
+		out = append(out, c.Update(s))
+	}
+	return out
+}
+
+func tail(xs []float64, n int) []float64 {
+	if len(xs) < n {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}
+
+func meanOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestISConvergesToOptimum(t *testing.T) {
+	p := newPlant(hump(200, 100, 3), 1, 0.01)
+	c := NewIS(DefaultISConfig())
+	traj := run(c, p, 400)
+	settled := meanOf(tail(traj, 100))
+	if math.Abs(settled-200) > 40 {
+		t.Fatalf("IS settled at %v, want ~200", settled)
+	}
+}
+
+func TestISZigZagOscillates(t *testing.T) {
+	// Figure 3: the climber tracks the ridge in a zig-zag — after settling
+	// the bound must keep moving (it never freezes).
+	p := newPlant(hump(150, 80, 3), 2, 0.01)
+	c := NewIS(DefaultISConfig())
+	traj := run(c, p, 300)
+	last := tail(traj, 50)
+	moves := 0
+	for i := 1; i < len(last); i++ {
+		if last[i] != last[i-1] {
+			moves++
+		}
+	}
+	if moves < 40 {
+		t.Fatalf("IS froze: only %d moves in last 50 intervals", moves)
+	}
+}
+
+func TestISRespectsBounds(t *testing.T) {
+	cfg := DefaultISConfig()
+	cfg.Bounds = Bounds{Lo: 20, Hi: 120}
+	cfg.Initial = 50
+	// Optimum far above the admissible band: the climber must pin at Hi.
+	p := newPlant(hump(500, 100, 3), 3, 0.01)
+	c := NewIS(cfg)
+	traj := run(c, p, 300)
+	for _, b := range traj {
+		if b < 20 || b > 120 {
+			t.Fatalf("bound %v escaped [20,120]", b)
+		}
+	}
+	if settled := meanOf(tail(traj, 50)); settled < 100 {
+		t.Fatalf("IS should ride the upper bound, settled at %v", settled)
+	}
+}
+
+func TestISReApproachesAfterLoadDrop(t *testing.T) {
+	// The γ/δ branch: when the realized load stays far below the bound
+	// (e.g. demand vanished), the bound must walk back toward the load.
+	cfg := DefaultISConfig()
+	cfg.Initial = 400
+	c := NewIS(cfg)
+	for i := 0; i < 50; i++ {
+		// Load pinned at 60, far below bound 400.
+		c.Update(Sample{Time: float64(i), Load: 60, Perf: 30})
+	}
+	if c.Bound() > 120 {
+		t.Fatalf("IS did not re-approach the actual load: bound %v", c.Bound())
+	}
+}
+
+func TestISFollowsJump(t *testing.T) {
+	// Optimum jumps 200 -> 450 mid-run (figure 13 scenario): IS must move
+	// to the new optimum, even if not precisely.
+	surface := func(n, tt float64) float64 {
+		opt := 200.0
+		if tt >= 200 {
+			opt = 450
+		}
+		return hump(opt, 100, 3)(n, tt)
+	}
+	p := newPlant(surface, 4, 0.01)
+	c := NewIS(DefaultISConfig())
+	traj := run(c, p, 500)
+	settled := meanOf(tail(traj, 80))
+	if math.Abs(settled-450) > 80 {
+		t.Fatalf("IS settled at %v after jump, want ~450", settled)
+	}
+}
+
+func TestPAConvergesToOptimum(t *testing.T) {
+	p := newPlant(hump(200, 100, 3), 5, 0.01)
+	c := NewPA(DefaultPAConfig())
+	run(c, p, 400)
+	if math.Abs(c.Centre()-200) > 25 {
+		t.Fatalf("PA centre = %v, want ~200", c.Centre())
+	}
+}
+
+func TestPATracksJumpMoreAccuratelyThanIS(t *testing.T) {
+	// §9: "the more sophisticated PA algorithm was clearly superior to IS
+	// in the case of jump-like changes". Compare post-jump tracking error.
+	surface := func(n, tt float64) float64 {
+		opt := 500.0
+		if tt >= 250 {
+			opt = 200
+		}
+		return hump(opt, 100, 3)(n, tt)
+	}
+	trackErr := func(c Controller, seed int64) float64 {
+		p := newPlant(surface, seed, 0.02)
+		traj := run(c, p, 600)
+		// mean absolute error over the last 200 intervals vs optimum 200
+		e := 0.0
+		lastN := tail(traj, 200)
+		for _, b := range lastN {
+			e += math.Abs(b - 200)
+		}
+		return e / float64(len(lastN))
+	}
+	var isErr, paErr float64
+	for seed := int64(0); seed < 5; seed++ {
+		isErr += trackErr(NewIS(DefaultISConfig()), 10+seed)
+		paErr += trackErr(NewPA(DefaultPAConfig()), 10+seed)
+	}
+	if paErr >= isErr {
+		t.Fatalf("PA tracking error %v should beat IS %v on jumps", paErr/5, isErr/5)
+	}
+}
+
+func TestPADitherEnforcesOscillation(t *testing.T) {
+	// Figure 14: the PA trajectory oscillates by design.
+	p := newPlant(hump(200, 100, 3), 6, 0.01)
+	c := NewPA(DefaultPAConfig())
+	traj := run(c, p, 300)
+	last := tail(traj, 40)
+	var dev float64
+	m := meanOf(last)
+	for _, b := range last {
+		dev += math.Abs(b - m)
+	}
+	dev /= float64(len(last))
+	if dev < c.Config().Dither/2 {
+		t.Fatalf("PA dither invisible: mean abs deviation %v", dev)
+	}
+}
+
+func TestPARecoverSlopeEscapesThrashingRegion(t *testing.T) {
+	// Figure 8: bound stranded deep beyond the inflexion point where the
+	// surface is convex. Step-down recovery must walk it back until the
+	// parabola opens downward again and then find the optimum.
+	base := hump(150, 90, 3)
+	surface := func(n, tt float64) float64 {
+		// Concave hump around 150 with a convex thrashing tail beyond 300
+		// (decreasing, convex — past the inflexion point of figure 8).
+		if n <= 300 {
+			return base(n, tt)
+		}
+		return base(300, tt) * math.Exp(-(n-300)/80)
+	}
+	cfg := DefaultPAConfig()
+	cfg.Initial = 600 // stranded deep in the thrashing region
+	cfg.Recovery = RecoverSlope
+	p := newPlant(surface, 7, 0.02)
+	c := NewPA(cfg)
+	run(c, p, 500)
+	if math.Abs(c.Centre()-150) > 50 {
+		t.Fatalf("PA failed to escape thrashing region: centre %v, want ~150", c.Centre())
+	}
+	if c.Recoveries() == 0 {
+		t.Fatal("recovery policy never fired in the stranded scenario")
+	}
+}
+
+func TestPARecoverHoldSurvivesFlatHump(t *testing.T) {
+	// Figure 7: broad flat hump — noisy measurements may suggest convexity.
+	// Hold recovery must keep the bound in the flat region (no collapse).
+	surface := func(n, tt float64) float64 {
+		// Broad, almost flat top between 150 and 350 (figure 7).
+		switch {
+		case n < 150:
+			return 50 * n / 150
+		case n <= 350:
+			return 50 + 0.002*(n-150) // nearly flat
+		default:
+			return math.Max(0, 50.4-0.2*(n-350))
+		}
+	}
+	cfg := DefaultPAConfig()
+	cfg.Initial = 250
+	cfg.Recovery = RecoverHold
+	p := newPlant(surface, 8, 0.05)
+	c := NewPA(cfg)
+	traj := run(c, p, 400)
+	settled := meanOf(tail(traj, 100))
+	if settled < 120 || settled > 420 {
+		t.Fatalf("PA fell off the flat hump: settled %v", settled)
+	}
+	_ = traj
+}
+
+func TestPARespectsBounds(t *testing.T) {
+	cfg := DefaultPAConfig()
+	cfg.Bounds = Bounds{Lo: 30, Hi: 300}
+	cfg.Initial = 100
+	p := newPlant(hump(800, 100, 3), 9, 0.02)
+	c := NewPA(cfg)
+	for _, b := range run(c, p, 300) {
+		if b < 30 || b > 300 {
+			t.Fatalf("bound %v escaped [30,300]", b)
+		}
+	}
+}
+
+func TestPAFollowsSinusoid(t *testing.T) {
+	// §9: both algorithms follow gradual (sinusoidal) changes.
+	surface := func(n, tt float64) float64 {
+		opt := 300 + 100*math.Sin(2*math.Pi*tt/400)
+		return hump(opt, 100, 3)(n, tt)
+	}
+	p := newPlant(surface, 10, 0.02)
+	c := NewPA(DefaultPAConfig())
+	var err2 float64
+	count := 0
+	for i := 0; i < 1200; i++ {
+		s := p.step(c.Bound(), float64(i))
+		c.Update(s)
+		if i > 300 { // after lock-in
+			opt := 300 + 100*math.Sin(2*math.Pi*float64(i)/400)
+			err2 += (c.Centre() - opt) * (c.Centre() - opt)
+			count++
+		}
+	}
+	rmse := math.Sqrt(err2 / float64(count))
+	if rmse > 80 {
+		t.Fatalf("PA sinusoid tracking RMSE = %v, want < 80", rmse)
+	}
+}
+
+func TestISFollowsSinusoid(t *testing.T) {
+	surface := func(n, tt float64) float64 {
+		opt := 300 + 100*math.Sin(2*math.Pi*tt/400)
+		return hump(opt, 100, 3)(n, tt)
+	}
+	p := newPlant(surface, 11, 0.02)
+	c := NewIS(DefaultISConfig())
+	var err2 float64
+	count := 0
+	for i := 0; i < 1200; i++ {
+		s := p.step(c.Bound(), float64(i))
+		c.Update(s)
+		if i > 300 {
+			opt := 300 + 100*math.Sin(2*math.Pi*float64(i)/400)
+			err2 += (c.Bound() - opt) * (c.Bound() - opt)
+			count++
+		}
+	}
+	rmse := math.Sqrt(err2 / float64(count))
+	if rmse > 120 {
+		t.Fatalf("IS sinusoid tracking RMSE = %v, want < 120", rmse)
+	}
+}
+
+func TestISGrowingHeightPathology(t *testing.T) {
+	// §5.1: IS "may fail when the height of the optimum is growing without
+	// changing the position" — every step looks like an improvement, so
+	// the climber walks away. The static bounds must catch it.
+	cfg := DefaultISConfig()
+	cfg.Bounds = Bounds{Lo: 10, Hi: 400}
+	surface := func(n, tt float64) float64 {
+		height := 50 + tt // growing peak
+		return hump(100, height, 2)(n, tt)
+	}
+	p := newPlant(surface, 12, 0.0)
+	c := NewIS(cfg)
+	traj := run(c, p, 500)
+	for _, b := range traj {
+		if b > 400 {
+			t.Fatalf("IS escaped its static upper bound: %v", b)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(){
+		func() { cfg := DefaultISConfig(); cfg.Beta = 0; NewIS(cfg) },
+		func() { cfg := DefaultISConfig(); cfg.Gamma = -1; NewIS(cfg) },
+		func() { cfg := DefaultISConfig(); cfg.MaxStep = 0.1; NewIS(cfg) },
+		func() { cfg := DefaultISConfig(); cfg.Initial = 1e9; NewIS(cfg) },
+		func() { cfg := DefaultPAConfig(); cfg.Alpha = 1.2; NewPA(cfg) },
+		func() { cfg := DefaultPAConfig(); cfg.MinObs = 1; NewPA(cfg) },
+		func() { cfg := DefaultPAConfig(); cfg.RecoveryStep = -5; NewPA(cfg) },
+		func() { cfg := DefaultPAConfig(); cfg.Scale = 0; NewPA(cfg) },
+	}
+	for i, f := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

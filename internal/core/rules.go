@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TayRule is the theoretically derived rule of thumb of Tay, Goodman & Suri
+// (1985) the paper's introduction discusses (§1, solution 3): keep
+// k²·n/D < 1.5, i.e. bound the concurrency level at
+//
+//	n* = 1.5·D / k²
+//
+// where k is the number of items each transaction accesses and D the
+// database size. It is a feed-forward rule — it never looks at measured
+// performance — so it adapts to known workload parameter changes (k) but
+// not to anything the model misses (resource contention, CPU saturation,
+// write mix). The paper's caution "whether these bounds actually apply to
+// all possible load situations" is exactly what the baseline experiments
+// probe.
+type TayRule struct {
+	// D is the database size in items.
+	D float64
+	// K reports the current transaction size; it is consulted at every
+	// update so a jump in k moves the bound immediately.
+	K func(t float64) float64
+	// Bounds clamps the emitted bound.
+	Bounds Bounds
+
+	bound float64
+}
+
+// NewTayRule returns the k²n/D ≤ 1.5 feed-forward controller.
+func NewTayRule(d float64, k func(t float64) float64, b Bounds) *TayRule {
+	if d <= 0 {
+		panic(fmt.Sprintf("core: Tay rule needs positive D, got %v", d))
+	}
+	if k == nil {
+		panic("core: Tay rule needs a k() source")
+	}
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	r := &TayRule{D: d, K: k, Bounds: b}
+	r.bound = r.compute(0)
+	return r
+}
+
+func (r *TayRule) compute(t float64) float64 {
+	k := r.K(t)
+	if k < 1 {
+		k = 1
+	}
+	return r.Bounds.Clamp(1.5 * r.D / (k * k))
+}
+
+// Name implements Controller.
+func (r *TayRule) Name() string { return "tay-rule" }
+
+// Bound implements Controller.
+func (r *TayRule) Bound() float64 { return r.bound }
+
+// Update implements Controller.
+func (r *TayRule) Update(s Sample) float64 {
+	r.bound = r.compute(s.Time)
+	return r.bound
+}
+
+// IyerRule implements the Iyer (1988) criterion (§1): the mean number of
+// conflicts per transaction should not exceed 0.75. Since conflicts per
+// transaction is monotone increasing in the concurrency level, a simple
+// multiplicative-increase / multiplicative-decrease integral controller
+// steers the measured conflict rate to the target:
+//
+//	n* ← n* · (1 + Gain·(Target − conflictRate))
+//
+// clamped to Bounds and to a per-step factor, so it is a feedback rule but
+// one that regulates a proxy (conflict rate) rather than performance
+// itself.
+type IyerRule struct {
+	// Target is the conflicts-per-commit set point (paper: 0.75).
+	Target float64
+	// Gain is the integral gain.
+	Gain float64
+	// MaxFactor caps the per-update multiplicative change (e.g. 1.25).
+	MaxFactor float64
+	// Bounds clamps the emitted bound.
+	Bounds Bounds
+
+	bound float64
+}
+
+// NewIyerRule returns the conflicts-per-transaction controller starting at
+// initial.
+func NewIyerRule(initial float64, b Bounds) *IyerRule {
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	return &IyerRule{
+		Target:    0.75,
+		Gain:      0.4,
+		MaxFactor: 1.25,
+		Bounds:    b,
+		bound:     b.Clamp(initial),
+	}
+}
+
+// Name implements Controller.
+func (r *IyerRule) Name() string { return "iyer-rule" }
+
+// Bound implements Controller.
+func (r *IyerRule) Bound() float64 { return r.bound }
+
+// Update implements Controller.
+func (r *IyerRule) Update(s Sample) float64 {
+	factor := 1 + r.Gain*(r.Target-s.ConflictRate)
+	if factor > r.MaxFactor {
+		factor = r.MaxFactor
+	}
+	if lo := 1 / r.MaxFactor; factor < lo {
+		factor = lo
+	}
+	if math.IsNaN(factor) {
+		return r.bound
+	}
+	r.bound = r.Bounds.Clamp(r.bound * factor)
+	return r.bound
+}

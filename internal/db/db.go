@@ -1,0 +1,119 @@
+// Package db models the logical database of the paper's simulation model:
+// a set of D data items addressed by integer granule IDs, from which each
+// transaction draws a constant number k of distinct items uniformly at
+// random ("no hot spots", §7). A b/c hot-spot generator is provided as an
+// extension for sensitivity experiments.
+package db
+
+import (
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+// Item identifies one lockable/certifiable data granule.
+type Item = int
+
+// Database describes the granule space.
+type Database struct {
+	// Size is D, the number of data items.
+	Size int
+}
+
+// New returns a database of size items. It panics for size < 1: a database
+// without items cannot host transactions and indicates a config error.
+func New(size int) *Database {
+	if size < 1 {
+		panic(fmt.Sprintf("db: size must be >= 1, got %d", size))
+	}
+	return &Database{Size: size}
+}
+
+// AccessGen produces a transaction's access set (items plus per-item write
+// intent).
+type AccessGen interface {
+	// Generate fills items with k distinct granule IDs and writes with the
+	// write intent of each position. Query transactions pass wantWrite=false
+	// and get an all-read set; updaters pass wantWrite=true and the
+	// generator marks each item as written with probability writeFrac.
+	Generate(g *sim.RNG, items []Item, writes []bool, wantWrite bool, writeFrac float64)
+	// String describes the generator for experiment records.
+	String() string
+}
+
+// Uniform samples k distinct items uniformly from the whole database —
+// the paper's access model ("data items are selected randomly, no hot
+// spots").
+type Uniform struct {
+	DB *Database
+}
+
+// Generate implements AccessGen.
+func (u Uniform) Generate(g *sim.RNG, items []Item, writes []bool, wantWrite bool, writeFrac float64) {
+	if len(items) != len(writes) {
+		panic("db: items/writes length mismatch")
+	}
+	g.SampleDistinct(items, u.DB.Size)
+	markWrites(g, writes, wantWrite, writeFrac)
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(D=%d)", u.DB.Size) }
+
+// HotSpot implements the classical b/c rule: a fraction Frac of accesses
+// (e.g. 0.8) falls into the hottest HotFrac of the database (e.g. 0.2).
+// Not used by the paper's headline experiments; provided for extensions.
+type HotSpot struct {
+	DB      *Database
+	Frac    float64 // fraction of accesses going to the hot region
+	HotFrac float64 // fraction of the database that is hot
+}
+
+// Generate implements AccessGen. Items are distinct within one access set.
+func (h HotSpot) Generate(g *sim.RNG, items []Item, writes []bool, wantWrite bool, writeFrac float64) {
+	if len(items) != len(writes) {
+		panic("db: items/writes length mismatch")
+	}
+	hot := int(float64(h.DB.Size) * h.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	cold := h.DB.Size - hot
+	seen := make(map[Item]struct{}, len(items))
+	for i := range items {
+		for {
+			var v Item
+			if cold == 0 || g.Bernoulli(h.Frac) {
+				v = g.Intn(hot)
+			} else {
+				v = hot + g.Intn(cold)
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			items[i] = v
+			break
+		}
+	}
+	markWrites(g, writes, wantWrite, writeFrac)
+}
+
+func (h HotSpot) String() string {
+	return fmt.Sprintf("hotspot(D=%d,%.0f%%->%.0f%%)", h.DB.Size, h.Frac*100, h.HotFrac*100)
+}
+
+// markWrites assigns write intent. An updater that draws zero writes by
+// chance is promoted to writing its first item so that "updater" classes
+// always update something (keeps the write-fraction workload knob
+// meaningful at low writeFrac).
+func markWrites(g *sim.RNG, writes []bool, wantWrite bool, writeFrac float64) {
+	any := false
+	for i := range writes {
+		w := wantWrite && g.Bernoulli(writeFrac)
+		writes[i] = w
+		any = any || w
+	}
+	if wantWrite && !any && len(writes) > 0 {
+		writes[0] = true
+	}
+}

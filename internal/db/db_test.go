@@ -1,0 +1,146 @@
+package db
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	New(0)
+}
+
+func TestUniformDistinctAndInRange(t *testing.T) {
+	g := sim.NewRNG(1)
+	gen := Uniform{DB: New(100)}
+	items := make([]Item, 10)
+	writes := make([]bool, 10)
+	f := func(seed uint8) bool {
+		gen.Generate(g, items, writes, true, 0.5)
+		seen := map[Item]bool{}
+		for _, it := range items {
+			if it < 0 || it >= 100 || seen[it] {
+				return false
+			}
+			seen[it] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryNeverWrites(t *testing.T) {
+	g := sim.NewRNG(2)
+	gen := Uniform{DB: New(50)}
+	items := make([]Item, 8)
+	writes := make([]bool, 8)
+	for i := 0; i < 100; i++ {
+		gen.Generate(g, items, writes, false, 0.9)
+		for _, w := range writes {
+			if w {
+				t.Fatal("query transaction got a write")
+			}
+		}
+	}
+}
+
+func TestUpdaterAlwaysWritesSomething(t *testing.T) {
+	g := sim.NewRNG(3)
+	gen := Uniform{DB: New(50)}
+	items := make([]Item, 4)
+	writes := make([]bool, 4)
+	for i := 0; i < 500; i++ {
+		gen.Generate(g, items, writes, true, 0.01) // tiny write fraction
+		any := false
+		for _, w := range writes {
+			any = any || w
+		}
+		if !any {
+			t.Fatal("updater transaction with no writes")
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := sim.NewRNG(4)
+	gen := Uniform{DB: New(1000)}
+	k := 10
+	items := make([]Item, k)
+	writes := make([]bool, k)
+	total, written := 0, 0
+	for i := 0; i < 5000; i++ {
+		gen.Generate(g, items, writes, true, 0.4)
+		for _, w := range writes {
+			total++
+			if w {
+				written++
+			}
+		}
+	}
+	frac := float64(written) / float64(total)
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Fatalf("write fraction = %v, want ~0.4", frac)
+	}
+}
+
+func TestMismatchedSlicesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := sim.NewRNG(5)
+	Uniform{DB: New(10)}.Generate(g, make([]Item, 3), make([]bool, 2), false, 0)
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	g := sim.NewRNG(6)
+	d := New(1000)
+	gen := HotSpot{DB: d, Frac: 0.8, HotFrac: 0.2}
+	hot := int(float64(d.Size) * 0.2)
+	items := make([]Item, 5)
+	writes := make([]bool, 5)
+	inHot, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		gen.Generate(g, items, writes, false, 0)
+		for _, it := range items {
+			if it < 0 || it >= d.Size {
+				t.Fatalf("item %d out of range", it)
+			}
+			total++
+			if it < hot {
+				inHot++
+			}
+		}
+	}
+	frac := float64(inHot) / float64(total)
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Fatalf("hot fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestHotSpotDistinct(t *testing.T) {
+	g := sim.NewRNG(7)
+	gen := HotSpot{DB: New(30), Frac: 0.9, HotFrac: 0.1}
+	items := make([]Item, 10)
+	writes := make([]bool, 10)
+	for i := 0; i < 200; i++ {
+		gen.Generate(g, items, writes, true, 0.5)
+		seen := map[Item]bool{}
+		for _, it := range items {
+			if seen[it] {
+				t.Fatal("duplicate item in access set")
+			}
+			seen[it] = true
+		}
+	}
+}

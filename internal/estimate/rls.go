@@ -1,0 +1,247 @@
+// Package estimate implements the recursive least-squares (RLS) estimator
+// with exponentially fading memory used by the Parabola Approximation
+// controller (§4.2, after Young 1984: "Recursive Estimation and Time-Series
+// Analysis"), plus a sliding-window ordinary least squares fit used for the
+// estimator-memory ablation of figure 6 (long interval + α=0 versus short
+// intervals + α=0.8).
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// RLS estimates θ in y = xᵀθ + e recursively, discounting old data with a
+// forgetting factor α in (0, 1]: the weight of a sample i steps in the past
+// is αⁱ. α = 1 never forgets; the paper recommends a small measurement
+// interval with large α over a long interval with α = 0 (§5.2, figure 6).
+//
+// The covariance update uses the standard form
+//
+//	K = P·x / (α + xᵀ·P·x)
+//	θ ← θ + K·(y − xᵀθ)
+//	P ← (P − K·xᵀ·P) / α
+//
+// with a symmetrization step and a guarded reset when P loses positive
+// definiteness or blows up (covariance windup under insufficient
+// excitation).
+type RLS struct {
+	p      int // parameter count
+	alpha  float64
+	theta  []float64
+	cov    []float64 // p×p row-major
+	p0     float64   // initial covariance scale, used on reset
+	nObs   uint64
+	resets uint64
+}
+
+// NewRLS returns an order-p estimator with forgetting factor alpha and
+// initial covariance p0·I (large p0 ≈ diffuse prior; 1e6 is conventional).
+func NewRLS(p int, alpha, p0 float64) *RLS {
+	if p < 1 {
+		panic(fmt.Sprintf("estimate: order %d < 1", p))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("estimate: forgetting factor %v outside (0,1]", alpha))
+	}
+	if p0 <= 0 {
+		panic(fmt.Sprintf("estimate: initial covariance %v must be positive", p0))
+	}
+	r := &RLS{p: p, alpha: alpha, p0: p0}
+	r.theta = make([]float64, p)
+	r.cov = make([]float64, p*p)
+	r.initCov()
+	return r
+}
+
+func (r *RLS) initCov() {
+	for i := range r.cov {
+		r.cov[i] = 0
+	}
+	for i := 0; i < r.p; i++ {
+		r.cov[i*r.p+i] = r.p0
+	}
+}
+
+// Alpha returns the forgetting factor.
+func (r *RLS) Alpha() float64 { return r.alpha }
+
+// Observations returns how many samples have been absorbed.
+func (r *RLS) Observations() uint64 { return r.nObs }
+
+// Resets returns how many covariance resets occurred (diagnostics).
+func (r *RLS) Resets() uint64 { return r.resets }
+
+// Theta returns a copy of the current parameter estimate.
+func (r *RLS) Theta() []float64 {
+	out := make([]float64, r.p)
+	copy(out, r.theta)
+	return out
+}
+
+// Predict returns xᵀθ for the regressor x.
+func (r *RLS) Predict(x []float64) float64 {
+	r.checkX(x)
+	s := 0.0
+	for i, xi := range x {
+		s += xi * r.theta[i]
+	}
+	return s
+}
+
+// Update absorbs one observation (x, y) and returns the a-priori residual
+// y − xᵀθ(before update).
+func (r *RLS) Update(x []float64, y float64) float64 {
+	r.checkX(x)
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0 // refuse to poison the estimate; caller logs if needed
+	}
+	p := r.p
+	// Px = P·x
+	px := make([]float64, p)
+	for i := 0; i < p; i++ {
+		s := 0.0
+		row := r.cov[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			s += row[j] * x[j]
+		}
+		px[i] = s
+	}
+	// denom = α + xᵀ·P·x
+	den := r.alpha
+	for i := 0; i < p; i++ {
+		den += x[i] * px[i]
+	}
+	if den <= 0 || math.IsNaN(den) {
+		r.reset()
+		return 0
+	}
+	resid := y - r.Predict(x)
+	// θ ← θ + K·resid, K = Px/den
+	for i := 0; i < p; i++ {
+		r.theta[i] += px[i] / den * resid
+	}
+	// P ← (P − K·(Px)ᵀ)/α, symmetrized
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			r.cov[i*p+j] = (r.cov[i*p+j] - px[i]*px[j]/den) / r.alpha
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			m := (r.cov[i*p+j] + r.cov[j*p+i]) / 2
+			r.cov[i*p+j], r.cov[j*p+i] = m, m
+		}
+	}
+	// Guard against windup / numerical collapse.
+	bad := false
+	for i := 0; i < p; i++ {
+		d := r.cov[i*p+i]
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) || d > r.p0*1e6 {
+			bad = true
+			break
+		}
+	}
+	if bad {
+		r.reset()
+	}
+	r.nObs++
+	return resid
+}
+
+// reset reinitializes the covariance, keeping θ (a standard recovery from
+// covariance windup; also used by the PA controller's "reset" policy).
+func (r *RLS) reset() {
+	r.initCov()
+	r.resets++
+}
+
+// ResetCovariance forgets all accumulated confidence but keeps the current
+// parameter estimate. The PA controller invokes this when the estimated
+// parabola opens upward (§5.2 countermeasure).
+func (r *RLS) ResetCovariance() { r.reset() }
+
+// ResetAll restores the estimator to its initial diffuse state.
+func (r *RLS) ResetAll() {
+	for i := range r.theta {
+		r.theta[i] = 0
+	}
+	r.initCov()
+	r.nObs = 0
+}
+
+func (r *RLS) checkX(x []float64) {
+	if len(x) != r.p {
+		panic(fmt.Sprintf("estimate: regressor length %d, want %d", len(x), r.p))
+	}
+}
+
+// Parabola fits P(n) = a0 + a1·n + a2·n² with RLS. Regressors are centred
+// and scaled by Scale to keep the normal equations well conditioned when n
+// is in the hundreds (n² up to ~10⁶ would otherwise dwarf the constant
+// term).
+type Parabola struct {
+	rls   *RLS
+	Scale float64
+}
+
+// NewParabola returns a quadratic RLS fit with forgetting factor alpha.
+// scale should be of the order of the typical load (e.g. 100); it only
+// affects conditioning, not the fitted function.
+func NewParabola(alpha, scale float64) *Parabola {
+	if scale <= 0 {
+		panic("estimate: parabola scale must be positive")
+	}
+	return &Parabola{rls: NewRLS(3, alpha, 1e6), Scale: scale}
+}
+
+// Observations returns the number of absorbed samples.
+func (q *Parabola) Observations() uint64 { return q.rls.Observations() }
+
+// Update absorbs one (load, performance) measurement.
+func (q *Parabola) Update(n, perf float64) {
+	u := n / q.Scale
+	q.rls.Update([]float64{1, u, u * u}, perf)
+}
+
+// Coefficients returns (a0, a1, a2) in the original (unscaled) load units.
+func (q *Parabola) Coefficients() (a0, a1, a2 float64) {
+	th := q.rls.Theta()
+	a0 = th[0]
+	a1 = th[1] / q.Scale
+	a2 = th[2] / (q.Scale * q.Scale)
+	return
+}
+
+// OpensDownward reports whether the estimated quadratic term is negative,
+// i.e. the parabola has a maximum (§4.2 control-law precondition).
+func (q *Parabola) OpensDownward() bool {
+	_, _, a2 := q.Coefficients()
+	return a2 < 0
+}
+
+// Vertex returns the load that maximizes the fitted parabola. ok is false
+// when the parabola opens upward or is degenerate (a2 ≈ 0), in which case
+// the §5.2 recovery policies apply.
+func (q *Parabola) Vertex() (n float64, ok bool) {
+	_, a1, a2 := q.Coefficients()
+	if a2 >= 0 || math.Abs(a2) < 1e-300 {
+		return 0, false
+	}
+	return -a1 / (2 * a2), true
+}
+
+// Predict evaluates the fitted parabola at load n.
+func (q *Parabola) Predict(n float64) float64 {
+	u := n / q.Scale
+	return q.rls.Predict([]float64{1, u, u * u})
+}
+
+// ResetCovariance keeps coefficients but discards confidence (§5.2).
+func (q *Parabola) ResetCovariance() { q.rls.ResetCovariance() }
+
+// ResetAll restores the diffuse initial state.
+func (q *Parabola) ResetAll() { q.rls.ResetAll() }
+
+// Resets reports covariance resets (diagnostics).
+func (q *Parabola) Resets() uint64 { return q.rls.Resets() }

@@ -1,0 +1,294 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+func TestRLSRecoversLinearModel(t *testing.T) {
+	r := NewRLS(2, 1.0, 1e6)
+	g := sim.NewRNG(1)
+	// y = 3 + 2x, exact.
+	for i := 0; i < 200; i++ {
+		x := g.Uniform(-5, 5)
+		r.Update([]float64{1, x}, 3+2*x)
+	}
+	th := r.Theta()
+	if math.Abs(th[0]-3) > 1e-6 || math.Abs(th[1]-2) > 1e-6 {
+		t.Fatalf("theta = %v, want [3 2]", th)
+	}
+}
+
+func TestRLSRecoversNoisyModel(t *testing.T) {
+	r := NewRLS(2, 1.0, 1e6)
+	g := sim.NewRNG(2)
+	for i := 0; i < 5000; i++ {
+		x := g.Uniform(-5, 5)
+		r.Update([]float64{1, x}, 3+2*x+0.5*g.NormFloat64())
+	}
+	th := r.Theta()
+	if math.Abs(th[0]-3) > 0.05 || math.Abs(th[1]-2) > 0.05 {
+		t.Fatalf("theta = %v, want ~[3 2]", th)
+	}
+}
+
+func TestRLSForgettingTracksDrift(t *testing.T) {
+	// With α < 1 the estimator follows a parameter jump; with α = 1 it
+	// barely moves. This is the essence of "exponentially fading memory".
+	g := sim.NewRNG(3)
+	fade := NewRLS(2, 0.9, 1e6)
+	frozen := NewRLS(2, 1.0, 1e6)
+	feed := func(r *RLS, slope float64, k int) {
+		for i := 0; i < k; i++ {
+			x := g.Uniform(-5, 5)
+			y := slope * x
+			r.Update([]float64{1, x}, y)
+		}
+	}
+	feed(fade, 1, 300)
+	feed(frozen, 1, 300)
+	feed(fade, 5, 60)
+	feed(frozen, 5, 60)
+	if math.Abs(fade.Theta()[1]-5) > 0.2 {
+		t.Fatalf("fading estimator stuck at %v, want ~5", fade.Theta()[1])
+	}
+	if frozen.Theta()[1] > 3 {
+		t.Fatalf("non-fading estimator moved too fast: %v", frozen.Theta()[1])
+	}
+}
+
+func TestRLSRejectsNonFiniteY(t *testing.T) {
+	r := NewRLS(2, 0.95, 1e6)
+	r.Update([]float64{1, 1}, 2)
+	before := r.Theta()
+	r.Update([]float64{1, 2}, math.NaN())
+	r.Update([]float64{1, 2}, math.Inf(1))
+	after := r.Theta()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("non-finite observation changed the estimate")
+		}
+	}
+}
+
+func TestRLSValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRLS(0, 0.9, 1e6) },
+		func() { NewRLS(2, 0, 1e6) },
+		func() { NewRLS(2, 1.5, 1e6) },
+		func() { NewRLS(2, 0.9, -1) },
+		func() { NewRLS(2, 0.9, 1e6).Update([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParabolaRecoversVertex(t *testing.T) {
+	// True P(n) = 100 + 2n - 0.005 n² has its max at n = 200.
+	q := NewParabola(0.98, 100)
+	g := sim.NewRNG(4)
+	for i := 0; i < 400; i++ {
+		n := g.Uniform(50, 350)
+		y := 100 + 2*n - 0.005*n*n + g.NormFloat64()
+		q.Update(n, y)
+	}
+	if !q.OpensDownward() {
+		t.Fatal("fit should open downward")
+	}
+	v, ok := q.Vertex()
+	if !ok {
+		t.Fatal("vertex unavailable")
+	}
+	if math.Abs(v-200) > 10 {
+		t.Fatalf("vertex = %v, want ~200", v)
+	}
+}
+
+func TestParabolaUpwardDetection(t *testing.T) {
+	// Convex data (e.g. load bound stranded past the inflexion point,
+	// figure 8): the fit must report "opens upward" so the controller can
+	// trigger recovery.
+	q := NewParabola(0.95, 100)
+	g := sim.NewRNG(5)
+	for i := 0; i < 200; i++ {
+		n := g.Uniform(300, 500)
+		y := 0.004*(n-300)*(n-300) + 5 + 0.3*g.NormFloat64()
+		q.Update(n, y)
+	}
+	if q.OpensDownward() {
+		t.Fatal("convex data should produce an upward parabola")
+	}
+	if _, ok := q.Vertex(); ok {
+		t.Fatal("vertex must be unavailable for an upward parabola")
+	}
+}
+
+func TestParabolaTracksJump(t *testing.T) {
+	// The optimum jumps from 200 to 400; with fading memory the vertex
+	// must follow.
+	q := NewParabola(0.9, 100)
+	g := sim.NewRNG(6)
+	truth := func(opt, n float64) float64 { return 50 - 0.004*(n-opt)*(n-opt) }
+	for i := 0; i < 300; i++ {
+		n := g.Uniform(100, 500)
+		q.Update(n, truth(200, n)+0.2*g.NormFloat64())
+	}
+	for i := 0; i < 120; i++ {
+		n := g.Uniform(100, 500)
+		q.Update(n, truth(400, n)+0.2*g.NormFloat64())
+	}
+	v, ok := q.Vertex()
+	if !ok {
+		t.Fatal("no vertex after jump")
+	}
+	if math.Abs(v-400) > 25 {
+		t.Fatalf("vertex = %v, want ~400 after jump", v)
+	}
+}
+
+func TestParabolaPredict(t *testing.T) {
+	q := NewParabola(1.0, 10)
+	for n := 0.0; n <= 20; n++ {
+		q.Update(n, 7+3*n-0.5*n*n)
+	}
+	for _, n := range []float64{0, 5, 15} {
+		want := 7 + 3*n - 0.5*n*n
+		if got := q.Predict(n); math.Abs(got-want) > 1e-3 {
+			t.Fatalf("Predict(%v) = %v, want %v", n, got, want)
+		}
+	}
+	a0, a1, a2 := q.Coefficients()
+	if math.Abs(a0-7) > 1e-3 || math.Abs(a1-3) > 1e-3 || math.Abs(a2+0.5) > 1e-4 {
+		t.Fatalf("coefficients = %v %v %v", a0, a1, a2)
+	}
+}
+
+func TestParabolaResetCovarianceKeepsTheta(t *testing.T) {
+	q := NewParabola(0.95, 10)
+	for n := 0.0; n < 30; n++ {
+		q.Update(n, 10+2*n-0.1*n*n)
+	}
+	v1, _ := q.Vertex()
+	q.ResetCovariance()
+	v2, _ := q.Vertex()
+	if math.Abs(v1-v2) > 1e-9 {
+		t.Fatal("covariance reset must preserve the coefficient estimate")
+	}
+}
+
+func TestParabolaResetAll(t *testing.T) {
+	q := NewParabola(0.95, 10)
+	for n := 0.0; n < 30; n++ {
+		q.Update(n, 10+2*n-0.1*n*n)
+	}
+	q.ResetAll()
+	if q.Observations() != 0 {
+		t.Fatal("observations should be zero after full reset")
+	}
+	if _, ok := q.Vertex(); ok {
+		t.Fatal("vertex should be unavailable after full reset")
+	}
+}
+
+// Property: with perfect quadratic data and no forgetting, the recovered
+// vertex matches the analytic optimum for arbitrary parabola parameters.
+func TestParabolaVertexProperty(t *testing.T) {
+	g := sim.NewRNG(7)
+	f := func(optRaw, curvRaw uint8) bool {
+		opt := 50 + float64(optRaw)            // 50..305
+		curv := 0.001 + float64(curvRaw)/25500 // 0.001..0.011
+		q := NewParabola(1.0, 100)
+		for i := 0; i < 60; i++ {
+			n := g.Uniform(opt-40, opt+40)
+			q.Update(n, 100-curv*(n-opt)*(n-opt))
+		}
+		v, ok := q.Vertex()
+		return ok && math.Abs(v-opt) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowParabolaBasic(t *testing.T) {
+	w := NewWindowParabola(50, 100)
+	g := sim.NewRNG(8)
+	for i := 0; i < 50; i++ {
+		n := g.Uniform(100, 300)
+		w.Update(n, 40-0.002*(n-200)*(n-200))
+	}
+	v, ok := w.Vertex()
+	if !ok || math.Abs(v-200) > 2 {
+		t.Fatalf("window vertex = %v (ok=%v), want ~200", v, ok)
+	}
+}
+
+func TestWindowParabolaEviction(t *testing.T) {
+	w := NewWindowParabola(10, 100)
+	g := sim.NewRNG(9)
+	// Feed 100 samples around optimum 150, then 10 around optimum 350: the
+	// window only remembers the last 10.
+	for i := 0; i < 100; i++ {
+		n := g.Uniform(100, 200)
+		w.Update(n, 40-0.002*(n-150)*(n-150))
+	}
+	for i := 0; i < 10; i++ {
+		n := g.Uniform(300, 400)
+		w.Update(n, 40-0.002*(n-350)*(n-350))
+	}
+	if w.Len() != 10 {
+		t.Fatalf("window len = %d, want 10", w.Len())
+	}
+	v, ok := w.Vertex()
+	if !ok || math.Abs(v-350) > 5 {
+		t.Fatalf("vertex = %v, want ~350 (rectangular memory)", v)
+	}
+}
+
+func TestWindowParabolaNoExcitation(t *testing.T) {
+	w := NewWindowParabola(10, 100)
+	for i := 0; i < 10; i++ {
+		w.Update(200, 40) // constant load: singular normal equations
+	}
+	if _, _, _, ok := w.Coefficients(); ok {
+		t.Fatal("constant-load window must be singular")
+	}
+}
+
+func TestWindowParabolaUnderfilled(t *testing.T) {
+	w := NewWindowParabola(10, 100)
+	w.Update(1, 1)
+	w.Update(2, 2)
+	if _, _, _, ok := w.Coefficients(); ok {
+		t.Fatal("2 samples cannot determine a quadratic")
+	}
+	if w.Predict(5) != 0 {
+		t.Fatal("Predict should be 0 when unavailable")
+	}
+}
+
+func TestWindowParabolaValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWindowParabola(2, 100) },
+		func() { NewWindowParabola(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,118 @@
+package estimate
+
+import "math"
+
+// WindowParabola fits P(n) = a0 + a1·n + a2·n² by ordinary least squares
+// over a sliding window of the last W samples with uniform weights. It is
+// the "long measurement interval, α = 0" alternative of figure 6: the same
+// amount of information as RLS-with-fading, but rectangular memory. The
+// paper argues (and the Fig. 6 experiment shows) that short intervals with
+// exponential fading adapt faster for equal information content.
+type WindowParabola struct {
+	W     int
+	Scale float64
+	ns    []float64
+	ps    []float64
+}
+
+// NewWindowParabola returns a sliding-window OLS quadratic fit over w
+// samples.
+func NewWindowParabola(w int, scale float64) *WindowParabola {
+	if w < 3 {
+		panic("estimate: window must hold at least 3 samples for a quadratic")
+	}
+	if scale <= 0 {
+		panic("estimate: scale must be positive")
+	}
+	return &WindowParabola{W: w, Scale: scale}
+}
+
+// Update absorbs one (load, performance) sample, evicting the oldest when
+// the window is full.
+func (w *WindowParabola) Update(n, perf float64) {
+	w.ns = append(w.ns, n/w.Scale)
+	w.ps = append(w.ps, perf)
+	if len(w.ns) > w.W {
+		w.ns = w.ns[1:]
+		w.ps = w.ps[1:]
+	}
+}
+
+// Len returns the current window fill.
+func (w *WindowParabola) Len() int { return len(w.ns) }
+
+// Coefficients solves the 3×3 normal equations by Gaussian elimination with
+// partial pivoting and returns (a0, a1, a2) in original units. ok is false
+// when the window holds fewer than 3 samples or the system is singular
+// (e.g. all loads identical — no excitation).
+func (w *WindowParabola) Coefficients() (a0, a1, a2 float64, ok bool) {
+	m := len(w.ns)
+	if m < 3 {
+		return 0, 0, 0, false
+	}
+	// Build normal equations A·θ = b with A = Σ x xᵀ, x = (1, u, u²).
+	var s [5]float64 // Σ u^k for k=0..4
+	var b [3]float64
+	for i := 0; i < m; i++ {
+		u := w.ns[i]
+		p := w.ps[i]
+		pow := 1.0
+		for k := 0; k <= 4; k++ {
+			s[k] += pow
+			if k < 3 {
+				b[k] += p * pow
+			}
+			pow *= u
+		}
+	}
+	A := [3][4]float64{
+		{s[0], s[1], s[2], b[0]},
+		{s[1], s[2], s[3], b[1]},
+		{s[2], s[3], s[4], b[2]},
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r][col] / A[col][col]
+			for c := col; c < 4; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+		}
+	}
+	th0 := A[0][3] / A[0][0]
+	th1 := A[1][3] / A[1][1]
+	th2 := A[2][3] / A[2][2]
+	return th0, th1 / w.Scale, th2 / (w.Scale * w.Scale), true
+}
+
+// Vertex returns the maximizing load of the fitted parabola; ok is false
+// when the fit is unavailable or opens upward.
+func (w *WindowParabola) Vertex() (float64, bool) {
+	_, a1, a2, ok := w.Coefficients()
+	if !ok || a2 >= 0 {
+		return 0, false
+	}
+	return -a1 / (2 * a2), true
+}
+
+// Predict evaluates the windowed fit at load n (0 when unavailable).
+func (w *WindowParabola) Predict(n float64) float64 {
+	a0, a1, a2, ok := w.Coefficients()
+	if !ok {
+		return 0
+	}
+	return a0 + a1*n + a2*n*n
+}

@@ -1,0 +1,210 @@
+package gate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGateAdmitsUnderLimit(t *testing.T) {
+	g := New(2, nil)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		g.Arrive(func() { admitted++ })
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", admitted)
+	}
+	if g.Active() != 2 || g.QueueLen() != 3 {
+		t.Fatalf("active=%d queued=%d, want 2/3", g.Active(), g.QueueLen())
+	}
+}
+
+func TestGateFCFSOrder(t *testing.T) {
+	g := New(1, nil)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		g.Arrive(func() { order = append(order, i) })
+	}
+	for i := 0; i < 5; i++ {
+		if g.Active() == 1 {
+			g.Depart()
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order %v not FCFS", order)
+		}
+	}
+}
+
+func TestGateDepartAdmitsNext(t *testing.T) {
+	g := New(1, nil)
+	admitted := 0
+	g.Arrive(func() { admitted++ })
+	g.Arrive(func() { admitted++ })
+	if admitted != 1 {
+		t.Fatal("second arrival should queue")
+	}
+	g.Depart()
+	if admitted != 2 {
+		t.Fatal("departure must admit the waiter")
+	}
+	if g.Active() != 1 {
+		t.Fatalf("active = %d, want 1", g.Active())
+	}
+}
+
+func TestGateRaiseLimitDrainsQueue(t *testing.T) {
+	g := New(1, nil)
+	admitted := 0
+	for i := 0; i < 6; i++ {
+		g.Arrive(func() { admitted++ })
+	}
+	g.SetLimit(4)
+	if admitted != 4 {
+		t.Fatalf("admitted = %d after raise, want 4", admitted)
+	}
+	if g.QueueLen() != 2 {
+		t.Fatalf("queue = %d, want 2", g.QueueLen())
+	}
+}
+
+func TestGateLowerLimitWithoutDisplacement(t *testing.T) {
+	g := New(5, nil)
+	for i := 0; i < 5; i++ {
+		g.Arrive(func() {})
+	}
+	g.SetLimit(2)
+	// §4.3 option (i): no displacement — the excess drains by departures.
+	if g.Active() != 5 {
+		t.Fatalf("active = %d, want 5 (no displacement)", g.Active())
+	}
+	g.Depart()
+	g.Depart()
+	g.Depart()
+	g.Arrive(func() {})
+	if g.Active() != 2 {
+		t.Fatalf("active = %d, want 2 (new arrival must queue)", g.Active())
+	}
+}
+
+func TestGateDisplacement(t *testing.T) {
+	g := New(5, nil)
+	for i := 0; i < 5; i++ {
+		g.Arrive(func() {})
+	}
+	var displaced int
+	g.SetDisplaceFn(func(excess int) {
+		displaced = excess
+		for i := 0; i < excess; i++ {
+			g.DisplacedDepart()
+			g.Reenter(func() {})
+		}
+	})
+	g.SetLimit(2)
+	if displaced != 3 {
+		t.Fatalf("displaced = %d, want 3", displaced)
+	}
+	if g.Active() != 2 {
+		t.Fatalf("active = %d, want 2 after displacement", g.Active())
+	}
+	if g.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3 re-entered victims", g.QueueLen())
+	}
+	if g.Stats().Displaced != 3 {
+		t.Fatalf("stats.Displaced = %d", g.Stats().Displaced)
+	}
+}
+
+func TestGateReenterOutranksArrivals(t *testing.T) {
+	g := New(0, nil) // everything queues
+	var order []string
+	g.Arrive(func() { order = append(order, "a") })
+	g.Arrive(func() { order = append(order, "b") })
+	g.Reenter(func() { order = append(order, "victim") })
+	g.SetLimit(10)
+	want := []string{"victim", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestGateInfiniteLimit(t *testing.T) {
+	g := New(math.Inf(1), nil)
+	admitted := 0
+	for i := 0; i < 1000; i++ {
+		g.Arrive(func() { admitted++ })
+	}
+	if admitted != 1000 {
+		t.Fatalf("uncontrolled gate blocked: %d/1000", admitted)
+	}
+}
+
+func TestGateFractionalLimit(t *testing.T) {
+	// n < n* with n* = 2.7 admits 3 transactions (0,1,2 < 2.7).
+	g := New(2.7, nil)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		g.Arrive(func() { admitted++ })
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted = %d with limit 2.7, want 3", admitted)
+	}
+}
+
+func TestGateWaitStats(t *testing.T) {
+	now := 0.0
+	g := New(1, func() float64 { return now })
+	g.Arrive(func() {})
+	g.Arrive(func() {})
+	now = 7
+	g.Depart()
+	if w := g.Stats().WaitSum; math.Abs(w-7) > 1e-12 {
+		t.Fatalf("WaitSum = %v, want 7", w)
+	}
+}
+
+func TestGateDepartUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, nil).Depart()
+}
+
+func TestGateNaNLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(math.NaN(), nil)
+}
+
+func TestGateInvariantActiveNeverExceedsLimit(t *testing.T) {
+	// Randomized: arrivals and departures never push active above
+	// ceil(limit) when the limit only moves via SetLimit without
+	// displacement; after a lower SetLimit, active only shrinks.
+	g := New(3, nil)
+	active := 0
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0, 1:
+			g.Arrive(func() { active++ })
+		case 2:
+			if g.Active() > 0 {
+				g.Depart()
+			}
+		case 3:
+			lim := float64(1 + i%7)
+			g.SetLimit(lim)
+		}
+		if float64(g.Active()) > 7+1 {
+			t.Fatalf("active %d exploded past any recent limit", g.Active())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package gate
+
+import (
+	"context"
+	"math"
+	"sync"
+)
+
+// Live is a goroutine-safe admission gate with a dynamically adjustable
+// concurrency limit: the production-usable counterpart of Gate. Acquire
+// blocks (FCFS) while the active count is at or above the limit; Release
+// frees a slot. An adaptive controller raises or lowers the limit at run
+// time through SetLimit — goroutines map naturally onto the paper's
+// concurrent transactions.
+type Live struct {
+	mu     sync.Mutex
+	limit  float64
+	active int
+	// queue of waiting goroutines in arrival order; each waits on its own
+	// channel so SetLimit can wake exactly the admissible prefix.
+	queue []chan struct{}
+
+	arrivals uint64
+	admitted uint64
+	timeouts uint64
+	queueMax int
+}
+
+// NewLive returns a live gate with the given initial limit (use
+// math.Inf(1) to start uncontrolled).
+func NewLive(limit float64) *Live {
+	if math.IsNaN(limit) {
+		panic("gate: limit must not be NaN")
+	}
+	return &Live{limit: limit}
+}
+
+// Acquire blocks until a slot is free or ctx is done. It returns ctx.Err()
+// on cancellation, nil once admitted. Admission order is FCFS.
+func (l *Live) Acquire(ctx context.Context) error {
+	l.mu.Lock()
+	l.arrivals++
+	if len(l.queue) == 0 && float64(l.active) < l.limit {
+		l.active++
+		l.admitted++
+		l.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	l.queue = append(l.queue, ch)
+	if len(l.queue) > l.queueMax {
+		l.queueMax = len(l.queue)
+	}
+	l.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		// Remove ourselves unless we were admitted concurrently.
+		select {
+		case <-ch:
+			// Already admitted: the slot is ours; give it back.
+			l.active--
+			l.pumpLocked()
+			l.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		for i, c := range l.queue {
+			if c == ch {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		l.timeouts++
+		l.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire admits without blocking; it reports whether a slot was taken.
+func (l *Live) TryAcquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.arrivals++
+	if len(l.queue) == 0 && float64(l.active) < l.limit {
+		l.active++
+		l.admitted++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot taken by Acquire/TryAcquire.
+func (l *Live) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active <= 0 {
+		panic("gate: Release without matching Acquire")
+	}
+	l.active--
+	l.pumpLocked()
+}
+
+// SetLimit installs a new limit; raising it wakes queued goroutines.
+func (l *Live) SetLimit(limit float64) {
+	if math.IsNaN(limit) {
+		panic("gate: limit must not be NaN")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.limit = limit
+	l.pumpLocked()
+}
+
+// Limit returns the current limit.
+func (l *Live) Limit() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Active returns the number of held slots.
+func (l *Live) Active() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// Queued returns the number of blocked acquirers.
+func (l *Live) Queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}
+
+// LiveStats is a snapshot of gate counters.
+type LiveStats struct {
+	Arrivals uint64
+	Admitted uint64
+	Timeouts uint64
+	QueueMax int
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Live) Stats() LiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LiveStats{
+		Arrivals: l.arrivals,
+		Admitted: l.admitted,
+		Timeouts: l.timeouts,
+		QueueMax: l.queueMax,
+	}
+}
+
+// pumpLocked admits the longest queue prefix that fits under the limit.
+// Callers must hold mu.
+func (l *Live) pumpLocked() {
+	for len(l.queue) > 0 && float64(l.active) < l.limit {
+		ch := l.queue[0]
+		l.queue = l.queue[1:]
+		l.active++
+		l.admitted++
+		close(ch)
+	}
+}

@@ -1,0 +1,220 @@
+package gate
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLiveAcquireRelease(t *testing.T) {
+	l := NewLive(2)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.Active() != 2 {
+		t.Fatalf("active = %d", l.Active())
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire should fail at the limit")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire should succeed after release")
+	}
+	l.Release()
+	l.Release()
+}
+
+func TestLiveBlocksAtLimit(t *testing.T) {
+	l := NewLive(1)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	go func() {
+		if err := l.Acquire(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("second acquire should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	select {
+	case <-entered:
+	case <-time.After(time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+	l.Release()
+}
+
+func TestLiveContextCancel(t *testing.T) {
+	l := NewLive(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err == nil {
+		t.Fatal("expected context error")
+	}
+	if l.Queued() != 0 {
+		t.Fatalf("cancelled waiter still queued: %d", l.Queued())
+	}
+	l.Release()
+	if l.Stats().Timeouts != 1 {
+		t.Fatalf("timeouts = %d", l.Stats().Timeouts)
+	}
+}
+
+func TestLiveSetLimitWakesWaiters(t *testing.T) {
+	l := NewLive(0)
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	// Wait until all are queued.
+	deadline := time.Now().Add(time.Second)
+	for l.Queued() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d queued", l.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.SetLimit(3)
+	wgWait := make(chan struct{})
+	go func() { wg.Wait(); close(wgWait) }()
+	deadline = time.Now().Add(time.Second)
+	for admitted.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admitted = %d, want 3", admitted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l.Active() != 3 || l.Queued() != 2 {
+		t.Fatalf("active=%d queued=%d, want 3/2", l.Active(), l.Queued())
+	}
+	l.SetLimit(10)
+	<-wgWait
+	if admitted.Load() != 5 {
+		t.Fatalf("admitted = %d, want 5", admitted.Load())
+	}
+}
+
+func TestLiveNeverExceedsLimit(t *testing.T) {
+	// Hammer the gate from many goroutines and assert the concurrent
+	// holder count never exceeds the (changing) limit's high-water mark.
+	l := NewLive(4)
+	var inside atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := l.Acquire(context.Background()); err != nil {
+					return
+				}
+				v := inside.Add(1)
+				for {
+					m := maxSeen.Load()
+					if v <= m || maxSeen.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				inside.Add(-1)
+				l.Release()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	l.SetLimit(8)
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if maxSeen.Load() > 8 {
+		t.Fatalf("max concurrent holders %d exceeded limit 8", maxSeen.Load())
+	}
+}
+
+func TestLiveReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLive(1).Release()
+}
+
+func TestLiveInfiniteLimit(t *testing.T) {
+	l := NewLive(math.Inf(1))
+	for i := 0; i < 100; i++ {
+		if !l.TryAcquire() {
+			t.Fatal("infinite gate refused admission")
+		}
+	}
+}
+
+func TestLiveFCFS(t *testing.T) {
+	l := NewLive(0)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Stagger arrival so queue order is deterministic.
+			time.Sleep(time.Duration(i*10) * time.Millisecond)
+			if err := l.Acquire(context.Background()); err != nil {
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	// Let everyone queue up, then open one slot at a time.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d", l.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.SetLimit(1)
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order %v not FCFS", order)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package kv is a small in-memory versioned key-value store with optimistic
+// concurrency control by backward validation — a live, goroutine-concurrent
+// counterpart of the paper's timestamp certification scheme. It exists so
+// the examples can demonstrate adaptive load control on *real* concurrent
+// transactions (goroutines) rather than only in simulation.
+//
+// A transaction reads versioned values, buffers writes, and validates at
+// commit: if any item it read changed since, the commit fails with
+// ErrConflict and the caller retries. Heavy multiprogramming therefore
+// wastes work in exactly the way the paper's §1 describes.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrConflict is returned by Txn.Commit when validation fails; the caller
+// should retry the transaction.
+var ErrConflict = errors.New("kv: certification conflict, retry")
+
+// Store is a fixed-size array of versioned cells.
+type Store struct {
+	mu      sync.RWMutex
+	vals    []int64
+	vers    []uint64
+	commits uint64
+	aborts  uint64
+}
+
+// NewStore returns a store with n zero-valued items.
+func NewStore(n int) *Store {
+	if n < 1 {
+		panic(fmt.Sprintf("kv: store size %d < 1", n))
+	}
+	return &Store{vals: make([]int64, n), vers: make([]uint64, n)}
+}
+
+// Size returns the number of items.
+func (s *Store) Size() int { return len(s.vals) }
+
+// Stats returns (commits, aborts) so far.
+func (s *Store) Stats() (commits, aborts uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commits, s.aborts
+}
+
+// Txn is one optimistic transaction. Not safe for concurrent use by
+// multiple goroutines (one transaction = one goroutine, as in the model).
+type Txn struct {
+	s        *Store
+	readVers map[int]uint64
+	writes   map[int]int64
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	return &Txn{s: s, readVers: make(map[int]uint64), writes: make(map[int]int64)}
+}
+
+// Get reads item i, recording its version for commit-time validation.
+// Reads see the transaction's own uncommitted writes.
+func (t *Txn) Get(i int) int64 {
+	if v, ok := t.writes[i]; ok {
+		return v
+	}
+	t.s.mu.RLock()
+	val := t.s.vals[i]
+	ver := t.s.vers[i]
+	t.s.mu.RUnlock()
+	if _, seen := t.readVers[i]; !seen {
+		t.readVers[i] = ver
+	}
+	return val
+}
+
+// Set buffers a write of item i.
+func (t *Txn) Set(i int, v int64) { t.writes[i] = v }
+
+// Commit validates and atomically installs the write set. It returns
+// ErrConflict if any item read by the transaction changed since it was
+// read (backward validation, as in the paper's timestamp certification).
+func (t *Txn) Commit() error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	for i, ver := range t.readVers {
+		if t.s.vers[i] != ver {
+			t.s.aborts++
+			return ErrConflict
+		}
+	}
+	for i, v := range t.writes {
+		t.s.vals[i] = v
+		t.s.vers[i]++
+	}
+	t.s.commits++
+	return nil
+}
+
+// Update runs fn inside a transaction, retrying on conflict up to maxRetry
+// times (0 = unbounded). It returns the number of attempts used and the
+// terminal error (nil on success).
+func (s *Store) Update(maxRetry int, fn func(*Txn) error) (attempts int, err error) {
+	for {
+		attempts++
+		t := s.Begin()
+		if err := fn(t); err != nil {
+			return attempts, err
+		}
+		err = t.Commit()
+		if err == nil {
+			return attempts, nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return attempts, err
+		}
+		if maxRetry > 0 && attempts > maxRetry {
+			return attempts, err
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package kv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBasicReadWrite(t *testing.T) {
+	s := NewStore(10)
+	txn := s.Begin()
+	if v := txn.Get(3); v != 0 {
+		t.Fatalf("fresh store value = %d", v)
+	}
+	txn.Set(3, 42)
+	if v := txn.Get(3); v != 42 {
+		t.Fatal("transaction must see its own writes")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	txn2 := s.Begin()
+	if v := txn2.Get(3); v != 42 {
+		t.Fatalf("committed value invisible: %d", v)
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	s := NewStore(10)
+	a := s.Begin()
+	a.Get(5) // a reads item 5
+
+	b := s.Begin()
+	b.Set(5, 99)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Set(6, 1)
+	if err := a.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	if _, aborts := s.Stats(); aborts != 1 {
+		t.Fatalf("aborts = %d", aborts)
+	}
+}
+
+func TestBlindWritesDoNotConflict(t *testing.T) {
+	s := NewStore(10)
+	a := s.Begin()
+	a.Set(1, 10)
+	b := s.Begin()
+	b.Set(1, 20)
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// b never read item 1, so backward validation passes (last writer
+	// wins; write-write conflicts only matter through reads here).
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateRetries(t *testing.T) {
+	s := NewStore(4)
+	// Force one conflict: fn reads, then another txn commits, then commit.
+	first := true
+	attempts, err := s.Update(0, func(txn *Txn) error {
+		v := txn.Get(0)
+		if first {
+			first = false
+			other := s.Begin()
+			other.Set(0, 7)
+			if err := other.Commit(); err != nil {
+				return err
+			}
+		}
+		txn.Set(0, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	final := s.Begin()
+	if v := final.Get(0); v != 8 {
+		t.Fatalf("value = %d, want 8 (7 then +1)", v)
+	}
+}
+
+func TestUpdateRespectsMaxRetry(t *testing.T) {
+	s := NewStore(2)
+	// Saboteur always invalidates the read before commit.
+	tries, err := s.Update(3, func(txn *Txn) error {
+		txn.Get(0)
+		other := s.Begin()
+		other.Set(0, 1)
+		if e := other.Commit(); e != nil {
+			return e
+		}
+		txn.Set(1, 2)
+		return nil
+	})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict exhaustion, got %v", err)
+	}
+	if tries != 4 { // 1 + 3 retries
+		t.Fatalf("attempts = %d, want 4", tries)
+	}
+}
+
+func TestUpdatePropagatesUserError(t *testing.T) {
+	s := NewStore(2)
+	sentinel := errors.New("boom")
+	if _, err := s.Update(0, func(*Txn) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Concurrency witness: concurrent increments of a shared counter through
+// OCC transactions must never lose an update.
+func TestConcurrentIncrementsNoLostUpdates(t *testing.T) {
+	s := NewStore(1)
+	const (
+		workers = 8
+		each    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_, err := s.Update(0, func(txn *Txn) error {
+					txn.Set(0, txn.Get(0)+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	final := s.Begin()
+	if v := final.Get(0); v != workers*each {
+		t.Fatalf("counter = %d, want %d (lost updates!)", v, workers*each)
+	}
+	commits, aborts := s.Stats()
+	if commits != workers*each {
+		t.Fatalf("commits = %d", commits)
+	}
+	if aborts == 0 {
+		t.Log("note: no conflicts occurred (scheduling luck); witness still valid")
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(0)
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random number stream. Independent model components
+// (think times, service times, access-set sampling, ...) should each own a
+// stream derived from the master seed via Stream so that changing how one
+// component consumes randomness does not perturb the others.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent substream identified by id. The derivation
+// uses SplitMix64 over (seed, id) so substreams are decorrelated.
+func Stream(seed int64, id uint64) *RNG {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(int64(z))
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Exp returns an exponential sample with the given mean. Mean zero yields
+// zero (a degenerate but convenient "disabled" distribution).
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Uniform returns a sample uniform in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// SampleDistinct fills dst with len(dst) distinct integers drawn uniformly
+// from [0, n). It panics if len(dst) > n. For small k relative to n it uses
+// rejection via a scratch map; for dense draws it falls back to a partial
+// Fisher-Yates shuffle, keeping both paths O(k) expected.
+func (g *RNG) SampleDistinct(dst []int, n int) {
+	k := len(dst)
+	if k > n {
+		panic(fmt.Sprintf("sim: SampleDistinct k=%d > n=%d", k, n))
+	}
+	if k == 0 {
+		return
+	}
+	if k*8 <= n {
+		seen := make(map[int]struct{}, k)
+		for i := 0; i < k; {
+			v := g.r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			dst[i] = v
+			i++
+		}
+		return
+	}
+	// Dense draw: partial shuffle over an index table.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + g.r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		dst[i] = idx[i]
+	}
+}
+
+// Dist is a sampleable distribution of non-negative values (service demands,
+// think times, delays).
+type Dist interface {
+	// Sample draws one value using the supplied stream.
+	Sample(g *RNG) float64
+	// Mean returns the distribution mean (used for capacity planning and
+	// analytic cross-checks in tests).
+	Mean() float64
+	// String describes the distribution for logs and experiment records.
+	String() string
+}
+
+// Constant is the degenerate distribution at V. The paper's disk subsystem
+// uses constant service times.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Exponential has the given mean (rate 1/Mu).
+type Exponential struct{ Mu float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(g *RNG) float64 { return g.Exp(e.Mu) }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.Mu }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.Mu) }
+
+// UniformDist samples uniformly from [Lo, Hi).
+type UniformDist struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u UniformDist) Sample(g *RNG) float64 { return g.Uniform(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u UniformDist) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u UniformDist) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Erlang is the sum of K exponential stages with total mean Mu. It gives a
+// lower-variance service demand than Exponential (coefficient of variation
+// 1/sqrt(K)), useful for sensitivity ablations.
+type Erlang struct {
+	K  int
+	Mu float64
+}
+
+// Sample implements Dist.
+func (e Erlang) Sample(g *RNG) float64 {
+	if e.K <= 0 {
+		return 0
+	}
+	stage := e.Mu / float64(e.K)
+	sum := 0.0
+	for i := 0; i < e.K; i++ {
+		sum += g.Exp(stage)
+	}
+	return sum
+}
+
+// Mean implements Dist.
+func (e Erlang) Mean() float64 { return e.Mu }
+
+func (e Erlang) String() string { return fmt.Sprintf("erlang(%d,%g)", e.K, e.Mu) }
+
+// Hyperexponential mixes two exponential branches: with probability P the
+// mean is Mu1, otherwise Mu2. It gives a higher-variance demand (CV > 1)
+// for stress ablations.
+type Hyperexponential struct {
+	P        float64
+	Mu1, Mu2 float64
+}
+
+// Sample implements Dist.
+func (h Hyperexponential) Sample(g *RNG) float64 {
+	if g.Bernoulli(h.P) {
+		return g.Exp(h.Mu1)
+	}
+	return g.Exp(h.Mu2)
+}
+
+// Mean implements Dist.
+func (h Hyperexponential) Mean() float64 { return h.P*h.Mu1 + (1-h.P)*h.Mu2 }
+
+func (h Hyperexponential) String() string {
+	return fmt.Sprintf("hyperexp(p=%g,%g,%g)", h.P, h.Mu1, h.Mu2)
+}
+
+// ValidateDist reports an error if the distribution would produce negative
+// or non-finite samples in expectation (defensive check for configs).
+func ValidateDist(d Dist) error {
+	if d == nil {
+		return fmt.Errorf("sim: nil distribution")
+	}
+	m := d.Mean()
+	if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		return fmt.Errorf("sim: distribution %v has invalid mean %v", d, m)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamIndependence(t *testing.T) {
+	a := Stream(1, 0)
+	b := Stream(1, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := Stream(7, 3)
+	b := Stream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed,id) must give identical streams")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.Exp(0); v != 0 {
+		t.Fatalf("Exp(0) = %v, want 0", v)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	g := NewRNG(2)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+// Property: SampleDistinct always returns k distinct values in range,
+// on both the sparse (rejection) and dense (shuffle) code paths.
+func TestSampleDistinctProperty(t *testing.T) {
+	g := NewRNG(3)
+	f := func(kRaw, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw) % (n + 1)
+		dst := make([]int, k)
+		g.SampleDistinct(dst, n)
+		seen := make(map[int]bool, k)
+		for _, v := range dst {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinctFull(t *testing.T) {
+	g := NewRNG(4)
+	dst := make([]int, 50)
+	g.SampleDistinct(dst, 50) // k == n: must be a permutation
+	seen := make([]bool, 50)
+	for _, v := range dst {
+		if seen[v] {
+			t.Fatal("duplicate in full draw")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinctPanicsWhenKExceedsN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	NewRNG(1).SampleDistinct(make([]int, 5), 3)
+}
+
+func TestSampleDistinctUniformity(t *testing.T) {
+	// Each item of [0,10) should appear with frequency ~k/n when sampling
+	// k=3 of n=10 many times.
+	g := NewRNG(5)
+	counts := make([]int, 10)
+	const trials = 60000
+	dst := make([]int, 3)
+	for i := 0; i < trials; i++ {
+		g.SampleDistinct(dst, 10)
+		for _, v := range dst {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("item %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestDistributionMeans(t *testing.T) {
+	g := NewRNG(6)
+	cases := []struct {
+		d   Dist
+		tol float64
+	}{
+		{Constant{0.02}, 0},
+		{Exponential{1.5}, 0.03},
+		{UniformDist{1, 3}, 0.02},
+		{Erlang{K: 4, Mu: 2}, 0.03},
+		{Hyperexponential{P: 0.3, Mu1: 1, Mu2: 5}, 0.1},
+	}
+	for _, c := range cases {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := c.d.Sample(g)
+			if v < 0 {
+				t.Fatalf("%v sampled negative value %v", c.d, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		if math.Abs(mean-c.d.Mean()) > c.tol+1e-12 {
+			t.Errorf("%v: sample mean %v, want %v (tol %v)", c.d, mean, c.d.Mean(), c.tol)
+		}
+	}
+}
+
+func TestErlangVarianceReduction(t *testing.T) {
+	g := NewRNG(7)
+	varOf := func(d Dist) float64 {
+		const n = 50000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := d.Sample(g)
+			sum += v
+			sum2 += v * v
+		}
+		m := sum / n
+		return sum2/n - m*m
+	}
+	ve := varOf(Exponential{2})
+	vk := varOf(Erlang{K: 4, Mu: 2})
+	if vk >= ve {
+		t.Fatalf("Erlang(4) variance %v should be below exponential %v", vk, ve)
+	}
+}
+
+func TestValidateDist(t *testing.T) {
+	if err := ValidateDist(nil); err == nil {
+		t.Error("nil dist should fail validation")
+	}
+	if err := ValidateDist(Constant{-1}); err == nil {
+		t.Error("negative-mean dist should fail validation")
+	}
+	if err := ValidateDist(Exponential{1}); err != nil {
+		t.Errorf("valid dist rejected: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event calendar (binary heap keyed by time with FIFO
+// tie-breaking), cancellable event handles, and seedable random-number
+// streams with the distributions needed by the transaction-processing
+// model of Heiss & Wagner (VLDB 1991).
+//
+// The kernel is single-threaded by design: all model state is mutated only
+// from event callbacks executed by (*Simulator).Run, so model code needs no
+// locking. Determinism is guaranteed for a fixed seed because ties in event
+// time are broken by schedule order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Simulator.Schedule and friends.
+type Event struct {
+	time   Time
+	seq    uint64 // schedule order; breaks ties deterministically
+	index  int    // heap index; -1 when not queued
+	fn     func()
+	label  string
+	cancel bool
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event calendar.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64 // number of events executed
+}
+
+// New returns a simulator with the clock at zero and an empty calendar.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// ErrNegativeDelay is returned (via panic recovery in tests) or panicked
+// when scheduling into the past; simulation models that do this are buggy.
+var ErrNegativeDelay = errors.New("sim: negative schedule delay")
+
+// Schedule queues fn to run after delay. A zero delay is legal and fires
+// after all events already queued at the current time (FIFO order).
+// Schedule panics if delay is negative or NaN: a model that schedules into
+// the past is broken and continuing would corrupt causality.
+func (s *Simulator) Schedule(delay Time, label string, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Errorf("%w: %v (label %q)", ErrNegativeDelay, delay, label))
+	}
+	return s.ScheduleAt(s.now+delay, label, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time t (>= Now).
+func (s *Simulator) ScheduleAt(t Time, label string, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Errorf("%w: at=%v now=%v (label %q)", ErrNegativeDelay, t, s.now, label))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, label: label, index: -1}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Cancel removes a pending event from the calendar. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.events, e.index)
+}
+
+// Step executes the single earliest event. It returns false when the
+// calendar is empty or the simulator was stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	if e.cancel {
+		return true
+	}
+	if e.time < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.time, s.now))
+	}
+	s.now = e.time
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the clock would pass `until`, the calendar
+// drains, or Stop is called. The clock is left at min(until, last event
+// time); events scheduled exactly at `until` are executed.
+func (s *Simulator) Run(until Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 && s.events[0].time <= until {
+		s.Step()
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the calendar drains or Stop is called.
+func (s *Simulator) RunAll() {
+	s.stopped = false
+	for s.Step() {
+	}
+}
+
+// Stop halts Run/RunAll after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }

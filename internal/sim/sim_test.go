@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(3, "c", func() { got = append(got, 3) })
+	s.Schedule(1, "a", func() { got = append(got, 1) })
+	s.Schedule(2, "b", func() { got = append(got, 2) })
+	s.RunAll()
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, "tie", func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestZeroDelayRunsAfterCurrentEvent(t *testing.T) {
+	s := New()
+	var got []string
+	s.Schedule(1, "outer", func() {
+		got = append(got, "outer")
+		s.Schedule(0, "inner", func() { got = append(got, "inner") })
+	})
+	s.Schedule(1, "peer", func() { got = append(got, "peer") })
+	s.RunAll()
+	want := []string{"outer", "peer", "inner"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	New().Schedule(-1, "bad", func() {})
+}
+
+func TestNaNDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on NaN delay")
+		}
+	}()
+	New().Schedule(math.NaN(), "bad", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, "x", func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending after scheduling")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-run must be no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var got []int
+	events := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		events[i] = s.Schedule(Time(i), "e", func() { got = append(got, i) })
+	}
+	s.Cancel(events[4])
+	s.Cancel(events[7])
+	s.RunAll()
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d, want 8", len(got))
+	}
+}
+
+func TestRunUntilStopsClockAtBound(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, "a", func() { fired++ })
+	s.Schedule(5, "b", func() { fired++ })
+	s.Schedule(10, "c", func() { fired++ })
+	s.Run(5)
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2 (events at t<=5)", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now()=%v, want 5", s.Now())
+	}
+	s.Run(20)
+	if fired != 3 {
+		t.Fatalf("fired=%d, want 3", fired)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, "a", func() { fired++; s.Stop() })
+	s.Schedule(2, "b", func() { fired++ })
+	s.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1 after Stop", fired)
+	}
+	// A later Run resumes.
+	s.Run(10)
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2 after resume", fired)
+	}
+}
+
+func TestReschedulingFromCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Schedule(1, "tick", tick)
+		}
+	}
+	s.Schedule(1, "tick", tick)
+	s.Run(1000)
+	if count != 100 {
+		t.Fatalf("count=%d, want 100", count)
+	}
+	if s.Fired() != 100 {
+		t.Fatalf("Fired()=%d, want 100", s.Fired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the clock equals the max delay afterwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := New()
+		var times []Time
+		for _, r := range raw {
+			d := Time(r) / 100
+			s.Schedule(d, "p", func() { times = append(times, s.Now()) })
+		}
+		s.RunAll()
+		if !sort.Float64sAreSorted(times) {
+			return false
+		}
+		return len(times) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() []float64 {
+		s := New()
+		g := NewRNG(42)
+		var out []float64
+		var loop func()
+		n := 0
+		loop = func() {
+			out = append(out, s.Now())
+			n++
+			if n < 50 {
+				s.Schedule(g.Exp(1.0), "loop", loop)
+			}
+		}
+		s.Schedule(g.Exp(1.0), "loop", loop)
+		s.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package station
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+// PS is an m-processor egalitarian processor-sharing station: when n jobs
+// are present each receives service at rate min(1, m/n). It is used for
+// sensitivity ablations against the paper's FCFS multiprocessor; both
+// saturate at the same capacity m, so the thrashing analysis carries over.
+type PS struct {
+	sim     *sim.Simulator
+	name    string
+	servers int
+
+	jobs      []*Job
+	remaining []float64
+	lastT     sim.Time
+	next      *sim.Event
+	stats     Stats
+}
+
+// NewPS returns an m-processor processor-sharing station.
+func NewPS(s *sim.Simulator, name string, servers int) *PS {
+	if servers < 1 {
+		panic(fmt.Sprintf("station: %s needs >=1 servers, got %d", name, servers))
+	}
+	return &PS{sim: s, name: name, servers: servers}
+}
+
+// Name implements Station.
+func (p *PS) Name() string { return p.name }
+
+// rate returns the current per-job service rate.
+func (p *PS) rate() float64 {
+	n := len(p.jobs)
+	if n == 0 {
+		return 0
+	}
+	return math.Min(1, float64(p.servers)/float64(n))
+}
+
+// advance applies elapsed service to all resident jobs.
+func (p *PS) advance() {
+	now := p.sim.Now()
+	dt := now - p.lastT
+	p.lastT = now
+	if dt <= 0 || len(p.jobs) == 0 {
+		return
+	}
+	r := p.rate()
+	got := dt * r
+	p.stats.Busy += dt * r * float64(len(p.jobs))
+	for i := range p.remaining {
+		p.remaining[i] -= got
+		if p.remaining[i] < 0 {
+			p.remaining[i] = 0
+		}
+	}
+}
+
+// reschedule cancels the pending completion and schedules the next one.
+func (p *PS) reschedule() {
+	if p.next != nil {
+		p.sim.Cancel(p.next)
+		p.next = nil
+	}
+	if len(p.jobs) == 0 {
+		return
+	}
+	minIdx := 0
+	for i := range p.remaining {
+		if p.remaining[i] < p.remaining[minIdx] {
+			minIdx = i
+		}
+	}
+	eta := p.remaining[minIdx] / p.rate()
+	p.next = p.sim.Schedule(eta, p.name+".ps-complete", p.completeNext)
+}
+
+func (p *PS) completeNext() {
+	p.next = nil
+	p.advance()
+	// Complete every job whose remaining demand reached zero (ties possible).
+	var done []*Job
+	keepJ := p.jobs[:0]
+	keepR := p.remaining[:0]
+	const eps = 1e-12
+	for i, j := range p.jobs {
+		if p.remaining[i] <= eps {
+			done = append(done, j)
+		} else {
+			keepJ = append(keepJ, j)
+			keepR = append(keepR, p.remaining[i])
+		}
+	}
+	p.jobs, p.remaining = keepJ, keepR
+	p.reschedule()
+	for _, j := range done {
+		p.stats.Completions++
+		if j.Done != nil {
+			j.Done()
+		}
+	}
+}
+
+// Arrive implements Station.
+func (p *PS) Arrive(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("station: %s got negative demand %v", p.name, j.Demand))
+	}
+	p.stats.Arrivals++
+	p.advance()
+	p.jobs = append(p.jobs, j)
+	p.remaining = append(p.remaining, j.Demand)
+	if len(p.jobs) > p.stats.QueueMax {
+		p.stats.QueueMax = len(p.jobs)
+	}
+	p.reschedule()
+}
+
+// InService implements Station. Under PS all resident jobs are in service.
+func (p *PS) InService() int { return len(p.jobs) }
+
+// Queued implements Station. PS has no wait queue.
+func (p *PS) Queued() int { return 0 }
+
+// Stats implements Station.
+func (p *PS) Stats() Stats { return p.stats }
+
+// Utilization returns average per-server utilization over [0, now].
+func (p *PS) Utilization() float64 {
+	t := p.sim.Now()
+	if t <= 0 {
+		return 0
+	}
+	return p.stats.Busy / (t * float64(p.servers))
+}

@@ -1,0 +1,206 @@
+// Package station implements the service stations of the physical model in
+// Heiss & Wagner (VLDB 1991), figure 11: a homogeneous multiprocessor with a
+// single shared FCFS queue, a contention-free disk subsystem with constant
+// service times (an infinite-server delay), and the terminal pool
+// (infinite-server think stage). A processor-sharing CPU variant is provided
+// for sensitivity ablations.
+//
+// Stations are passive: they schedule their own internal events on the
+// simulator and invoke the job's completion callback when service finishes.
+package station
+
+import (
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+// Job is one unit of work passing through a station.
+type Job struct {
+	// ID identifies the job for tracing.
+	ID uint64
+	// Demand is the remaining service demand in seconds.
+	Demand float64
+	// Done is invoked (from simulator context) when service completes.
+	Done func()
+
+	// arrival is the time the job entered the station (for waiting stats).
+	arrival sim.Time
+	// started marks when service began (FCFS) for residual computations.
+	started sim.Time
+	// event is the completion event (FCFS) for cancellation on preemption.
+	event *sim.Event
+	// next links jobs in the FCFS wait queue.
+	next *Job
+}
+
+// Stats aggregates what a station observed. All times are in seconds of
+// simulated time; Busy accumulates server-seconds of useful service.
+type Stats struct {
+	Arrivals    uint64
+	Completions uint64
+	Busy        float64
+	WaitSum     float64 // total time jobs spent queued before service (FCFS)
+	QueueMax    int
+}
+
+// Station is the common behaviour of all service centres.
+type Station interface {
+	// Arrive submits a job; the station takes ownership until Done fires.
+	Arrive(j *Job)
+	// InService returns the number of jobs currently being served.
+	InService() int
+	// Queued returns the number of jobs waiting for a server.
+	Queued() int
+	// Stats returns a snapshot of the accumulated statistics.
+	Stats() Stats
+	// Name identifies the station in traces and experiment records.
+	Name() string
+}
+
+// FCFS is an m-server station with one shared first-come-first-served
+// queue — the paper's multiprocessor. With Servers == 1 it is an M/G/1-style
+// single server; the queueing discipline is always FIFO.
+type FCFS struct {
+	sim     *sim.Simulator
+	name    string
+	servers int
+
+	busy      int
+	qhead     *Job
+	qtail     *Job
+	qlen      int
+	stats     Stats
+	busySince sim.Time
+}
+
+// NewFCFS returns an m-server FCFS station. It panics if servers < 1:
+// a station without servers can never serve and indicates a config bug.
+func NewFCFS(s *sim.Simulator, name string, servers int) *FCFS {
+	if servers < 1 {
+		panic(fmt.Sprintf("station: %s needs >=1 servers, got %d", name, servers))
+	}
+	return &FCFS{sim: s, name: name, servers: servers}
+}
+
+// Name implements Station.
+func (f *FCFS) Name() string { return f.name }
+
+// Servers returns the number of parallel servers.
+func (f *FCFS) Servers() int { return f.servers }
+
+// Arrive implements Station.
+func (f *FCFS) Arrive(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("station: %s got negative demand %v", f.name, j.Demand))
+	}
+	f.stats.Arrivals++
+	j.arrival = f.sim.Now()
+	if f.busy < f.servers {
+		f.begin(j)
+		return
+	}
+	// Enqueue at tail.
+	j.next = nil
+	if f.qtail == nil {
+		f.qhead, f.qtail = j, j
+	} else {
+		f.qtail.next = j
+		f.qtail = j
+	}
+	f.qlen++
+	if f.qlen > f.stats.QueueMax {
+		f.stats.QueueMax = f.qlen
+	}
+}
+
+func (f *FCFS) begin(j *Job) {
+	f.busy++
+	j.started = f.sim.Now()
+	f.stats.WaitSum += j.started - j.arrival
+	j.event = f.sim.Schedule(j.Demand, f.name+".complete", func() {
+		f.complete(j)
+	})
+}
+
+func (f *FCFS) complete(j *Job) {
+	f.busy--
+	f.stats.Completions++
+	f.stats.Busy += j.Demand
+	if f.qhead != nil {
+		nxt := f.qhead
+		f.qhead = nxt.next
+		if f.qhead == nil {
+			f.qtail = nil
+		}
+		nxt.next = nil
+		f.qlen--
+		f.begin(nxt)
+	}
+	if j.Done != nil {
+		j.Done()
+	}
+}
+
+// InService implements Station.
+func (f *FCFS) InService() int { return f.busy }
+
+// Queued implements Station.
+func (f *FCFS) Queued() int { return f.qlen }
+
+// Stats implements Station.
+func (f *FCFS) Stats() Stats { return f.stats }
+
+// Utilization returns average per-server utilization over [0, now].
+func (f *FCFS) Utilization() float64 {
+	t := f.sim.Now()
+	if t <= 0 {
+		return 0
+	}
+	return f.stats.Busy / (t * float64(f.servers))
+}
+
+// Delay is an infinite-server station: every arriving job is served
+// immediately for its demand, with no queueing. The paper's disk subsystem
+// (constant service time, no contention) and the terminal think stage are
+// Delay stations.
+type Delay struct {
+	sim   *sim.Simulator
+	name  string
+	busy  int
+	stats Stats
+}
+
+// NewDelay returns an infinite-server delay station.
+func NewDelay(s *sim.Simulator, name string) *Delay {
+	return &Delay{sim: s, name: name}
+}
+
+// Name implements Station.
+func (d *Delay) Name() string { return d.name }
+
+// Arrive implements Station.
+func (d *Delay) Arrive(j *Job) {
+	if j.Demand < 0 {
+		panic(fmt.Sprintf("station: %s got negative demand %v", d.name, j.Demand))
+	}
+	d.stats.Arrivals++
+	d.busy++
+	d.sim.Schedule(j.Demand, d.name+".complete", func() {
+		d.busy--
+		d.stats.Completions++
+		d.stats.Busy += j.Demand
+		if j.Done != nil {
+			j.Done()
+		}
+	})
+}
+
+// InService implements Station.
+func (d *Delay) InService() int { return d.busy }
+
+// Queued implements Station. A delay station never queues.
+func (d *Delay) Queued() int { return 0 }
+
+// Stats implements Station.
+func (d *Delay) Stats() Stats { return d.stats }

@@ -1,0 +1,259 @@
+package station
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tpctl/loadctl/internal/sim"
+)
+
+func TestFCFSSingleServerSequential(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 1)
+	var completions []sim.Time
+	for i := 0; i < 3; i++ {
+		st.Arrive(&Job{ID: uint64(i), Demand: 2, Done: func() {
+			completions = append(completions, s.Now())
+		}})
+	}
+	s.RunAll()
+	want := []sim.Time{2, 4, 6}
+	for i := range want {
+		if math.Abs(completions[i]-want[i]) > 1e-9 {
+			t.Fatalf("completions = %v, want %v", completions, want)
+		}
+	}
+}
+
+func TestFCFSMultiServerParallel(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 2)
+	var completions []sim.Time
+	for i := 0; i < 4; i++ {
+		st.Arrive(&Job{Demand: 2, Done: func() {
+			completions = append(completions, s.Now())
+		}})
+	}
+	s.RunAll()
+	// Two run immediately (finish at 2), two queue (finish at 4).
+	want := []sim.Time{2, 2, 4, 4}
+	for i := range want {
+		if math.Abs(completions[i]-want[i]) > 1e-9 {
+			t.Fatalf("completions = %v, want %v", completions, want)
+		}
+	}
+	if got := st.Stats().Completions; got != 4 {
+		t.Fatalf("completions stat = %d, want 4", got)
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		st.Arrive(&Job{Demand: 0.5, Done: func() { order = append(order, i) }})
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FCFS violated: %v", order)
+		}
+	}
+}
+
+func TestFCFSWaitStats(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 1)
+	st.Arrive(&Job{Demand: 3})
+	st.Arrive(&Job{Demand: 1}) // waits 3
+	st.Arrive(&Job{Demand: 1}) // waits 4
+	s.RunAll()
+	if w := st.Stats().WaitSum; math.Abs(w-7) > 1e-9 {
+		t.Fatalf("WaitSum = %v, want 7", w)
+	}
+	if qm := st.Stats().QueueMax; qm != 2 {
+		t.Fatalf("QueueMax = %d, want 2", qm)
+	}
+}
+
+func TestFCFSUtilization(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 2)
+	st.Arrive(&Job{Demand: 4})
+	st.Arrive(&Job{Demand: 4})
+	s.RunAll()
+	// 8 server-seconds of work over 4 seconds on 2 servers => 100%.
+	if u := st.Utilization(); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1", u)
+	}
+}
+
+func TestFCFSZeroDemand(t *testing.T) {
+	s := sim.New()
+	st := NewFCFS(s, "cpu", 1)
+	done := false
+	st.Arrive(&Job{Demand: 0, Done: func() { done = true }})
+	s.RunAll()
+	if !done {
+		t.Fatal("zero-demand job never completed")
+	}
+}
+
+func TestFCFSNegativeDemandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New()
+	NewFCFS(s, "cpu", 1).Arrive(&Job{Demand: -1})
+}
+
+func TestNewFCFSValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 servers")
+		}
+	}()
+	NewFCFS(sim.New(), "cpu", 0)
+}
+
+func TestDelayNoContention(t *testing.T) {
+	s := sim.New()
+	d := NewDelay(s, "disk")
+	var completions []sim.Time
+	for i := 0; i < 100; i++ {
+		d.Arrive(&Job{Demand: 0.02, Done: func() {
+			completions = append(completions, s.Now())
+		}})
+	}
+	s.RunAll()
+	// All complete at exactly 0.02 regardless of population: no contention.
+	for _, c := range completions {
+		if math.Abs(c-0.02) > 1e-12 {
+			t.Fatalf("delay station queued: completion at %v", c)
+		}
+	}
+	if d.Queued() != 0 {
+		t.Fatal("delay station reported a queue")
+	}
+}
+
+func TestPSEqualShares(t *testing.T) {
+	s := sim.New()
+	p := NewPS(s, "cpu", 1)
+	var c1, c2 sim.Time
+	p.Arrive(&Job{Demand: 1, Done: func() { c1 = s.Now() }})
+	p.Arrive(&Job{Demand: 1, Done: func() { c2 = s.Now() }})
+	s.RunAll()
+	// Two equal jobs sharing one server both finish at t=2.
+	if math.Abs(c1-2) > 1e-9 || math.Abs(c2-2) > 1e-9 {
+		t.Fatalf("PS completions = %v, %v, want 2, 2", c1, c2)
+	}
+}
+
+func TestPSLateArrivalSlowsDown(t *testing.T) {
+	s := sim.New()
+	p := NewPS(s, "cpu", 1)
+	var cA, cB sim.Time
+	p.Arrive(&Job{Demand: 2, Done: func() { cA = s.Now() }})
+	s.Schedule(1, "arriveB", func() {
+		p.Arrive(&Job{Demand: 2, Done: func() { cB = s.Now() }})
+	})
+	s.RunAll()
+	// A runs alone [0,1) (1 unit done), then shares: remaining 1 at rate
+	// 1/2 -> finishes at t=3. B: has 2 units; shares until 3 (1 unit done),
+	// then alone -> finishes at 4.
+	if math.Abs(cA-3) > 1e-9 {
+		t.Fatalf("cA = %v, want 3", cA)
+	}
+	if math.Abs(cB-4) > 1e-9 {
+		t.Fatalf("cB = %v, want 4", cB)
+	}
+}
+
+func TestPSMultiServerNoSlowdownUntilSaturated(t *testing.T) {
+	s := sim.New()
+	p := NewPS(s, "cpu", 4)
+	var times []sim.Time
+	for i := 0; i < 4; i++ {
+		p.Arrive(&Job{Demand: 1, Done: func() { times = append(times, s.Now()) }})
+	}
+	s.RunAll()
+	for _, c := range times {
+		if math.Abs(c-1) > 1e-9 {
+			t.Fatalf("under-saturated PS delayed a job: %v", times)
+		}
+	}
+}
+
+func TestPSConservation(t *testing.T) {
+	// Work conservation: total busy server-seconds equals total demand served.
+	s := sim.New()
+	g := sim.NewRNG(9)
+	p := NewPS(s, "cpu", 2)
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		d := g.Exp(1.0)
+		total += d
+		at := g.Uniform(0, 10)
+		s.ScheduleAt(at, "arrive", func() { p.Arrive(&Job{Demand: d}) })
+	}
+	s.RunAll()
+	if math.Abs(p.Stats().Busy-total) > 1e-6 {
+		t.Fatalf("busy %v != demand %v", p.Stats().Busy, total)
+	}
+	if p.Stats().Completions != 50 {
+		t.Fatalf("completions = %d", p.Stats().Completions)
+	}
+}
+
+// Property: FCFS conserves jobs — arrivals = completions after drain, and
+// total busy time equals total demand.
+func TestFCFSConservationProperty(t *testing.T) {
+	f := func(demRaw []uint8, servers8 uint8) bool {
+		servers := int(servers8)%4 + 1
+		s := sim.New()
+		st := NewFCFS(s, "cpu", servers)
+		total := 0.0
+		for _, d8 := range demRaw {
+			d := float64(d8) / 50
+			total += d
+			st.Arrive(&Job{Demand: d})
+		}
+		s.RunAll()
+		stats := st.Stats()
+		return stats.Arrivals == uint64(len(demRaw)) &&
+			stats.Completions == uint64(len(demRaw)) &&
+			math.Abs(stats.Busy-total) < 1e-6 &&
+			st.InService() == 0 && st.Queued() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sanity against M/M/c theory: utilization of an open M/M/2 fed at rate
+// lambda with mean service 1/mu should approach lambda/(c*mu).
+func TestFCFSUtilizationMatchesTheory(t *testing.T) {
+	s := sim.New()
+	g := sim.NewRNG(11)
+	st := NewFCFS(s, "cpu", 2)
+	lambda, mu := 1.5, 1.0
+	var arrive func()
+	arrive = func() {
+		st.Arrive(&Job{Demand: g.Exp(1 / mu)})
+		s.Schedule(g.Exp(1/lambda), "arrival", arrive)
+	}
+	s.Schedule(g.Exp(1/lambda), "arrival", arrive)
+	s.Run(20000)
+	s.Stop()
+	got := st.Utilization()
+	want := lambda / (2 * mu)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("utilization = %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,222 @@
+// Package tpsim composes the substrates into the closed transaction
+// processing model of Heiss & Wagner (VLDB 1991, §7, figure 11): N
+// terminals with exponential think times submit statistically identical
+// transactions through an admission gate into a homogeneous multiprocessor
+// with a shared FCFS queue and a contention-free constant-time disk
+// subsystem. Each transaction executes k+2 phases (init, k data accesses
+// with gradually growing access set, commit) under a pluggable concurrency
+// control protocol — timestamp certification by default. A measurement
+// loop samples (load, performance) every interval and feeds an adaptive
+// controller that adjusts the gate's threshold n*.
+package tpsim
+
+import (
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// ProtocolKind selects the concurrency control scheme.
+type ProtocolKind int
+
+const (
+	// OCC is timestamp certification — the paper's choice (§7).
+	OCC ProtocolKind = iota
+	// TwoPL is strict two-phase locking with waits-for deadlock detection —
+	// the blocking class (§1).
+	TwoPL
+	// WaitDie is strict two-phase locking with wait-die deadlock
+	// prevention (older waits, younger dies).
+	WaitDie
+	// TSO is basic timestamp ordering — the other non-blocking scheme §1
+	// names ("timestamp ordering, optimistic CC").
+	TSO
+)
+
+func (p ProtocolKind) String() string {
+	switch p {
+	case OCC:
+		return "occ"
+	case TwoPL:
+		return "2pl"
+	case WaitDie:
+		return "wait-die"
+	case TSO:
+		return "tso"
+	default:
+		return "unknown"
+	}
+}
+
+// Indicator selects the performance measure P handed to the controller
+// (§6: several candidates define slightly different optima; throughput has
+// the most distinct extremum and is the paper's choice).
+type Indicator int
+
+const (
+	// IndicatorThroughput is committed transactions per second.
+	IndicatorThroughput Indicator = iota
+	// IndicatorInvResponse is the reciprocal of the mean response time
+	// (larger is better, so maximization applies).
+	IndicatorInvResponse
+	// IndicatorGoodput is the fraction of CPU capacity spent on work that
+	// committed ("effective utilization").
+	IndicatorGoodput
+	// IndicatorUtilization is raw CPU utilization (saturates into a flat
+	// plateau — a deliberately indistinct extremum for the §6 comparison).
+	IndicatorUtilization
+)
+
+func (i Indicator) String() string {
+	switch i {
+	case IndicatorThroughput:
+		return "throughput"
+	case IndicatorInvResponse:
+		return "inv-response"
+	case IndicatorGoodput:
+		return "goodput"
+	case IndicatorUtilization:
+		return "utilization"
+	default:
+		return "unknown"
+	}
+}
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Seed drives all random streams; equal seeds give identical runs.
+	Seed int64
+
+	// Terminals is N, the number of circulating transactions (closed
+	// model).
+	Terminals int
+	// Think is the terminal think-time distribution (paper: exponential).
+	Think sim.Dist
+
+	// CPUs is the number of processors m of the multiprocessor.
+	CPUs int
+	// CPUSharing switches the multiprocessor from the paper's shared FCFS
+	// queue to egalitarian processor sharing (sensitivity ablation).
+	CPUSharing bool
+	// InitCPU is the CPU demand of the initialization phase (parsing,
+	// optimization — CPU only, no I/O). Because init/commit processing is
+	// CPU-heavy while access phases are disk-heavy, the transaction size k
+	// changes the CPU:disk duty cycle and with it the concurrency level
+	// that saturates the multiprocessor — this is what moves the *position*
+	// of the throughput optimum when the workload changes (§7: parameter
+	// variation "showed significant impact on both height and position of
+	// the optimum").
+	InitCPU sim.Dist
+	// CPUPhase is the CPU demand of each of the k access phases.
+	CPUPhase sim.Dist
+	// CommitCPU is the CPU demand of commit processing (validation, log
+	// preparation).
+	CommitCPU sim.Dist
+	// Disk is the per-phase disk service time (paper: constant, no
+	// contention). Access phases and the commit phase each do one I/O; the
+	// init phase does none.
+	Disk sim.Dist
+
+	// DBSize is D, the number of data granules.
+	DBSize int
+	// HotSpot optionally skews accesses (fraction of accesses to hot
+	// fraction of DB); nil means the paper's uniform model.
+	HotSpot *struct{ Frac, HotFrac float64 }
+
+	// Mix carries the time-varying workload knobs (k, query fraction,
+	// write fraction).
+	Mix workload.Mix
+
+	// Protocol selects OCC (default) or 2PL.
+	Protocol ProtocolKind
+	// ResampleOnRestart re-draws the access set on each rerun (true, the
+	// default, models a logically fresh execution; false reruns the same
+	// set).
+	ResampleOnRestart bool
+	// RestartDelay delays a rerun after an abort (default: none).
+	RestartDelay sim.Dist
+
+	// Controller adjusts n*; nil runs without load control (unbounded
+	// gate).
+	Controller core.Controller
+	// MeasureEvery is the measurement interval Δt in seconds. When
+	// AutoInterval is set it is only the starting value.
+	MeasureEvery float64
+	// AutoInterval enables the §5 outer loop: after each interval the next
+	// Δt is chosen so the throughput estimate spans enough departures for
+	// the target accuracy ("rather hundreds of departures than some
+	// tens"), clamped to [MinInterval, MaxInterval].
+	AutoInterval bool
+	// MinInterval / MaxInterval clamp the auto-tuned Δt (defaults 1 / 30 s
+	// when zero).
+	MinInterval, MaxInterval float64
+	// IntervalRelErr is the target relative error of the throughput
+	// estimate for the auto interval (default 0.1 = 10 %).
+	IntervalRelErr float64
+	// PerfIndicator selects the P handed to the controller.
+	PerfIndicator Indicator
+	// Displacement enables §4.3 option (ii): abort the youngest active
+	// transactions when n* drops below n.
+	Displacement bool
+
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// WarmUp excludes the initial transient from aggregate statistics
+	// (series still include it).
+	WarmUp float64
+}
+
+// DefaultConfig returns the calibrated baseline of DESIGN.md §3: unimodal
+// throughput with the optimum in the low hundreds and pronounced thrashing
+// by n ≈ 800, the axes of the paper's figures 12-14.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Terminals:         400,
+		Think:             sim.Exponential{Mu: 0.5},
+		CPUs:              8,
+		InitCPU:           sim.Exponential{Mu: 0.006},
+		CPUPhase:          sim.Exponential{Mu: 0.001},
+		CommitCPU:         sim.Exponential{Mu: 0.006},
+		Disk:              sim.UniformDist{Lo: 0.045, Hi: 0.135},
+		DBSize:            8000,
+		Mix:               workload.DefaultMix(),
+		Protocol:          OCC,
+		ResampleOnRestart: true,
+		RestartDelay:      sim.Constant{V: 0},
+		Controller:        nil,
+		MeasureEvery:      5,
+		PerfIndicator:     IndicatorThroughput,
+		Duration:          300,
+		WarmUp:            50,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Terminals < 1:
+		return fmt.Errorf("tpsim: terminals %d < 1", c.Terminals)
+	case c.CPUs < 1:
+		return fmt.Errorf("tpsim: cpus %d < 1", c.CPUs)
+	case c.DBSize < 1:
+		return fmt.Errorf("tpsim: db size %d < 1", c.DBSize)
+	case c.MeasureEvery <= 0:
+		return fmt.Errorf("tpsim: measure interval %v <= 0", c.MeasureEvery)
+	case c.Duration <= 0:
+		return fmt.Errorf("tpsim: duration %v <= 0", c.Duration)
+	case c.WarmUp < 0 || c.WarmUp >= c.Duration:
+		return fmt.Errorf("tpsim: warm-up %v outside [0, duration)", c.WarmUp)
+	}
+	for _, d := range []sim.Dist{c.Think, c.InitCPU, c.CPUPhase, c.CommitCPU, c.Disk, c.RestartDelay} {
+		if err := sim.ValidateDist(d); err != nil {
+			return err
+		}
+	}
+	if c.Mix.K == nil || c.Mix.QueryFrac == nil || c.Mix.WriteFrac == nil {
+		return fmt.Errorf("tpsim: workload mix has nil schedules")
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package workload describes how the transaction mix changes over time.
+// The paper (§7) varies three parameters during a run — k (items accessed
+// per transaction), the fraction of queries (read-only transactions), and
+// the fraction of write accesses for updaters — in two fashions: jump-like
+// (abrupt) and sinusoidal (gradual). Schedules capture those time courses.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Schedule is a deterministic function of simulated time.
+type Schedule interface {
+	// Value returns the parameter value at time t.
+	Value(t float64) float64
+	// String describes the schedule for experiment records.
+	String() string
+}
+
+// Constant is a time-invariant parameter.
+type Constant struct{ V float64 }
+
+// Value implements Schedule.
+func (c Constant) Value(float64) float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Jump switches abruptly from Before to After at time At — the paper's
+// "jump-like variation to model abrupt changes in the workload".
+type Jump struct {
+	At            float64
+	Before, After float64
+}
+
+// Value implements Schedule.
+func (j Jump) Value(t float64) float64 {
+	if t < j.At {
+		return j.Before
+	}
+	return j.After
+}
+
+func (j Jump) String() string {
+	return fmt.Sprintf("jump(%g->%g@%g)", j.Before, j.After, j.At)
+}
+
+// Sinusoid oscillates around Mean with amplitude Amp and the given Period —
+// the paper's "sinusoidal variation modelling more smooth and gradual
+// changes". Phase shifts the wave (radians).
+type Sinusoid struct {
+	Mean, Amp, Period, Phase float64
+}
+
+// Value implements Schedule.
+func (s Sinusoid) Value(t float64) float64 {
+	if s.Period == 0 {
+		return s.Mean
+	}
+	return s.Mean + s.Amp*math.Sin(2*math.Pi*t/s.Period+s.Phase)
+}
+
+func (s Sinusoid) String() string {
+	return fmt.Sprintf("sin(mean=%g,amp=%g,T=%g)", s.Mean, s.Amp, s.Period)
+}
+
+// Step is a piecewise-constant schedule defined by breakpoints: the value
+// is Vals[i] for t in [Times[i], Times[i+1]). Before Times[0] it is
+// Vals[0].
+type Step struct {
+	Times []float64 // ascending
+	Vals  []float64 // len(Vals) == len(Times)
+}
+
+// NewStep validates and returns a Step schedule.
+func NewStep(times, vals []float64) Step {
+	if len(times) != len(vals) || len(times) == 0 {
+		panic("workload: step schedule needs equal, non-empty times and vals")
+	}
+	if !sort.Float64sAreSorted(times) {
+		panic("workload: step times must be ascending")
+	}
+	return Step{Times: times, Vals: vals}
+}
+
+// Value implements Schedule.
+func (s Step) Value(t float64) float64 {
+	i := sort.SearchFloat64s(s.Times, t)
+	// SearchFloat64s returns the first index with Times[i] >= t; the active
+	// segment is the one before it unless t matches exactly.
+	if i < len(s.Times) && s.Times[i] == t {
+		return s.Vals[i]
+	}
+	if i == 0 {
+		return s.Vals[0]
+	}
+	return s.Vals[i-1]
+}
+
+func (s Step) String() string { return fmt.Sprintf("step(%d segments)", len(s.Times)) }
+
+// Ramp interpolates linearly from Before to After over [Start, Start+Dur].
+type Ramp struct {
+	Start, Dur    float64
+	Before, After float64
+}
+
+// Value implements Schedule.
+func (r Ramp) Value(t float64) float64 {
+	if t <= r.Start {
+		return r.Before
+	}
+	if t >= r.Start+r.Dur || r.Dur <= 0 {
+		return r.After
+	}
+	f := (t - r.Start) / r.Dur
+	return r.Before + f*(r.After-r.Before)
+}
+
+func (r Ramp) String() string {
+	return fmt.Sprintf("ramp(%g->%g@%g+%g)", r.Before, r.After, r.Start, r.Dur)
+}
+
+// Clamp wraps a schedule and clips its values into [Lo, Hi]; useful to keep
+// probabilities in [0,1] when composing sinusoids.
+type Clamp struct {
+	S      Schedule
+	Lo, Hi float64
+}
+
+// Value implements Schedule.
+func (c Clamp) Value(t float64) float64 {
+	v := c.S.Value(t)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+func (c Clamp) String() string {
+	return fmt.Sprintf("clamp(%v,[%g,%g])", c.S, c.Lo, c.Hi)
+}
+
+// Mix bundles the three workload knobs of §7. IntK rounds the K schedule
+// to the nearest integer >= 1 when sampling a transaction size.
+type Mix struct {
+	// K is the number of data items accessed per transaction.
+	K Schedule
+	// QueryFrac is the probability that a transaction is a read-only query.
+	QueryFrac Schedule
+	// WriteFrac is the per-item write probability for updaters.
+	WriteFrac Schedule
+}
+
+// DefaultMix returns the stationary baseline mix used across experiments.
+func DefaultMix() Mix {
+	return Mix{
+		K:         Constant{8},
+		QueryFrac: Constant{0.25},
+		WriteFrac: Constant{0.5},
+	}
+}
+
+// KAt returns the integer transaction size at time t (at least 1).
+func (m Mix) KAt(t float64) int {
+	k := int(math.Round(m.K.Value(t)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// QueryFracAt returns the query probability at time t, clamped to [0,1].
+func (m Mix) QueryFracAt(t float64) float64 { return clamp01(m.QueryFrac.Value(t)) }
+
+// WriteFracAt returns the updater write probability at t, clamped to [0,1].
+func (m Mix) WriteFracAt(t float64) float64 { return clamp01(m.WriteFrac.Value(t)) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{7}
+	for _, tt := range []float64{0, 1, 1e9} {
+		if c.Value(tt) != 7 {
+			t.Fatal("constant changed")
+		}
+	}
+}
+
+func TestJump(t *testing.T) {
+	j := Jump{At: 500, Before: 6, After: 12}
+	if j.Value(499.999) != 6 {
+		t.Fatal("pre-jump value wrong")
+	}
+	if j.Value(500) != 12 {
+		t.Fatal("jump must take effect at At")
+	}
+	if j.Value(1e6) != 12 {
+		t.Fatal("post-jump value wrong")
+	}
+}
+
+func TestSinusoid(t *testing.T) {
+	s := Sinusoid{Mean: 10, Amp: 4, Period: 100}
+	if math.Abs(s.Value(0)-10) > 1e-12 {
+		t.Fatalf("phase-0 value = %v", s.Value(0))
+	}
+	if math.Abs(s.Value(25)-14) > 1e-12 {
+		t.Fatalf("quarter-period value = %v, want 14", s.Value(25))
+	}
+	if math.Abs(s.Value(75)-6) > 1e-12 {
+		t.Fatalf("three-quarter value = %v, want 6", s.Value(75))
+	}
+	// Periodicity.
+	if math.Abs(s.Value(13)-s.Value(113)) > 1e-9 {
+		t.Fatal("sinusoid not periodic")
+	}
+	if (Sinusoid{Mean: 3}).Value(42) != 3 {
+		t.Fatal("zero period should degrade to mean")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := NewStep([]float64{0, 100, 200}, []float64{1, 5, 2})
+	cases := map[float64]float64{0: 1, 50: 1, 99.9: 1, 100: 5, 150: 5, 200: 2, 1e6: 2}
+	for at, want := range cases {
+		if got := s.Value(at); got != want {
+			t.Fatalf("Value(%v) = %v, want %v", at, got, want)
+		}
+	}
+	// Before first breakpoint.
+	if s.Value(-5) != 1 {
+		t.Fatal("pre-schedule value wrong")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStep(nil, nil) },
+		func() { NewStep([]float64{1}, []float64{1, 2}) },
+		func() { NewStep([]float64{5, 1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{Start: 10, Dur: 10, Before: 0, After: 100}
+	if r.Value(5) != 0 || r.Value(10) != 0 {
+		t.Fatal("pre-ramp wrong")
+	}
+	if math.Abs(r.Value(15)-50) > 1e-12 {
+		t.Fatalf("midpoint = %v, want 50", r.Value(15))
+	}
+	if r.Value(20) != 100 || r.Value(99) != 100 {
+		t.Fatal("post-ramp wrong")
+	}
+	// Degenerate zero-duration ramp acts like a jump.
+	z := Ramp{Start: 10, Dur: 0, Before: 1, After: 2}
+	if z.Value(10.0001) != 2 {
+		t.Fatal("zero-duration ramp should jump")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := Clamp{S: Sinusoid{Mean: 0.5, Amp: 1, Period: 10}, Lo: 0, Hi: 1}
+	for tt := 0.0; tt < 20; tt += 0.1 {
+		v := c.Value(tt)
+		if v < 0 || v > 1 {
+			t.Fatalf("clamp leaked %v at t=%v", v, tt)
+		}
+	}
+}
+
+func TestMixRounding(t *testing.T) {
+	m := Mix{K: Constant{7.6}, QueryFrac: Constant{-0.5}, WriteFrac: Constant{1.5}}
+	if m.KAt(0) != 8 {
+		t.Fatalf("KAt = %d, want 8", m.KAt(0))
+	}
+	if m.QueryFracAt(0) != 0 {
+		t.Fatal("query frac must clamp to 0")
+	}
+	if m.WriteFracAt(0) != 1 {
+		t.Fatal("write frac must clamp to 1")
+	}
+	if (Mix{K: Constant{0}}).KAt(0) != 1 {
+		t.Fatal("K must be at least 1")
+	}
+}
+
+func TestDefaultMix(t *testing.T) {
+	m := DefaultMix()
+	if m.KAt(0) != 8 || m.QueryFracAt(0) != 0.25 || m.WriteFracAt(0) != 0.5 {
+		t.Fatal("default mix drifted from documented values")
+	}
+}
+
+// Property: Step.Value always returns one of its configured values and is
+// right-continuous at breakpoints.
+func TestStepProperty(t *testing.T) {
+	f := func(tsRaw []uint16, at uint16) bool {
+		if len(tsRaw) == 0 {
+			return true
+		}
+		times := make([]float64, 0, len(tsRaw))
+		vals := make([]float64, 0, len(tsRaw))
+		last := -1.0
+		for i, r := range tsRaw {
+			tt := float64(r)
+			if tt <= last {
+				tt = last + 1
+			}
+			last = tt
+			times = append(times, tt)
+			vals = append(vals, float64(i))
+		}
+		s := NewStep(times, vals)
+		v := s.Value(float64(at))
+		for _, cand := range vals {
+			if v == cand {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package loadctl
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/gate"
+)
+
+// AdaptiveGateConfig configures a live adaptive admission gate.
+type AdaptiveGateConfig struct {
+	// Controller re-estimates the concurrency limit; required.
+	Controller Controller
+	// Interval is the measurement interval Δt (default 1s). Per §5 it
+	// should span enough completions to filter noise — prefer hundreds of
+	// observations per interval over tens.
+	Interval time.Duration
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// AdaptiveGate throttles a live Go workload at an adaptive concurrency
+// limit: the §4.3 gate with goroutines as the paper's concurrent
+// transactions. Acquire blocks while the active count is at the limit;
+// Observe reports completions; a background loop periodically feeds the
+// measured (load, throughput) pair to the Controller and installs the new
+// limit.
+type AdaptiveGate struct {
+	cfg  AdaptiveGateConfig
+	gate *gate.Live
+	now  func() time.Time
+
+	mu        sync.Mutex
+	active    int
+	lastT     time.Time
+	area      float64 // ∫ active dt within the current interval
+	successes uint64
+	failures  uint64
+
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewAdaptiveGate starts the measurement loop and returns the gate. Close
+// must be called to stop the loop.
+func NewAdaptiveGate(cfg AdaptiveGateConfig) *AdaptiveGate {
+	if cfg.Controller == nil {
+		panic("loadctl: AdaptiveGate needs a Controller")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	g := &AdaptiveGate{
+		cfg:  cfg,
+		gate: gate.NewLive(cfg.Controller.Bound()),
+		now:  cfg.Now,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	g.start = g.now()
+	g.lastT = g.start
+	go g.loop()
+	return g
+}
+
+// Acquire blocks until a slot is free or ctx is done (FCFS).
+func (g *AdaptiveGate) Acquire(ctx context.Context) error {
+	if err := g.gate.Acquire(ctx); err != nil {
+		return err
+	}
+	g.note(+1)
+	return nil
+}
+
+// TryAcquire takes a slot without blocking; it reports success.
+func (g *AdaptiveGate) TryAcquire() bool {
+	if !g.gate.TryAcquire() {
+		return false
+	}
+	g.note(+1)
+	return true
+}
+
+// Release frees a slot taken by Acquire/TryAcquire.
+func (g *AdaptiveGate) Release() {
+	g.gate.Release()
+	g.note(-1)
+}
+
+// Observe reports the outcome of one unit of work: success feeds the
+// throughput signal, failure (e.g. an OCC conflict abort) the conflict
+// rate.
+func (g *AdaptiveGate) Observe(success bool) {
+	g.mu.Lock()
+	if success {
+		g.successes++
+	} else {
+		g.failures++
+	}
+	g.mu.Unlock()
+}
+
+// Limit returns the current concurrency limit.
+func (g *AdaptiveGate) Limit() float64 { return g.gate.Limit() }
+
+// Active returns the number of held slots.
+func (g *AdaptiveGate) Active() int { return g.gate.Active() }
+
+// Queued returns the number of blocked acquirers.
+func (g *AdaptiveGate) Queued() int { return g.gate.Queued() }
+
+// Close stops the measurement loop. The gate itself remains usable with
+// its last limit.
+func (g *AdaptiveGate) Close() {
+	close(g.stop)
+	<-g.done
+}
+
+// note integrates the active count over time.
+func (g *AdaptiveGate) note(delta int) {
+	now := g.now()
+	g.mu.Lock()
+	g.area += float64(g.active) * now.Sub(g.lastT).Seconds()
+	g.lastT = now
+	g.active += delta
+	g.mu.Unlock()
+}
+
+// loop closes measurement intervals and drives the controller.
+func (g *AdaptiveGate) loop() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.tick()
+		}
+	}
+}
+
+func (g *AdaptiveGate) tick() {
+	now := g.now()
+	g.mu.Lock()
+	g.area += float64(g.active) * now.Sub(g.lastT).Seconds()
+	g.lastT = now
+	dt := g.cfg.Interval.Seconds()
+	load := g.area / dt
+	succ := g.successes
+	fail := g.failures
+	g.area = 0
+	g.successes = 0
+	g.failures = 0
+	g.mu.Unlock()
+
+	sample := Sample{
+		Time:        now.Sub(g.start).Seconds(),
+		Load:        load,
+		Throughput:  float64(succ) / dt,
+		Perf:        float64(succ) / dt,
+		Completions: succ,
+	}
+	if succ > 0 {
+		sample.ConflictRate = float64(fail) / float64(succ)
+	} else {
+		sample.ConflictRate = float64(fail)
+	}
+	g.gate.SetLimit(g.cfg.Controller.Update(sample))
+}
