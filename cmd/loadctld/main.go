@@ -1,0 +1,107 @@
+// Loadctld serves adaptive-load-controlled transactions over HTTP: the
+// paper's feedback loop (measure → re-estimate n* → gate admissions)
+// wrapped around an in-memory transactional store and exposed to real
+// network clients.
+//
+//	go run ./cmd/loadctld -addr :8344 -controller pa -engine occ
+//
+// Then drive it with cmd/loadgen and watch /metrics:
+//
+//	go run ./cmd/loadgen -url http://127.0.0.1:8344 -mode open -rate 400
+//	curl -s 'http://127.0.0.1:8344/metrics?format=json'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tpctl/loadctl"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		controller   = flag.String("controller", "pa", "controller: pa, is, static, none")
+		initial      = flag.Float64("initial", 0, "initial concurrency bound (0 = controller default)")
+		lo           = flag.Float64("lo", 1, "lower static clamp for the bound")
+		hi           = flag.Float64("hi", 1000, "upper static clamp for the bound")
+		engine       = flag.String("engine", "occ", "concurrency control: occ, cert, 2pl, wait-die")
+		items        = flag.Int("items", 4096, "store size D (smaller = more contention)")
+		interval     = flag.Duration("interval", time.Second, "measurement interval")
+		maxRetry     = flag.Int("maxretry", 3, "restart budget per request on CC abort (-1 = no restarts)")
+		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max admission wait before shedding (503)")
+		reject       = flag.Bool("reject", false, "non-blocking admission: full gate answers 429")
+		seed         = flag.Int64("seed", 1, "access-set sampling seed")
+	)
+	flag.Parse()
+
+	ctrl, err := buildController(*controller, *initial, *lo, *hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("loadctld: serving on %s (controller=%s engine=%s items=%d interval=%s)\n",
+		*addr, ctrl.Name(), *engine, *items, *interval)
+	err = loadctl.Serve(ctx, loadctl.ServerConfig{
+		Addr:         *addr,
+		Controller:   ctrl,
+		Engine:       *engine,
+		Items:        *items,
+		Interval:     *interval,
+		MaxRetry:     *maxRetry,
+		QueueTimeout: *queueTimeout,
+		Reject:       *reject,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildController(name string, initial, lo, hi float64) (loadctl.Controller, error) {
+	bounds := loadctl.Bounds{Lo: lo, Hi: hi}
+	if err := bounds.Validate(); err != nil {
+		return nil, fmt.Errorf("loadctld: -lo/-hi: %w", err)
+	}
+	if initial != 0 && (initial < lo || initial > hi) {
+		return nil, fmt.Errorf("loadctld: -initial %g outside [-lo %g, -hi %g]", initial, lo, hi)
+	}
+	switch name {
+	case "pa":
+		cfg := loadctl.DefaultPAConfig()
+		cfg.Bounds = bounds
+		if initial > 0 {
+			cfg.Initial = initial
+		} else {
+			cfg.Initial = bounds.Clamp(cfg.Initial)
+		}
+		return loadctl.NewPA(cfg), nil
+	case "is":
+		cfg := loadctl.DefaultISConfig()
+		cfg.Bounds = bounds
+		if initial > 0 {
+			cfg.Initial = initial
+		} else {
+			cfg.Initial = bounds.Clamp(cfg.Initial)
+		}
+		return loadctl.NewIS(cfg), nil
+	case "static":
+		if initial <= 0 {
+			return nil, fmt.Errorf("loadctld: -controller static needs -initial > 0")
+		}
+		return loadctl.NewStatic(initial), nil
+	case "none":
+		return loadctl.NoControl(), nil
+	default:
+		return nil, fmt.Errorf("loadctld: unknown controller %q (want pa, is, static, none)", name)
+	}
+}

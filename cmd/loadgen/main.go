@@ -1,0 +1,113 @@
+// Loadgen drives a loadctld server with synthetic traffic over real TCP,
+// replaying the paper's workload time courses as open-loop (Poisson) or
+// closed-loop (think-time) load.
+//
+//	# sustained open-loop overload at 400 tx/s
+//	go run ./cmd/loadgen -url http://127.0.0.1:8344 -mode open -rate 400
+//
+//	# the paper's jump experiment: 100 tx/s, jumping to 600 at t=15s
+//	go run ./cmd/loadgen -mode open -rate 100 -jump-at 15 -jump-to 600 -dur 30s
+//
+//	# sinusoidal rate swinging 300±250 tx/s with a 60 s period
+//	go run ./cmd/loadgen -mode open -rate 300 -sin-amp 250 -sin-period 60 -dur 2m
+//
+//	# closed loop: 128 terminals, 50 ms mean think time
+//	go run ./cmd/loadgen -mode closed -clients 128 -think 50ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/loadgen"
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8344", "server base URL")
+		mode      = flag.String("mode", "open", "traffic model: open (Poisson) or closed (think time)")
+		rate      = flag.Float64("rate", 200, "open-loop arrival rate, tx/s (base value)")
+		jumpAt    = flag.Float64("jump-at", 0, "open loop: jump time in seconds (0 = no jump)")
+		jumpTo    = flag.Float64("jump-to", 0, "open loop: rate after the jump")
+		sinAmp    = flag.Float64("sin-amp", 0, "open loop: sinusoid amplitude around -rate (0 = none)")
+		sinPeriod = flag.Float64("sin-period", 60, "open loop: sinusoid period in seconds")
+		clients   = flag.Int("clients", 64, "closed-loop population size")
+		think     = flag.Duration("think", 100*time.Millisecond, "closed-loop mean think time")
+		dur       = flag.Duration("dur", 30*time.Second, "run duration")
+		k         = flag.Float64("k", 8, "items accessed per transaction")
+		queryFrac = flag.Float64("queryfrac", 0.25, "fraction of read-only queries")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		seed      = flag.Int64("seed", 1, "random seed")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		URL:      *url,
+		Duration: *dur,
+		Timeout:  *timeout,
+		Seed:     *seed,
+		Clients:  *clients,
+		Think:    sim.Exponential{Mu: think.Seconds()},
+		Mix: workload.Mix{
+			K:         workload.Constant{V: *k},
+			QueryFrac: workload.Constant{V: *queryFrac},
+			WriteFrac: workload.Constant{V: 0.5},
+		},
+	}
+	switch *mode {
+	case "open":
+		cfg.Mode = loadgen.Open
+		cfg.Rate = buildRate(*rate, *jumpAt, *jumpTo, *sinAmp, *sinPeriod)
+	case "closed":
+		cfg.Mode = loadgen.Closed
+	default:
+		log.Fatalf("loadgen: unknown mode %q (want open or closed)", *mode)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if cfg.Mode == loadgen.Open {
+		fmt.Fprintf(os.Stderr, "loadgen: open loop against %s, rate %v for %s\n", *url, cfg.Rate, *dur)
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: closed loop against %s, %d clients, think %s for %s\n", *url, *clients, *think, *dur)
+	}
+	report, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(report)
+}
+
+// buildRate composes the arrival-rate schedule from the flags: a constant
+// base, optionally replaced by a jump or modulated by a sinusoid.
+func buildRate(base, jumpAt, jumpTo, sinAmp, sinPeriod float64) workload.Schedule {
+	switch {
+	case jumpAt > 0:
+		return workload.Jump{At: jumpAt, Before: base, After: jumpTo}
+	case sinAmp > 0:
+		return workload.Clamp{
+			S:  workload.Sinusoid{Mean: base, Amp: sinAmp, Period: sinPeriod},
+			Lo: 0, Hi: base + sinAmp,
+		}
+	default:
+		return workload.Constant{V: base}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/tpctl/loadctl
+
+go 1.24

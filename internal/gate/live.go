@@ -22,6 +22,7 @@ type Live struct {
 
 	arrivals uint64
 	admitted uint64
+	rejected uint64
 	timeouts uint64
 	queueMax int
 }
@@ -90,6 +91,7 @@ func (l *Live) TryAcquire() bool {
 		l.admitted++
 		return true
 	}
+	l.rejected++
 	return false
 }
 
@@ -136,10 +138,15 @@ func (l *Live) Queued() int {
 	return len(l.queue)
 }
 
-// LiveStats is a snapshot of gate counters.
+// LiveStats is a snapshot of gate counters. Arrivals counts every admission
+// attempt (blocking or not); Admitted the successful ones; Rejected the
+// TryAcquire calls turned away at a full gate (the non-blocking shed path,
+// distinct from queued admits); Timeouts the Acquire calls abandoned by
+// context cancellation while queued.
 type LiveStats struct {
 	Arrivals uint64
 	Admitted uint64
+	Rejected uint64
 	Timeouts uint64
 	QueueMax int
 }
@@ -151,6 +158,7 @@ func (l *Live) Stats() LiveStats {
 	return LiveStats{
 		Arrivals: l.arrivals,
 		Admitted: l.admitted,
+		Rejected: l.rejected,
 		Timeouts: l.timeouts,
 		QueueMax: l.queueMax,
 	}

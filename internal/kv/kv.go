@@ -47,6 +47,25 @@ func (s *Store) Stats() (commits, aborts uint64) {
 	return s.commits, s.aborts
 }
 
+// Read returns the committed value of item i without any transaction
+// bookkeeping. It is for engines that provide their own concurrency control
+// (e.g. a lock manager serializing access) and for test seeding.
+func (s *Store) Read(i int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vals[i]
+}
+
+// Write installs v at item i outside any transaction, bumping the item's
+// version so concurrent optimistic transactions that read it will fail
+// certification. Like Read it serves externally-serialized engines.
+func (s *Store) Write(i int, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[i] = v
+	s.vers[i]++
+}
+
 // Txn is one optimistic transaction. Not safe for concurrent use by
 // multiple goroutines (one transaction = one goroutine, as in the model).
 type Txn struct {

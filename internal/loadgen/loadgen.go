@@ -1,0 +1,359 @@
+// Package loadgen drives the transaction server with synthetic traffic
+// over real TCP connections, replaying the same workload.Schedule time
+// courses the simulator uses — so every simulator-only scenario (constant,
+// jump, sinusoid, step) becomes a live-traffic scenario.
+//
+// Two generator shapes, matching the two canonical traffic models:
+//
+//   - open loop: arrivals form a (possibly time-varying) Poisson process
+//     whose rate follows a Schedule; latency does not throttle arrivals,
+//     so overload pressure is sustained — the regime where admission
+//     control matters most;
+//
+//   - closed loop: a fixed population of clients, each cycling
+//     think → request → response, the paper's terminal model (§7).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/metrics"
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// Mode selects the traffic model.
+type Mode int
+
+const (
+	// Open generates Poisson arrivals at a schedule-driven rate,
+	// independent of response latency.
+	Open Mode = iota
+	// Closed runs a fixed client population with think times.
+	Closed
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Closed {
+		return "closed"
+	}
+	return "open"
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8344"; required.
+	URL string
+	// Mode selects open- or closed-loop traffic (default Open).
+	Mode Mode
+	// Rate is the open-loop arrival rate in requests/second as a function
+	// of seconds since run start; required for Open mode.
+	Rate workload.Schedule
+	// Clients is the closed-loop population size (default 32).
+	Clients int
+	// Think is the closed-loop think-time distribution in seconds
+	// (default exponential with mean 0.1s).
+	Think sim.Dist
+	// Mix shapes transactions over time (class and size); default
+	// workload.DefaultMix(). The server resolves zero values from its own
+	// mix, so only explicitly configured schedules are sent.
+	Mix workload.Mix
+	// Duration bounds the run (default 10s); the context can end it early.
+	Duration time.Duration
+	// Timeout is the per-request HTTP timeout (default 30s).
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding open-loop requests; when
+	// the cap is hit further arrivals are shed client-side and counted in
+	// Report.Shed (default 4096).
+	MaxInFlight int
+	// Seed derives all random streams (arrivals, think times, mixes).
+	Seed int64
+	// Client overrides the HTTP client (tests); Timeout is ignored then.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Think == nil {
+		c.Think = sim.Exponential{Mu: 0.1}
+	}
+	if c.Mix.K == nil {
+		c.Mix = workload.DefaultMix()
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	return c
+}
+
+// Report summarizes one run from the client's vantage point.
+type Report struct {
+	Mode     string  `json:"mode"`
+	Duration float64 `json:"duration_seconds"`
+	// Sent counts requests put on the wire; Shed counts open-loop arrivals
+	// dropped client-side at the in-flight cap (offered load the server
+	// never saw).
+	Sent uint64 `json:"sent"`
+	Shed uint64 `json:"shed"`
+	// Committed / Rejected / Timeouts / Aborted mirror the server's
+	// status answers; Errors counts transport failures and unexpected
+	// statuses.
+	Committed uint64 `json:"committed"`
+	Rejected  uint64 `json:"rejected"`
+	Timeouts  uint64 `json:"timeouts"`
+	Aborted   uint64 `json:"aborted"`
+	Errors    uint64 `json:"errors"`
+	Queries   uint64 `json:"queries"`
+	Updates   uint64 `json:"updates"`
+	// Throughput is committed transactions per second of run time.
+	Throughput float64 `json:"throughput"`
+	// LatMean/LatP50/LatP95/LatP99 are response-time statistics in
+	// seconds over committed requests.
+	LatMean float64 `json:"lat_mean"`
+	LatP50  float64 `json:"lat_p50"`
+	LatP95  float64 `json:"lat_p95"`
+	LatP99  float64 `json:"lat_p99"`
+}
+
+// String renders the report as a human-readable block.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%s-loop %.1fs: sent=%d committed=%d (%.1f tx/s) rejected=%d timeouts=%d aborted=%d shed=%d errors=%d\n"+
+			"latency: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms (queries=%d updates=%d)",
+		r.Mode, r.Duration, r.Sent, r.Committed, r.Throughput, r.Rejected, r.Timeouts,
+		r.Aborted, r.Shed, r.Errors,
+		1e3*r.LatMean, 1e3*r.LatP50, 1e3*r.LatP95, 1e3*r.LatP99, r.Queries, r.Updates)
+}
+
+// collector accumulates thread-safe run statistics.
+type collector struct {
+	sent, shed, committed, rejected, timeouts, aborted, errs atomic.Uint64
+	queries, updates                                         atomic.Uint64
+
+	mu   sync.Mutex
+	lat  metrics.Welford
+	hist *metrics.Histogram
+}
+
+func newCollector(timeout time.Duration) *collector {
+	// Bucket committed latencies at 1ms resolution up to 5s (or the HTTP
+	// timeout when lower); slower responses clamp into the top bucket, so
+	// quantiles saturate rather than lose resolution for the common case.
+	span := 5.0
+	if t := timeout.Seconds(); t < span {
+		span = t
+	}
+	buckets := int(span * 1000)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &collector{hist: metrics.NewHistogram(0, span, buckets)}
+}
+
+func (c *collector) observe(status int, lat time.Duration, err error) {
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	switch status {
+	case http.StatusOK:
+		c.committed.Add(1)
+		c.mu.Lock()
+		c.lat.Add(lat.Seconds())
+		c.hist.Add(lat.Seconds())
+		c.mu.Unlock()
+	case http.StatusTooManyRequests:
+		c.rejected.Add(1)
+	case http.StatusServiceUnavailable:
+		c.timeouts.Add(1)
+	case http.StatusConflict:
+		c.aborted.Add(1)
+	default:
+		c.errs.Add(1)
+	}
+}
+
+func (c *collector) report(mode Mode, dur time.Duration) Report {
+	r := Report{
+		Mode:      mode.String(),
+		Duration:  dur.Seconds(),
+		Sent:      c.sent.Load(),
+		Shed:      c.shed.Load(),
+		Committed: c.committed.Load(),
+		Rejected:  c.rejected.Load(),
+		Timeouts:  c.timeouts.Load(),
+		Aborted:   c.aborted.Load(),
+		Errors:    c.errs.Load(),
+		Queries:   c.queries.Load(),
+		Updates:   c.updates.Load(),
+	}
+	if r.Duration > 0 {
+		r.Throughput = float64(r.Committed) / r.Duration
+	}
+	c.mu.Lock()
+	r.LatMean = c.lat.Mean()
+	r.LatP50 = c.hist.Quantile(0.50)
+	r.LatP95 = c.hist.Quantile(0.95)
+	r.LatP99 = c.hist.Quantile(0.99)
+	c.mu.Unlock()
+	return r
+}
+
+// Run drives the server until Duration elapses or ctx ends, then returns
+// the client-side report. The error is non-nil only for configuration
+// problems; transport failures are counted, not fatal.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return Report{}, errors.New("loadgen: Config.URL is required")
+	}
+	if cfg.Mode == Open && cfg.Rate == nil {
+		return Report{}, errors.New("loadgen: open-loop mode needs Config.Rate")
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	col := newCollector(cfg.Timeout)
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	switch cfg.Mode {
+	case Open:
+		runOpen(runCtx, cfg, col, start, &wg)
+	case Closed:
+		runClosed(runCtx, cfg, col, start, &wg)
+	default:
+		return Report{}, fmt.Errorf("loadgen: unknown mode %d", cfg.Mode)
+	}
+
+	wg.Wait()
+	return col.report(cfg.Mode, time.Since(start)), nil
+}
+
+// runOpen paces a non-homogeneous Poisson process: inter-arrival gaps are
+// exponential at the instantaneous rate Rate(t). Each arrival fires in its
+// own goroutine so slow responses never throttle the arrival process.
+func runOpen(ctx context.Context, cfg Config, col *collector, start time.Time, wg *sync.WaitGroup) {
+	pacer := sim.Stream(cfg.Seed, 1)
+	mixer := sim.Stream(cfg.Seed, 2)
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	for {
+		t := time.Since(start).Seconds()
+		rate := cfg.Rate.Value(t)
+		dormant := rate <= 0 || math.IsNaN(rate)
+		var gap time.Duration
+		if dormant {
+			// Dormant schedule: poll for it to come back to life.
+			gap = 10 * time.Millisecond
+		} else {
+			gap = time.Duration(pacer.Exp(1/rate) * float64(time.Second))
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(gap):
+		}
+		if dormant {
+			continue
+		}
+		class, k := sampleTxn(mixer, cfg.Mix, time.Since(start).Seconds())
+		select {
+		case sem <- struct{}{}:
+		default:
+			col.shed.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			doRequest(ctx, cfg, col, class, k)
+		}()
+	}
+}
+
+// runClosed runs the terminal model: Clients goroutines looping
+// think → request → response until the run ends.
+func runClosed(ctx context.Context, cfg Config, col *collector, start time.Time, wg *sync.WaitGroup) {
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := sim.Stream(cfg.Seed, 100+uint64(id))
+			for {
+				think := time.Duration(cfg.Think.Sample(rng) * float64(time.Second))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(think):
+				}
+				class, k := sampleTxn(rng, cfg.Mix, time.Since(start).Seconds())
+				doRequest(ctx, cfg, col, class, k)
+			}
+		}(i)
+	}
+}
+
+// sampleTxn draws one transaction's class and size from the mix at time t.
+func sampleTxn(rng *sim.RNG, mix workload.Mix, t float64) (class string, k int) {
+	class = "update"
+	if rng.Bernoulli(mix.QueryFracAt(t)) {
+		class = "query"
+	}
+	return class, mix.KAt(t)
+}
+
+// doRequest performs one POST /txn round trip and records the outcome.
+func doRequest(ctx context.Context, cfg Config, col *collector, class string, k int) {
+	// The pacing selects racing ctx.Done against a zero timer can let an
+	// arrival through after run end; don't count a request never sent.
+	if ctx.Err() != nil {
+		return
+	}
+	url := fmt.Sprintf("%s/txn?class=%s&k=%d", cfg.URL, class, k)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		col.errs.Add(1)
+		return
+	}
+	col.sent.Add(1)
+	if class == "query" {
+		col.queries.Add(1)
+	} else {
+		col.updates.Add(1)
+	}
+	t0 := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		// A request cut short by run end is not a server failure; its
+		// outcome is simply unknown.
+		if ctx.Err() == nil {
+			col.observe(0, 0, err)
+		}
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	col.observe(resp.StatusCode, time.Since(t0), nil)
+}

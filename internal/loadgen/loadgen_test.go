@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// stubServer mimics the /txn contract: counts requests per class and
+// answers a rotating slice of statuses.
+type stubServer struct {
+	queries, updates atomic.Uint64
+	seq              atomic.Uint64
+	statuses         []int
+}
+
+func (s *stubServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/txn" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.URL.Query().Get("class") {
+		case "query":
+			s.queries.Add(1)
+		case "update":
+			s.updates.Add(1)
+		}
+		code := http.StatusOK
+		if len(s.statuses) > 0 {
+			code = s.statuses[int(s.seq.Add(1)-1)%len(s.statuses)]
+		}
+		w.WriteHeader(code)
+		w.Write([]byte(`{"status":"stub"}`))
+	})
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	const rate, secs = 300.0, 2.0
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Mode:     Open,
+		Rate:     workload.Constant{V: rate},
+		Duration: time.Duration(secs * float64(time.Second)),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rate * secs
+	// A Poisson count over 600 expected arrivals has σ≈25; a ±40% band
+	// tolerates scheduler noise on loaded CI machines.
+	if float64(rep.Sent) < 0.6*want || float64(rep.Sent) > 1.4*want {
+		t.Fatalf("open loop sent %d requests, want about %.0f", rep.Sent, want)
+	}
+	if rep.Committed != rep.Sent {
+		t.Fatalf("stub commits everything, but committed=%d sent=%d (errors=%d)",
+			rep.Committed, rep.Sent, rep.Errors)
+	}
+	if rep.Throughput <= 0 || rep.LatMean <= 0 {
+		t.Fatalf("empty latency stats: %+v", rep)
+	}
+}
+
+func TestOpenLoopJumpSchedule(t *testing.T) {
+	// Rate 0 before the jump, high after: all traffic must arrive in the
+	// second half, proving the schedule is evaluated on the live clock.
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var firstReq atomic.Int64 // ms since start of the first request
+	start := time.Now()
+	wrapped := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		firstReq.CompareAndSwap(0, time.Since(start).Milliseconds())
+		stub.handler().ServeHTTP(w, r)
+	}))
+	defer wrapped.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:      wrapped.URL,
+		Mode:     Open,
+		Rate:     workload.Jump{At: 0.5, Before: 0, After: 400},
+		Duration: time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no traffic after the jump")
+	}
+	if got := firstReq.Load(); got < 450 {
+		t.Fatalf("first request at %dms, before the 500ms jump", got)
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Mode:     Closed,
+		Clients:  8,
+		Think:    sim.Constant{V: 0.01},
+		Duration: 500 * time.Millisecond,
+		Seed:     5,
+		Mix: workload.Mix{
+			K:         workload.Constant{V: 4},
+			QueryFrac: workload.Constant{V: 1}, // all queries
+			WriteFrac: workload.Constant{V: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 clients cycling ~10ms think + fast request for 500ms ≈ hundreds of
+	// requests; anything above a couple dozen proves the population loops.
+	if rep.Sent < 50 {
+		t.Fatalf("closed loop sent only %d requests", rep.Sent)
+	}
+	if rep.Updates != 0 || rep.Queries != rep.Sent {
+		t.Fatalf("mix ignored: queries=%d updates=%d sent=%d", rep.Queries, rep.Updates, rep.Sent)
+	}
+	if stub.updates.Load() != 0 {
+		t.Fatalf("server saw %d updates from an all-query mix", stub.updates.Load())
+	}
+}
+
+func TestStatusMapping(t *testing.T) {
+	stub := &stubServer{statuses: []int{
+		http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusConflict, http.StatusTeapot,
+	}}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Mode:     Closed,
+		Clients:  1,
+		Think:    sim.Constant{V: 0},
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent < 5 {
+		t.Fatalf("only %d requests sent", rep.Sent)
+	}
+	if rep.Committed == 0 || rep.Rejected == 0 || rep.Timeouts == 0 || rep.Aborted == 0 || rep.Errors == 0 {
+		t.Fatalf("status classes not all populated: %+v", rep)
+	}
+	// Requests still on the wire when the run ends are sent but
+	// unclassified; with one client at most one can be cut off.
+	total := rep.Committed + rep.Rejected + rep.Timeouts + rep.Aborted + rep.Errors
+	if total != rep.Sent && total != rep.Sent-1 {
+		t.Fatalf("classified %d of %d sent", total, rep.Sent)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Mode: Open}); err == nil {
+		t.Fatal("missing URL accepted")
+	}
+	if _, err := Run(context.Background(), Config{URL: "http://x", Mode: Open}); err == nil {
+		t.Fatal("open loop without rate accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Mode: "open", Duration: 2, Sent: 10, Committed: 8, Throughput: 4}
+	s := r.String()
+	if !strings.Contains(s, "committed=8") || !strings.Contains(s, "open-loop") {
+		t.Fatalf("unusable report string %q", s)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/loadgen"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// slowEngine adds a fixed service time to every transaction so offered
+// load translates into real concurrency the measurement loop can see —
+// the in-memory store alone commits in microseconds.
+type slowEngine struct {
+	inner Engine
+	delay time.Duration
+}
+
+func (e slowEngine) Name() string { return e.inner.Name() + "+delay" }
+
+func (e slowEngine) Exec(ctx context.Context, spec TxnSpec) error {
+	select {
+	case <-time.After(e.delay):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return e.inner.Exec(ctx, spec)
+}
+
+// TestEndToEndJumpWorkload is the acceptance scenario: the transaction
+// server on a loopback TCP listener, the PA controller re-estimating the
+// limit every 150ms, and the open-loop generator replaying the paper's
+// jump experiment (a modest arrival rate that jumps up mid-run). The
+// controller must move the limit away from its initial bound, and
+// /metrics must expose interval throughput and response time.
+func TestEndToEndJumpWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run takes ~4s")
+	}
+
+	const initial = 8.0
+	paCfg := core.DefaultPAConfig()
+	paCfg.Bounds = core.Bounds{Lo: 2, Hi: 64}
+	paCfg.Initial = initial
+	paCfg.Scale = 16
+	paCfg.Dither = 3
+	paCfg.MaxStep = 8
+	paCfg.RecoveryStep = 4
+	paCfg.MinObs = 4
+
+	store := kv.NewStore(128)
+	srv, err := New(Config{
+		Controller: core.NewPA(paCfg),
+		Engine:     slowEngine{inner: NewOCC(store), delay: 4 * time.Millisecond},
+		Items:      store.Size(),
+		Interval:   150 * time.Millisecond,
+		MaxRetry:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:  base,
+		Mode: loadgen.Open,
+		// The paper's jump experiment shape: moderate load, then a surge.
+		Rate:     workload.Jump{At: 1.5, Before: 60, After: 350},
+		Duration: 4 * time.Second,
+		Seed:     42,
+		Mix: workload.Mix{
+			K:         workload.Constant{V: 4},
+			QueryFrac: workload.Constant{V: 0.25},
+			WriteFrac: workload.Constant{V: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loadgen: %v", report)
+	if report.Committed == 0 {
+		t.Fatal("no transaction committed end to end")
+	}
+
+	// The controller must have moved the limit away from its initial
+	// bound at some point (PA's enforced dither alone guarantees motion
+	// once intervals close).
+	resp, err := http.Get(base + "/metrics?format=json&history=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if len(snap.History) < 5 {
+		t.Fatalf("only %d measurement intervals closed in a 4s run", len(snap.History))
+	}
+	moved := false
+	sawThroughput := false
+	sawResp := false
+	for _, iv := range snap.History {
+		if iv.Limit != initial {
+			moved = true
+		}
+		if iv.Throughput > 0 {
+			sawThroughput = true
+		}
+		if iv.RespTime > 0 {
+			sawResp = true
+		}
+	}
+	if !moved {
+		limits := make([]string, 0, len(snap.History))
+		for _, iv := range snap.History {
+			limits = append(limits, fmt.Sprintf("%.1f", iv.Limit))
+		}
+		t.Fatalf("PA limit never left its initial bound %.0f: %s", initial, strings.Join(limits, " "))
+	}
+	if !sawThroughput || !sawResp {
+		t.Fatalf("metrics history missing signals (throughput seen=%v, resp time seen=%v)", sawThroughput, sawResp)
+	}
+	if snap.Totals.Commits == 0 || snap.Gate.Arrivals == 0 {
+		t.Fatalf("server-side counters empty: %+v / %+v", snap.Totals, snap.Gate)
+	}
+
+	// The same signals must be visible in the Prometheus rendering.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loadctl_interval_throughput", "loadctl_interval_resp_seconds", "loadctl_limit"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("Prometheus text missing %q", want)
+		}
+	}
+}

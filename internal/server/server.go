@@ -1,0 +1,651 @@
+// Package server is the network-facing transaction front-end of the
+// repository: it turns the adaptive admission control of Heiss & Wagner
+// from a simulator-only mechanism into a live service. Every HTTP request
+// to /txn passes through the adaptive gate (an admission slot acquired
+// before, released after the transaction), executes a read-only query or a
+// read-modify-write update against the in-process kv store under a
+// pluggable concurrency-control engine, and feeds the measurement loop
+// that periodically re-estimates the throughput-optimal multiprogramming
+// limit n* and installs it at the gate.
+//
+// Endpoints:
+//
+//	POST /txn        execute one transaction (class/k via query or JSON body)
+//	GET  /metrics    Prometheus-style text; ?format=json for a JSON snapshot
+//	GET  /controller controller inspection; POST switches the controller live
+//	GET  /healthz    liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/gate"
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// Config parameterizes the transaction front-end.
+type Config struct {
+	// Controller re-estimates the concurrency limit; required.
+	Controller core.Controller
+	// Engine executes transactions; required.
+	Engine Engine
+	// Items is the store size D used to sample access sets; required (>0).
+	Items int
+	// Interval is the measurement interval Δt (default 1s).
+	Interval time.Duration
+	// Mix supplies defaults for transaction shape when a request does not
+	// specify class/k (default workload.DefaultMix()). Schedules are
+	// evaluated at seconds-since-start, so the simulator's time-varying
+	// workloads replay against the live server.
+	Mix workload.Mix
+	// MaxRetry bounds restart attempts per request after CC aborts; the
+	// terminal abort surfaces as HTTP 409. Zero means the default of 3;
+	// negative disables restarts entirely (the no-retry baseline).
+	MaxRetry int
+	// QueueTimeout bounds how long a request may wait for admission before
+	// it is shed with HTTP 503 (default 5s).
+	QueueTimeout time.Duration
+	// Reject switches admission from blocking (queue at the gate) to
+	// non-blocking: a full gate immediately answers HTTP 429.
+	Reject bool
+	// HistoryLen is how many closed measurement intervals /metrics keeps
+	// (default 300).
+	HistoryLen int
+	// Seed derives the per-request access-set sampling streams.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MaxRetry == 0 {
+		c.MaxRetry = 3
+	} else if c.MaxRetry < 0 {
+		c.MaxRetry = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 300
+	}
+	if c.Mix.K == nil {
+		c.Mix = workload.DefaultMix()
+	}
+	return c
+}
+
+// IntervalStats is one closed measurement interval as exposed by /metrics.
+type IntervalStats struct {
+	// T is the interval end in seconds since server start.
+	T float64 `json:"t"`
+	// Load is the time-averaged number of in-flight transactions.
+	Load float64 `json:"load"`
+	// Throughput is commits per second.
+	Throughput float64 `json:"throughput"`
+	// RespTime is the mean response time in seconds of requests that
+	// completed in the interval (queueing + execution + retries).
+	RespTime float64 `json:"resp_time"`
+	// AbortRate is CC aborts per commit (aborts per attempt when no
+	// commit landed in the interval).
+	AbortRate float64 `json:"abort_rate"`
+	// Limit is the bound n* installed at the interval end.
+	Limit float64 `json:"limit"`
+	// Commits and Aborts are raw event counts in the interval.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+}
+
+// Totals are monotone counters since server start.
+type Totals struct {
+	Requests uint64 `json:"requests"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+	Rejected uint64 `json:"rejected"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Snapshot is the JSON document served by /metrics?format=json.
+type Snapshot struct {
+	Now        float64        `json:"now"`
+	Engine     string         `json:"engine"`
+	Controller string         `json:"controller"`
+	Limit      float64        `json:"limit"`
+	Active     int            `json:"active"`
+	Queued     int            `json:"queued"`
+	Gate       gate.LiveStats `json:"gate"`
+	Totals     Totals         `json:"totals"`
+	// Interval is the most recently closed measurement interval (zero
+	// value until the first interval closes).
+	Interval IntervalStats `json:"interval"`
+	// History holds the retained closed intervals, oldest first (only
+	// populated with ?history=1).
+	History []IntervalStats `json:"history,omitempty"`
+}
+
+// Server is the transaction front-end. Create with New, serve its
+// Handler, and Close it to stop the measurement loop.
+type Server struct {
+	cfg   Config
+	gate  *gate.Live
+	mux   *http.ServeMux
+	start time.Time
+
+	seq atomic.Uint64 // per-request stream ids
+
+	mu       sync.Mutex
+	ctrl     core.Controller
+	updates  uint64  // controller Update calls
+	area     float64 // ∫ active dt within the open interval
+	lastT    time.Time
+	lastTick time.Time // previous interval boundary (for the true Δt)
+	active   int
+	commits  uint64 // open-interval counters
+	aborts   uint64
+	respSum  float64
+	respN    uint64
+	last     IntervalStats
+	history  []IntervalStats
+	totals   Totals
+	lastSamp core.Sample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg, starts the measurement loop and returns the server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Controller == nil {
+		return nil, errors.New("server: Config.Controller is required")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.Items < 1 {
+		return nil, fmt.Errorf("server: Config.Items %d < 1", cfg.Items)
+	}
+	s := &Server{
+		cfg:   cfg,
+		gate:  gate.NewLive(cfg.Controller.Bound()),
+		ctrl:  cfg.Controller,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.lastT = s.start
+	s.lastTick = s.start
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/txn", s.handleTxn)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/controller", s.handleController)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	go s.loop()
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the measurement loop; the handler keeps working with the
+// last installed limit.
+func (s *Server) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// Limit returns the currently installed bound n*.
+func (s *Server) Limit() float64 { return s.gate.Limit() }
+
+// elapsed is seconds since server start — the time axis workload schedules
+// and interval stats share.
+func (s *Server) elapsed() float64 { return time.Since(s.start).Seconds() }
+
+// txnRequest is the optional JSON body of POST /txn; query parameters of
+// the same names take precedence.
+type txnRequest struct {
+	// Class is "query" (read-only), "update", or "" (sampled from the mix).
+	Class string `json:"class"`
+	// K overrides the number of items accessed (0 = from the mix).
+	K int `json:"k"`
+}
+
+// txnResponse is the JSON answer of POST /txn.
+type txnResponse struct {
+	Status    string  `json:"status"`
+	Class     string  `json:"class,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// buildSpec samples one transaction's access set: k distinct items, write
+// intent per position for updaters.
+func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64) TxnSpec {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.cfg.Items {
+		k = s.cfg.Items
+	}
+	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)}
+	rng.SampleDistinct(spec.Keys, s.cfg.Items)
+	if query {
+		return spec
+	}
+	wrote := false
+	for i := range spec.Write {
+		if rng.Bernoulli(writeFrac) {
+			spec.Write[i] = true
+			wrote = true
+		}
+	}
+	if !wrote {
+		// An updater writes at least one item, as in the simulation model.
+		spec.Write[rng.Intn(k)] = true
+	}
+	return spec
+}
+
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req txnRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	q := r.URL.Query()
+	if v := q.Get("class"); v != "" {
+		req.Class = v
+	}
+	if v := q.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		req.K = k
+	}
+
+	now := s.elapsed()
+	rng := sim.Stream(s.cfg.Seed, s.seq.Add(1))
+	var query bool
+	switch req.Class {
+	case "query":
+		query = true
+	case "update":
+		query = false
+	case "":
+		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
+	default:
+		http.Error(w, fmt.Sprintf("bad class %q (want query or update)", req.Class), http.StatusBadRequest)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = s.cfg.Mix.KAt(now)
+	}
+	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now))
+	class := "update"
+	if query {
+		class = "query"
+	}
+
+	s.mu.Lock()
+	s.totals.Requests++
+	s.mu.Unlock()
+
+	t0 := time.Now()
+
+	// Admission: the adaptive gate is the paper's §4.3 load control in
+	// front of real network traffic.
+	if s.cfg.Reject {
+		if !s.gate.TryAcquire() {
+			s.mu.Lock()
+			s.totals.Rejected++
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, LatencyMS: msSince(t0)})
+			return
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+		err := s.gate.Acquire(ctx)
+		cancel()
+		if err != nil {
+			s.mu.Lock()
+			s.totals.Timeouts++
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, LatencyMS: msSince(t0)})
+			return
+		}
+	}
+	s.note(+1)
+
+	attempts := 0
+	var execErr error
+	for {
+		attempts++
+		execErr = s.cfg.Engine.Exec(r.Context(), spec)
+		if !errors.Is(execErr, ErrAborted) {
+			break
+		}
+		s.countAbort()
+		if attempts > s.cfg.MaxRetry {
+			break
+		}
+	}
+
+	s.gate.Release()
+	s.note(-1)
+
+	lat := time.Since(t0)
+	switch {
+	case execErr == nil:
+		s.countCommit(lat)
+		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+	case errors.Is(execErr, ErrAborted):
+		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+	default:
+		// Client went away mid-transaction or an engine failure.
+		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+	}
+}
+
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
+
+// note integrates the active-transaction count over time (the load signal
+// n(t) of the paper's measurement loop).
+func (s *Server) note(delta int) {
+	now := time.Now()
+	s.mu.Lock()
+	s.area += float64(s.active) * now.Sub(s.lastT).Seconds()
+	s.lastT = now
+	s.active += delta
+	s.mu.Unlock()
+}
+
+func (s *Server) countCommit(lat time.Duration) {
+	s.mu.Lock()
+	s.commits++
+	s.totals.Commits++
+	s.respSum += lat.Seconds()
+	s.respN++
+	s.mu.Unlock()
+}
+
+func (s *Server) countAbort() {
+	s.mu.Lock()
+	s.aborts++
+	s.totals.Aborts++
+	s.mu.Unlock()
+}
+
+// loop closes measurement intervals and drives the controller, mirroring
+// the simulator's measurement component against wall-clock traffic.
+func (s *Server) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.tick()
+		}
+	}
+}
+
+func (s *Server) tick() {
+	now := time.Now()
+	s.mu.Lock()
+	s.area += float64(s.active) * now.Sub(s.lastT).Seconds()
+	s.lastT = now
+	// Use the actually elapsed window, not the configured interval: under
+	// CPU saturation the ticker fires late, and dividing by the nominal Δt
+	// would inflate load and throughput exactly when the controller most
+	// needs accurate samples.
+	dt := now.Sub(s.lastTick).Seconds()
+	s.lastTick = now
+	if dt <= 0 {
+		dt = s.cfg.Interval.Seconds()
+	}
+	sample := core.Sample{
+		Time:        s.elapsed(),
+		Load:        s.area / dt,
+		Throughput:  float64(s.commits) / dt,
+		Completions: s.commits,
+	}
+	sample.Perf = sample.Throughput
+	if s.respN > 0 {
+		sample.RespTime = s.respSum / float64(s.respN)
+	}
+	if s.commits > 0 {
+		sample.ConflictRate = float64(s.aborts) / float64(s.commits)
+	} else {
+		sample.ConflictRate = float64(s.aborts)
+	}
+	iv := IntervalStats{
+		T:          sample.Time,
+		Load:       sample.Load,
+		Throughput: sample.Throughput,
+		RespTime:   sample.RespTime,
+		AbortRate:  sample.ConflictRate,
+		Commits:    s.commits,
+		Aborts:     s.aborts,
+	}
+	s.area, s.commits, s.aborts, s.respSum, s.respN = 0, 0, 0, 0, 0
+
+	limit := s.ctrl.Update(sample)
+	s.updates++
+	s.lastSamp = sample
+	iv.Limit = limit
+	s.last = iv
+	s.history = append(s.history, iv)
+	if len(s.history) > s.cfg.HistoryLen {
+		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
+	}
+	// Install while still holding mu so a concurrent controller switch
+	// cannot be overwritten by a limit computed from the old controller.
+	s.gate.SetLimit(limit)
+	s.mu.Unlock()
+}
+
+// SnapshotNow assembles the current metrics snapshot.
+func (s *Server) SnapshotNow(withHistory bool) Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		Now:        s.elapsed(),
+		Engine:     s.cfg.Engine.Name(),
+		Controller: s.ctrl.Name(),
+		Totals:     s.totals,
+		Interval:   s.last,
+	}
+	if withHistory {
+		snap.History = append([]IntervalStats(nil), s.history...)
+	}
+	s.mu.Unlock()
+	snap.Limit = s.gate.Limit()
+	snap.Active = s.gate.Active()
+	snap.Queued = s.gate.Queued()
+	snap.Gate = s.gate.Stats()
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	snap := s.SnapshotNow(q.Get("history") == "1")
+	if q.Get("format") == "json" || q.Get("history") == "1" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("loadctl_limit", "current adaptive concurrency limit n*", snap.Limit)
+	gauge("loadctl_active", "transactions currently holding an admission slot", float64(snap.Active))
+	gauge("loadctl_queued", "requests waiting for admission", float64(snap.Queued))
+	gauge("loadctl_interval_load", "time-averaged in-flight transactions over the last interval", snap.Interval.Load)
+	gauge("loadctl_interval_throughput", "commits per second over the last interval", snap.Interval.Throughput)
+	gauge("loadctl_interval_resp_seconds", "mean response time over the last interval", snap.Interval.RespTime)
+	gauge("loadctl_interval_abort_rate", "CC aborts per commit over the last interval", snap.Interval.AbortRate)
+	counter("loadctl_requests_total", "transaction requests received", snap.Totals.Requests)
+	counter("loadctl_commits_total", "transactions committed", snap.Totals.Commits)
+	counter("loadctl_aborts_total", "transaction attempts aborted by concurrency control", snap.Totals.Aborts)
+	counter("loadctl_rejected_total", "requests shed at a full gate (non-blocking admission)", snap.Totals.Rejected)
+	counter("loadctl_admission_timeouts_total", "requests that gave up waiting for admission", snap.Totals.Timeouts)
+	counter("loadctl_gate_arrivals_total", "admission attempts at the gate", snap.Gate.Arrivals)
+	counter("loadctl_gate_admitted_total", "admissions granted by the gate", snap.Gate.Admitted)
+	counter("loadctl_gate_rejected_total", "non-blocking admissions refused by the gate", snap.Gate.Rejected)
+	gauge("loadctl_gate_queue_max", "high-water mark of the admission queue", float64(snap.Gate.QueueMax))
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// promFloat renders a float in Prometheus text format (+Inf for an
+// uncontrolled gate).
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// controllerView is the GET /controller document.
+type controllerView struct {
+	Controller      string  `json:"controller"`
+	Limit           float64 `json:"limit"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Updates         uint64  `json:"updates"`
+	// LastSample is the most recent measurement fed to the controller.
+	LastSample core.Sample `json:"last_sample"`
+}
+
+// controllerSwitch is the POST /controller body.
+type controllerSwitch struct {
+	// Controller is "pa", "is", "static", or "none".
+	Controller string `json:"controller"`
+	// Initial optionally sets the new controller's starting bound;
+	// default carries the currently installed limit over.
+	Initial float64 `json:"initial"`
+	// Lo/Hi optionally override the static clamp (both must be set).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		view := controllerView{
+			Controller:      s.ctrl.Name(),
+			IntervalSeconds: s.cfg.Interval.Seconds(),
+			Updates:         s.updates,
+			LastSample:      s.lastSamp,
+		}
+		s.mu.Unlock()
+		view.Limit = s.gate.Limit()
+		writeJSON(w, http.StatusOK, view)
+	case http.MethodPost:
+		var req controllerSwitch
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		initial := req.Initial
+		if initial <= 0 {
+			initial = s.gate.Limit()
+		}
+		bounds := core.DefaultBounds()
+		if req.Lo != 0 || req.Hi != 0 {
+			bounds = core.Bounds{Lo: req.Lo, Hi: req.Hi}
+			if err := bounds.Validate(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		ctrl, err := makeController(req.Controller, initial, bounds)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.ctrl = ctrl
+		s.updates = 0
+		// Under mu for the same reason as in tick(): swap and install are
+		// one atomic step relative to the measurement loop.
+		s.gate.SetLimit(ctrl.Bound())
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"controller": ctrl.Name(),
+			"limit":      ctrl.Bound(),
+		})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// makeController builds a controller by name with the given starting bound,
+// used by the live-switch endpoint and the cmd front-ends.
+func makeController(name string, initial float64, bounds core.Bounds) (core.Controller, error) {
+	if math.IsInf(initial, 1) {
+		initial = bounds.Hi
+	}
+	initial = bounds.Clamp(initial)
+	switch name {
+	case "pa":
+		cfg := core.DefaultPAConfig()
+		cfg.Bounds = bounds
+		cfg.Initial = initial
+		return core.NewPA(cfg), nil
+	case "is":
+		cfg := core.DefaultISConfig()
+		cfg.Bounds = bounds
+		cfg.Initial = initial
+		return core.NewIS(cfg), nil
+	case "static":
+		return core.NewStatic(initial), nil
+	case "none":
+		return core.NoControl(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown controller %q (want pa, is, static, none)", name)
+	}
+}

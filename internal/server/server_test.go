@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+)
+
+// newTestServer builds a server over a fresh store with a static
+// controller (deterministic limit) and returns it with its HTTP front.
+func newTestServer(t *testing.T, limit float64, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	store := kv.NewStore(256)
+	cfg := Config{
+		Controller: core.NewStatic(limit),
+		Engine:     NewOCC(store),
+		Items:      store.Size(),
+		Interval:   10 * time.Second, // effectively frozen during handler tests
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postTxn(t *testing.T, base, params string) (int, txnResponse) {
+	t.Helper()
+	resp, err := http.Post(base+"/txn"+params, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr txnResponse
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatalf("decoding /txn response: %v", err)
+		}
+	}
+	return resp.StatusCode, tr
+}
+
+func TestTxnEndpointCommits(t *testing.T) {
+	_, ts := newTestServer(t, 64, nil)
+	code, tr := postTxn(t, ts.URL, "?class=update&k=4")
+	if code != http.StatusOK || tr.Status != "committed" {
+		t.Fatalf("got %d/%q, want 200/committed", code, tr.Status)
+	}
+	if tr.Class != "update" || tr.Attempts < 1 {
+		t.Fatalf("bad response %+v", tr)
+	}
+	code, tr = postTxn(t, ts.URL, "?class=query&k=2")
+	if code != http.StatusOK || tr.Class != "query" {
+		t.Fatalf("query: got %d/%+v", code, tr)
+	}
+	// Unspecified class/k falls back to the mix.
+	if code, tr = postTxn(t, ts.URL, ""); code != http.StatusOK {
+		t.Fatalf("mixed txn: got %d/%+v", code, tr)
+	}
+}
+
+func TestTxnEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, 64, nil)
+	if code, _ := postTxn(t, ts.URL, "?class=frobnicate"); code != http.StatusBadRequest {
+		t.Fatalf("bad class: got %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/txn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /txn: got %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestTxnRejectMode(t *testing.T) {
+	// Limit 0 with non-blocking admission: every transaction is shed with
+	// 429 and the rejection is visible in gate stats and totals.
+	_, ts := newTestServer(t, 0, func(c *Config) { c.Reject = true })
+	code, tr := postTxn(t, ts.URL, "?class=update")
+	if code != http.StatusTooManyRequests || tr.Status != "rejected" {
+		t.Fatalf("got %d/%q, want 429/rejected", code, tr.Status)
+	}
+	snap := getSnapshot(t, ts.URL)
+	if snap.Totals.Rejected != 1 || snap.Gate.Rejected != 1 {
+		t.Fatalf("rejection not counted: totals=%d gate=%d", snap.Totals.Rejected, snap.Gate.Rejected)
+	}
+}
+
+func TestTxnQueueTimeout(t *testing.T) {
+	// Limit 0 with blocking admission and a tiny queue budget: requests
+	// time out with 503.
+	_, ts := newTestServer(t, 0, func(c *Config) { c.QueueTimeout = 20 * time.Millisecond })
+	code, tr := postTxn(t, ts.URL, "?class=update")
+	if code != http.StatusServiceUnavailable || tr.Status != "timeout" {
+		t.Fatalf("got %d/%q, want 503/timeout", code, tr.Status)
+	}
+	snap := getSnapshot(t, ts.URL)
+	if snap.Totals.Timeouts != 1 {
+		t.Fatalf("timeout not counted: %d", snap.Totals.Timeouts)
+	}
+}
+
+func getSnapshot(t *testing.T, base string) Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 48, nil)
+	for i := 0; i < 5; i++ {
+		postTxn(t, ts.URL, "?class=update&k=2")
+	}
+
+	snap := getSnapshot(t, ts.URL)
+	if snap.Limit != 48 {
+		t.Fatalf("limit = %v, want 48", snap.Limit)
+	}
+	if snap.Totals.Requests != 5 || snap.Totals.Commits != 5 {
+		t.Fatalf("totals = %+v, want 5 requests and commits", snap.Totals)
+	}
+	if snap.Engine != "kv-occ" || snap.Controller != "static(48)" {
+		t.Fatalf("identity = %q/%q", snap.Engine, snap.Controller)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"loadctl_limit 48",
+		"loadctl_commits_total 5",
+		"loadctl_interval_throughput",
+		"loadctl_interval_resp_seconds",
+		"# TYPE loadctl_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsIntervalCloses(t *testing.T) {
+	// A fast measurement interval must close and expose throughput and
+	// response time for traffic that ran inside it.
+	_, ts := newTestServer(t, 64, func(c *Config) { c.Interval = 50 * time.Millisecond })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		postTxn(t, ts.URL, "?class=update&k=2")
+		snap := getSnapshot(t, ts.URL)
+		if snap.Interval.T > 0 && snap.Interval.Commits > 0 {
+			if snap.Interval.Throughput <= 0 {
+				t.Fatalf("interval closed with commits but zero throughput: %+v", snap.Interval)
+			}
+			if snap.Interval.RespTime <= 0 {
+				t.Fatalf("interval closed with commits but zero response time: %+v", snap.Interval)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no measurement interval with traffic ever closed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestControllerEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, 32, nil)
+
+	// Inspect.
+	resp, err := http.Get(ts.URL + "/controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view controllerView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.Controller != "static(32)" || view.Limit != 32 {
+		t.Fatalf("view = %+v", view)
+	}
+
+	// Switch to PA, carrying the current limit over as the initial bound.
+	resp, err = http.Post(ts.URL+"/controller", "application/json",
+		strings.NewReader(`{"controller":"pa"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("switch: got %d (%v)", resp.StatusCode, sw)
+	}
+	if sw["controller"] != "parabola-approximation" {
+		t.Fatalf("switch installed %v", sw["controller"])
+	}
+	if got := s.Limit(); got != 32 {
+		t.Fatalf("switch moved the limit to %v, want carried-over 32", got)
+	}
+
+	// Unknown controller name is a client error and leaves state alone.
+	resp, err = http.Post(ts.URL+"/controller", "application/json",
+		strings.NewReader(`{"controller":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad switch: got %d, want 400", resp.StatusCode)
+	}
+	snap := getSnapshot(t, ts.URL)
+	if snap.Controller != "parabola-approximation" {
+		t.Fatalf("failed switch changed controller to %q", snap.Controller)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	store := kv.NewStore(8)
+	if _, err := New(Config{Engine: NewOCC(store), Items: 8}); err == nil {
+		t.Fatal("missing controller accepted")
+	}
+	if _, err := New(Config{Controller: core.NewStatic(1), Items: 8}); err == nil {
+		t.Fatal("missing engine accepted")
+	}
+	if _, err := New(Config{Controller: core.NewStatic(1), Engine: NewOCC(store)}); err == nil {
+		t.Fatal("zero items accepted")
+	}
+}

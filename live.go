@@ -34,7 +34,8 @@ type AdaptiveGate struct {
 	mu        sync.Mutex
 	active    int
 	lastT     time.Time
-	area      float64 // ∫ active dt within the current interval
+	lastTick  time.Time // previous interval boundary (for the true Δt)
+	area      float64   // ∫ active dt within the current interval
 	successes uint64
 	failures  uint64
 
@@ -64,6 +65,7 @@ func NewAdaptiveGate(cfg AdaptiveGateConfig) *AdaptiveGate {
 	}
 	g.start = g.now()
 	g.lastT = g.start
+	g.lastTick = g.start
 	go g.loop()
 	return g
 }
@@ -114,6 +116,14 @@ func (g *AdaptiveGate) Active() int { return g.gate.Active() }
 // Queued returns the number of blocked acquirers.
 func (g *AdaptiveGate) Queued() int { return g.gate.Queued() }
 
+// GateStats is a snapshot of admission counters: total arrivals, admitted,
+// non-blocking rejections (TryAcquire at a full gate), context-cancelled
+// waits, and the high-water mark of the wait queue.
+type GateStats = gate.LiveStats
+
+// Stats returns a snapshot of the gate's admission counters.
+func (g *AdaptiveGate) Stats() GateStats { return g.gate.Stats() }
+
 // Close stops the measurement loop. The gate itself remains usable with
 // its last limit.
 func (g *AdaptiveGate) Close() {
@@ -151,7 +161,14 @@ func (g *AdaptiveGate) tick() {
 	g.mu.Lock()
 	g.area += float64(g.active) * now.Sub(g.lastT).Seconds()
 	g.lastT = now
-	dt := g.cfg.Interval.Seconds()
+	// Divide by the actually elapsed window, not the configured interval:
+	// a ticker firing late under CPU saturation would otherwise inflate
+	// load and throughput exactly when accurate samples matter most.
+	dt := now.Sub(g.lastTick).Seconds()
+	g.lastTick = now
+	if dt <= 0 {
+		dt = g.cfg.Interval.Seconds()
+	}
 	load := g.area / dt
 	succ := g.successes
 	fail := g.failures

@@ -29,6 +29,18 @@
 //	err := doTransaction()
 //	gate.Observe(err == nil)
 //
+// # Serving over the network
+//
+// Serve exposes the same adaptive admission control as an HTTP transaction
+// server (endpoints /txn, /metrics, /controller), executing transactions
+// against an in-process store under a selectable concurrency-control
+// engine:
+//
+//	err := loadctl.Serve(ctx, loadctl.ServerConfig{Addr: ":8344"})
+//
+// cmd/loadctld wraps Serve as a binary and cmd/loadgen replays the
+// workload schedules against it as open- or closed-loop traffic.
+//
 // # Reproducing the paper
 //
 // The simulation model, experiment generators and benchmark harness live in

@@ -1,0 +1,127 @@
+package loadctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/server"
+	"github.com/tpctl/loadctl/internal/workload"
+)
+
+// ServerConfig configures the network-facing transaction front-end: an
+// HTTP server whose /txn endpoint runs each request through the adaptive
+// admission gate and a concurrency-controlled in-memory store, with
+// /metrics and /controller for observation and live controller switching.
+type ServerConfig struct {
+	// Addr is the listen address for Serve (default ":8344").
+	Addr string
+	// Controller re-estimates the concurrency limit; required for New.
+	// Use NewPA(DefaultPAConfig()) for the paper's best-performing choice.
+	Controller Controller
+	// Engine selects concurrency control: "occ" (kv-native optimistic,
+	// default), "cert" (the paper's timestamp certification), "2pl"
+	// (strict two-phase locking, deadlock detection), or "wait-die".
+	Engine string
+	// Items is the store size D (default 4096; smaller = more contention).
+	Items int
+	// Interval is the measurement interval Δt (default 1s).
+	Interval time.Duration
+	// MaxRetry bounds CC-abort restarts per request (0 = default of 3,
+	// negative = no restarts).
+	MaxRetry int
+	// QueueTimeout bounds the admission wait before a request is shed
+	// with 503 (default 5s).
+	QueueTimeout time.Duration
+	// Reject makes admission non-blocking: a full gate answers 429
+	// immediately instead of queueing.
+	Reject bool
+	// Seed derives access-set sampling streams (0 = deterministic default).
+	Seed int64
+}
+
+// Server is a running transaction front-end bound to an in-process store.
+type Server struct {
+	inner *server.Server
+}
+
+// NewServer builds the front-end without binding a listener; mount
+// Handler on any mux or test server. Close releases the measurement loop.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Controller == nil {
+		return nil, errors.New("loadctl: ServerConfig.Controller is required")
+	}
+	items := cfg.Items
+	if items <= 0 {
+		items = 4096
+	}
+	store := kv.NewStore(items)
+	engine, err := server.NewEngine(cfg.Engine, store)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := server.New(server.Config{
+		Controller:   cfg.Controller,
+		Engine:       engine,
+		Items:        items,
+		Interval:     cfg.Interval,
+		Mix:          workload.DefaultMix(),
+		MaxRetry:     cfg.MaxRetry,
+		QueueTimeout: cfg.QueueTimeout,
+		Reject:       cfg.Reject,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Handler returns the HTTP handler serving /txn, /metrics, /controller
+// and /healthz.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Limit returns the currently installed concurrency bound n*.
+func (s *Server) Limit() float64 { return s.inner.Limit() }
+
+// Close stops the measurement loop.
+func (s *Server) Close() { s.inner.Close() }
+
+// Serve runs the transaction front-end on cfg.Addr until ctx is
+// cancelled, then shuts down gracefully. It supplies a PA controller when
+// cfg.Controller is nil, making loadctl.Serve(ctx, loadctl.ServerConfig{})
+// a complete adaptive transaction server.
+func Serve(ctx context.Context, cfg ServerConfig) error {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8344"
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = core.NewPA(core.DefaultPAConfig())
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("loadctl: listen %s: %w", cfg.Addr, err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
+}

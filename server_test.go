@@ -1,0 +1,80 @@
+package loadctl_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl"
+)
+
+// TestPublicServerAPI exercises the exported front-end surface: build a
+// server from the public config, run transactions through the full
+// admission → execution → metrics path, and switch the controller live.
+func TestPublicServerAPI(t *testing.T) {
+	paCfg := loadctl.DefaultPAConfig()
+	paCfg.Bounds = loadctl.Bounds{Lo: 2, Hi: 32}
+	paCfg.Initial = 16
+	srv, err := loadctl.NewServer(loadctl.ServerConfig{
+		Controller: loadctl.NewPA(paCfg),
+		Engine:     "occ",
+		Items:      64,
+		Interval:   time.Minute, // frozen: this test checks plumbing, not control
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/txn?class=update&k=3", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || tr.Status != "committed" {
+		t.Fatalf("txn: %d/%q", resp.StatusCode, tr.Status)
+	}
+
+	if got := srv.Limit(); got != 16 {
+		t.Fatalf("Limit() = %v, want initial 16", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Controller string `json:"controller"`
+		Limit      float64
+		Totals     struct {
+			Commits uint64 `json:"commits"`
+		} `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Controller != "parabola-approximation" || snap.Totals.Commits != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	if _, err := loadctl.NewServer(loadctl.ServerConfig{}); err == nil {
+		t.Fatal("config without controller accepted")
+	}
+	if _, err := loadctl.NewServer(loadctl.ServerConfig{
+		Controller: loadctl.NewStatic(4), Engine: "bogus",
+	}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
