@@ -33,6 +33,7 @@ func main() {
 		hi           = flag.Float64("hi", 1000, "upper static clamp for the bound")
 		engine       = flag.String("engine", "occ", "concurrency control: occ, cert, 2pl, wait-die")
 		items        = flag.Int("items", 4096, "store size D (smaller = more contention)")
+		kvShards     = flag.Int("kv-shards", 0, "kv store shards, rounded up to a power of two (0 = auto from GOMAXPROCS, 1 = unsharded baseline)")
 		interval     = flag.Duration("interval", time.Second, "measurement interval")
 		maxRetry     = flag.Int("maxretry", 3, "restart budget per request on CC abort (-1 = no restarts)")
 		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max admission wait before shedding (503)")
@@ -49,13 +50,14 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	fmt.Printf("loadctld: serving on %s (controller=%s engine=%s items=%d interval=%s)\n",
-		*addr, ctrl.Name(), *engine, *items, *interval)
+	fmt.Printf("loadctld: serving on %s (controller=%s engine=%s items=%d kv-shards=%d interval=%s)\n",
+		*addr, ctrl.Name(), *engine, *items, *kvShards, *interval)
 	err = loadctl.Serve(ctx, loadctl.ServerConfig{
 		Addr:         *addr,
 		Controller:   ctrl,
 		Engine:       *engine,
 		Items:        *items,
+		KVShards:     *kvShards,
 		Interval:     *interval,
 		MaxRetry:     *maxRetry,
 		QueueTimeout: *queueTimeout,

@@ -62,8 +62,13 @@ func (l *Live) Acquire(ctx context.Context) error {
 		// Remove ourselves unless we were admitted concurrently.
 		select {
 		case <-ch:
-			// Already admitted: the slot is ours; give it back.
+			// Already admitted concurrently with the cancellation: the slot
+			// is ours; give it back and reclassify the admission as a
+			// timeout, so Admitted only ever counts acquisitions the caller
+			// observed and Arrivals == Admitted+Rejected+Timeouts+queued.
 			l.active--
+			l.admitted--
+			l.timeouts++
 			l.pumpLocked()
 			l.mu.Unlock()
 			return ctx.Err()
@@ -139,10 +144,13 @@ func (l *Live) Queued() int {
 }
 
 // LiveStats is a snapshot of gate counters. Arrivals counts every admission
-// attempt (blocking or not); Admitted the successful ones; Rejected the
-// TryAcquire calls turned away at a full gate (the non-blocking shed path,
-// distinct from queued admits); Timeouts the Acquire calls abandoned by
-// context cancellation while queued.
+// attempt (blocking or not); Admitted the successful ones (only those the
+// caller observed as admitted — a slot granted concurrently with context
+// cancellation is handed back and counted as a timeout instead); Rejected
+// the TryAcquire calls turned away at a full gate (the non-blocking shed
+// path, distinct from queued admits); Timeouts the Acquire calls abandoned
+// by context cancellation. At quiescence the counters reconcile exactly:
+// Arrivals == Admitted + Rejected + Timeouts + queued waiters.
 type LiveStats struct {
 	Arrivals uint64
 	Admitted uint64

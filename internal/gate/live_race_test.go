@@ -112,6 +112,99 @@ func TestLiveAcquireCancelVsSetLimit(t *testing.T) {
 	}
 }
 
+// TestLiveCancelAdmitCounterIdentity hammers the admitted-concurrently-
+// with-cancellation race and asserts the full counter identity against
+// client-observed outcomes: Admitted must equal the number of Acquire and
+// TryAcquire calls that actually returned a slot to their caller, and
+// Arrivals == Admitted + Rejected + Timeouts + queued must reconcile
+// exactly. Before the cancel-after-admit fix, a waiter whose wake-up
+// raced its cancellation handed the slot back but stayed counted in
+// Admitted, so Admitted overcounted client successes. Run with -race.
+func TestLiveCancelAdmitCounterIdentity(t *testing.T) {
+	l := NewLive(0)
+	var (
+		wg          sync.WaitGroup
+		gotSlot     atomic.Int64 // blocking acquires the caller saw succeed
+		gaveUp      atomic.Int64 // blocking acquires that returned ctx.Err()
+		tryOK       atomic.Int64
+		tryRejected atomic.Int64
+	)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				l.SetLimit(math.Inf(1)) // drain everyone still queued
+				return
+			default:
+			}
+			l.SetLimit(float64(i % 3))
+		}
+	}()
+
+	const workers = 16
+	const iters = 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%7 == 0 {
+					// Mix in the non-blocking path so Rejected participates
+					// in the identity too.
+					if l.TryAcquire() {
+						tryOK.Add(1)
+						l.Release()
+					} else {
+						tryRejected.Add(1)
+					}
+					continue
+				}
+				d := time.Duration(seed+int64(i)) % 40 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				err := l.Acquire(ctx)
+				cancel()
+				if err == nil {
+					gotSlot.Add(1)
+					l.Release()
+				} else {
+					gaveUp.Add(1)
+				}
+			}
+		}(int64(w))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: workers did not drain")
+	}
+
+	if a, q := l.Active(), l.Queued(); a != 0 || q != 0 {
+		t.Fatalf("leaked state: active=%d queued=%d", a, q)
+	}
+	st := l.Stats()
+	if want := uint64(gotSlot.Load() + tryOK.Load()); st.Admitted != want {
+		t.Fatalf("Admitted = %d, but callers observed %d successful acquires", st.Admitted, want)
+	}
+	if st.Timeouts != uint64(gaveUp.Load()) {
+		t.Fatalf("Timeouts = %d, but callers observed %d abandoned acquires", st.Timeouts, gaveUp.Load())
+	}
+	if st.Rejected != uint64(tryRejected.Load()) {
+		t.Fatalf("Rejected = %d, but callers observed %d refusals", st.Rejected, tryRejected.Load())
+	}
+	if st.Arrivals != st.Admitted+st.Rejected+st.Timeouts {
+		t.Fatalf("identity broken: arrivals %d != admitted %d + rejected %d + timeouts %d (queued 0)",
+			st.Arrivals, st.Admitted, st.Rejected, st.Timeouts)
+	}
+}
+
 // TestLiveFCFSOrderUnderLimitChanges queues waiters in a known arrival
 // order against a closed gate, then opens the limit step by step and
 // checks admissions happen strictly in arrival order.

@@ -1,0 +1,110 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// Shard-scaling benchmarks: the same transaction mix against a 1-shard
+// (single global lock, the pre-sharding baseline) and an N-shard store at
+// GOMAXPROCS parallelism. Run with
+//
+//	go test -bench 'Store(Read|Update)Heavy' -cpu 1,4,8 ./internal/kv
+//
+// and compare shards=1 against shards=auto at the same -cpu.
+
+const (
+	benchItems = 4096
+	benchK     = 8
+)
+
+var benchSeed atomic.Int64
+
+// benchTxns drives one transaction per iteration: k item accesses, with
+// queryFrac of the transactions read-only and the rest read-modify-write
+// on every item (the paper's updater class).
+func benchTxns(b *testing.B, shards int, queryFrac float64) {
+	s := NewStoreShards(benchItems, shards)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(benchSeed.Add(1)))
+		for pb.Next() {
+			query := rng.Float64() < queryFrac
+			if query {
+				txn := s.Begin()
+				for j := 0; j < benchK; j++ {
+					txn.Get(rng.Intn(benchItems))
+				}
+				if err := txn.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			if _, err := s.Update(0, func(txn *Txn) error {
+				for j := 0; j < benchK; j++ {
+					key := rng.Intn(benchItems)
+					txn.Set(key, txn.Get(key)+1)
+				}
+				return nil
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func benchShardCounts() []int {
+	auto := NewStoreShards(benchItems, 0).Shards()
+	if auto == 1 {
+		return []int{1, 8} // single-core runner: still exercise the multi-shard path
+	}
+	return []int{1, auto}
+}
+
+// BenchmarkStoreReadHeavy is 95% read-only transactions — the regime
+// where even the RWMutex baseline admits parallel readers but bounces one
+// shared lock cache line.
+func BenchmarkStoreReadHeavy(b *testing.B) {
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchTxns(b, shards, 0.95)
+		})
+	}
+}
+
+// BenchmarkStoreUpdateHeavy is all read-modify-write transactions — the
+// regime the single commit lock serializes completely.
+func BenchmarkStoreUpdateHeavy(b *testing.B) {
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchTxns(b, shards, 0)
+		})
+	}
+}
+
+// BenchmarkStoreUncontended measures the single-goroutine overhead the
+// sharding adds to one update transaction (mask/shift plus the bitmask
+// walk at commit).
+func BenchmarkStoreUncontended(b *testing.B) {
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := NewStoreShards(benchItems, shards)
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				txn := s.Begin()
+				for j := 0; j < benchK; j++ {
+					key := rng.Intn(benchItems)
+					txn.Set(key, txn.Get(key)+1)
+				}
+				if err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

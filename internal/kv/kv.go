@@ -8,11 +8,20 @@
 // commit: if any item it read changed since, the commit fails with
 // ErrConflict and the caller retries. Heavy multiprogramming therefore
 // wastes work in exactly the way the paper's §1 describes.
+//
+// The store is sharded: items are interleaved over a power-of-two number
+// of shards, each with its own lock and commit/abort counters, so
+// independent transactions proceed without touching a shared cache line.
+// A commit locks the (deduped) set of shards its read and write sets
+// touch in ascending index order — cross-shard read-modify-writes stay
+// atomic and the fixed order makes deadlock impossible.
 package kv
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 )
 
@@ -20,50 +29,117 @@ import (
 // should retry the transaction.
 var ErrConflict = errors.New("kv: certification conflict, retry")
 
-// Store is a fixed-size array of versioned cells.
-type Store struct {
+// MaxShards bounds the shard count; shard sets are tracked as a uint64
+// bitmask during commit, so it cannot exceed 64.
+const MaxShards = 64
+
+// shard owns the items whose index i satisfies i&mask == its position.
+// The trailing pad keeps neighbouring shards' locks and counters on
+// separate cache lines.
+type shard struct {
 	mu      sync.RWMutex
 	vals    []int64
 	vers    []uint64
 	commits uint64
 	aborts  uint64
+	_       [40]byte
 }
 
-// NewStore returns a store with n zero-valued items.
-func NewStore(n int) *Store {
+// Store is a fixed-size array of versioned cells, interleaved over shards.
+type Store struct {
+	shards []shard
+	bits   uint // log2(len(shards))
+	mask   int  // len(shards) - 1
+	n      int
+}
+
+// NewStore returns a store with n zero-valued items and an automatic
+// shard count (the next power of two at or above GOMAXPROCS, at most
+// MaxShards).
+func NewStore(n int) *Store { return NewStoreShards(n, 0) }
+
+// NewStoreShards returns a store with n zero-valued items spread over the
+// given number of shards. shards is rounded up to the next power of two
+// and clamped to [1, MaxShards]; 0 selects the automatic count (next
+// power of two ≥ GOMAXPROCS). Use shards=1 for the unsharded baseline.
+func NewStoreShards(n, shards int) *Store {
 	if n < 1 {
 		panic(fmt.Sprintf("kv: store size %d < 1", n))
 	}
-	return &Store{vals: make([]int64, n), vers: make([]uint64, n)}
+	if shards < 0 {
+		panic(fmt.Sprintf("kv: shard count %d < 0", shards))
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	shards = normalizeShards(shards)
+	st := &Store{
+		shards: make([]shard, shards),
+		bits:   uint(bits.TrailingZeros(uint(shards))),
+		mask:   shards - 1,
+		n:      n,
+	}
+	for i := range st.shards {
+		// Shard i owns items i, i+S, i+2S, … < n.
+		ln := (n - i + shards - 1) / shards
+		st.shards[i].vals = make([]int64, ln)
+		st.shards[i].vers = make([]uint64, ln)
+	}
+	return st
+}
+
+// normalizeShards rounds up to a power of two within [1, MaxShards].
+func normalizeShards(s int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > MaxShards {
+		return MaxShards
+	}
+	p := 1
+	for p < s {
+		p <<= 1
+	}
+	return p
 }
 
 // Size returns the number of items.
-func (s *Store) Size() int { return len(s.vals) }
+func (s *Store) Size() int { return s.n }
 
-// Stats returns (commits, aborts) so far.
+// Shards returns the number of shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Stats returns (commits, aborts) so far, aggregated across shards.
 func (s *Store) Stats() (commits, aborts uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.commits, s.aborts
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		commits += sh.commits
+		aborts += sh.aborts
+		sh.mu.RUnlock()
+	}
+	return commits, aborts
 }
 
 // Read returns the committed value of item i without any transaction
 // bookkeeping. It is for engines that provide their own concurrency control
 // (e.g. a lock manager serializing access) and for test seeding.
 func (s *Store) Read(i int) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.vals[i]
+	sh := &s.shards[i&s.mask]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.vals[i>>s.bits]
 }
 
 // Write installs v at item i outside any transaction, bumping the item's
 // version so concurrent optimistic transactions that read it will fail
 // certification. Like Read it serves externally-serialized engines.
 func (s *Store) Write(i int, v int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vals[i] = v
-	s.vers[i]++
+	sh := &s.shards[i&s.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.vals[i>>s.bits] = v
+	sh.vers[i>>s.bits]++
 }
 
 // Txn is one optimistic transaction. Not safe for concurrent use by
@@ -85,10 +161,11 @@ func (t *Txn) Get(i int) int64 {
 	if v, ok := t.writes[i]; ok {
 		return v
 	}
-	t.s.mu.RLock()
-	val := t.s.vals[i]
-	ver := t.s.vers[i]
-	t.s.mu.RUnlock()
+	sh := &t.s.shards[i&t.s.mask]
+	sh.mu.RLock()
+	val := sh.vals[i>>t.s.bits]
+	ver := sh.vers[i>>t.s.bits]
+	sh.mu.RUnlock()
 	if _, seen := t.readVers[i]; !seen {
 		t.readVers[i] = ver
 	}
@@ -101,21 +178,52 @@ func (t *Txn) Set(i int, v int64) { t.writes[i] = v }
 // Commit validates and atomically installs the write set. It returns
 // ErrConflict if any item read by the transaction changed since it was
 // read (backward validation, as in the paper's timestamp certification).
+// All shards touched by the read and write sets are locked together, in
+// ascending index order, so validation plus install is one atomic step
+// even across shards and lock acquisition cannot deadlock.
 func (t *Txn) Commit() error {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
+	var touched uint64
+	for i := range t.readVers {
+		touched |= 1 << uint(i&t.s.mask)
+	}
+	for i := range t.writes {
+		touched |= 1 << uint(i&t.s.mask)
+	}
+	if touched == 0 {
+		// Empty transaction: still count the commit somewhere stable.
+		touched = 1
+	}
+	t.s.lockShards(touched)
+	first := &t.s.shards[bits.TrailingZeros64(touched)]
 	for i, ver := range t.readVers {
-		if t.s.vers[i] != ver {
-			t.s.aborts++
+		if t.s.shards[i&t.s.mask].vers[i>>t.s.bits] != ver {
+			first.aborts++
+			t.s.unlockShards(touched)
 			return ErrConflict
 		}
 	}
 	for i, v := range t.writes {
-		t.s.vals[i] = v
-		t.s.vers[i]++
+		sh := &t.s.shards[i&t.s.mask]
+		sh.vals[i>>t.s.bits] = v
+		sh.vers[i>>t.s.bits]++
 	}
-	t.s.commits++
+	first.commits++
+	t.s.unlockShards(touched)
 	return nil
+}
+
+// lockShards write-locks the shards in the bitmask in ascending order.
+func (s *Store) lockShards(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		s.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+}
+
+// unlockShards releases the shards in the bitmask.
+func (s *Store) unlockShards(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		s.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
 }
 
 // Update runs fn inside a transaction, retrying on conflict up to maxRetry

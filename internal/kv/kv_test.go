@@ -166,3 +166,153 @@ func TestNewStoreValidation(t *testing.T) {
 	}()
 	NewStore(0)
 }
+
+func TestShardNormalization(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {63, 64}, {64, 64}, {100, 64},
+	}
+	for _, c := range cases {
+		if got := NewStoreShards(8, c.in).Shards(); got != c.want {
+			t.Errorf("NewStoreShards(8, %d).Shards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := NewStoreShards(8, 0).Shards(); got < 1 || got&(got-1) != 0 {
+		t.Errorf("auto shard count %d is not a positive power of two", got)
+	}
+}
+
+// TestShardedValuesRoundTrip checks that every item keeps its identity
+// under the interleaved shard mapping: write i to item i, read all back,
+// through both the transactional and the direct paths.
+func TestShardedValuesRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 16, 64} {
+		s := NewStoreShards(37, shards) // size not a multiple of the shard count
+		txn := s.Begin()
+		for i := 0; i < s.Size(); i++ {
+			txn.Set(i, int64(100+i))
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := 0; i < s.Size(); i++ {
+			if v := s.Read(i); v != int64(100+i) {
+				t.Fatalf("shards=%d: item %d = %d, want %d", shards, i, v, 100+i)
+			}
+		}
+		s.Write(5, -1)
+		check := s.Begin()
+		if v := check.Get(5); v != -1 {
+			t.Fatalf("shards=%d: direct write invisible: %d", shards, v)
+		}
+	}
+}
+
+// TestCrossShardConflictDetected pins a conflict between items that live
+// on different shards: a transaction reading both must fail validation
+// when either changes underneath it.
+func TestCrossShardConflictDetected(t *testing.T) {
+	s := NewStoreShards(16, 8) // items 0 and 1 are on shards 0 and 1
+	a := s.Begin()
+	a.Get(0)
+	a.Get(1)
+
+	b := s.Begin()
+	b.Set(1, 99)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	a.Set(0, 1)
+	if err := a.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected cross-shard conflict, got %v", err)
+	}
+	commits, aborts := s.Stats()
+	if commits != 1 || aborts != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1)", commits, aborts)
+	}
+}
+
+// TestCrossShardTransferInvariant is the sharded-atomicity witness:
+// concurrent transfers between two items on different shards must keep
+// their sum constant. A commit that installed one half of its write set
+// without the other (or validated against a half-installed state) would
+// break the invariant.
+func TestCrossShardTransferInvariant(t *testing.T) {
+	s := NewStoreShards(8, 8)
+	const (
+		a, b    = 0, 1 // different shards under the interleaved mapping
+		initial = 1000
+		workers = 8
+		each    = 150
+	)
+	s.Write(a, initial)
+	s.Write(b, initial)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				amount := int64(1 + (w+i)%3)
+				if _, err := s.Update(0, func(txn *Txn) error {
+					txn.Set(a, txn.Get(a)-amount)
+					txn.Set(b, txn.Get(b)+amount)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	check := s.Begin()
+	if sum := check.Get(a) + check.Get(b); sum != 2*initial {
+		t.Fatalf("cross-shard sum = %d, want %d (torn commit!)", sum, 2*initial)
+	}
+	// Seeding went through Write (not transactions), so transfers account
+	// for every commit.
+	if commits, _ := s.Stats(); commits != workers*each {
+		t.Fatalf("commits = %d, want %d", commits, workers*each)
+	}
+}
+
+// TestShardedNoLostUpdates re-runs the lost-update witness at several
+// shard counts, with the hot keys spread over shards.
+func TestShardedNoLostUpdates(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		s := NewStoreShards(16, shards)
+		const (
+			workers = 8
+			each    = 100
+		)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					key := (w + i) % 4 // a few hot keys on distinct shards
+					if _, err := s.Update(0, func(txn *Txn) error {
+						txn.Set(key, txn.Get(key)+1)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var total int64
+		final := s.Begin()
+		for key := 0; key < 4; key++ {
+			total += final.Get(key)
+		}
+		if total != workers*each {
+			t.Fatalf("shards=%d: total = %d, want %d (lost updates!)", shards, total, workers*each)
+		}
+	}
+}

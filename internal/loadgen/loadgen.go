@@ -110,21 +110,28 @@ func (c Config) withDefaults() Config {
 type Report struct {
 	Mode     string  `json:"mode"`
 	Duration float64 `json:"duration_seconds"`
-	// Sent counts requests put on the wire; Shed counts open-loop arrivals
-	// dropped client-side at the in-flight cap (offered load the server
-	// never saw).
+	// Sent counts requests handed to the HTTP client (build failures for
+	// a malformed URL are included and land in Errors, keeping the
+	// identity below exact); Shed counts open-loop arrivals dropped
+	// client-side at the in-flight cap (offered load the server never
+	// saw).
 	Sent uint64 `json:"sent"`
 	Shed uint64 `json:"shed"`
 	// Committed / Rejected / Timeouts / Aborted mirror the server's
 	// status answers; Errors counts transport failures and unexpected
-	// statuses.
-	Committed uint64 `json:"committed"`
-	Rejected  uint64 `json:"rejected"`
-	Timeouts  uint64 `json:"timeouts"`
-	Aborted   uint64 `json:"aborted"`
-	Errors    uint64 `json:"errors"`
-	Queries   uint64 `json:"queries"`
-	Updates   uint64 `json:"updates"`
+	// statuses; Unresolved counts requests cut off by the end of the run
+	// while still in flight — sent, but with an unknowable outcome. The
+	// report always reconciles exactly:
+	//
+	//	Sent == Committed + Rejected + Timeouts + Aborted + Errors + Unresolved
+	Committed  uint64 `json:"committed"`
+	Rejected   uint64 `json:"rejected"`
+	Timeouts   uint64 `json:"timeouts"`
+	Aborted    uint64 `json:"aborted"`
+	Errors     uint64 `json:"errors"`
+	Unresolved uint64 `json:"unresolved"`
+	Queries    uint64 `json:"queries"`
+	Updates    uint64 `json:"updates"`
 	// Throughput is committed transactions per second of run time.
 	Throughput float64 `json:"throughput"`
 	// LatMean/LatP50/LatP95/LatP99 are response-time statistics in
@@ -138,16 +145,17 @@ type Report struct {
 // String renders the report as a human-readable block.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"%s-loop %.1fs: sent=%d committed=%d (%.1f tx/s) rejected=%d timeouts=%d aborted=%d shed=%d errors=%d\n"+
+		"%s-loop %.1fs: sent=%d committed=%d (%.1f tx/s) rejected=%d timeouts=%d aborted=%d shed=%d errors=%d unresolved=%d\n"+
 			"latency: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms (queries=%d updates=%d)",
 		r.Mode, r.Duration, r.Sent, r.Committed, r.Throughput, r.Rejected, r.Timeouts,
-		r.Aborted, r.Shed, r.Errors,
+		r.Aborted, r.Shed, r.Errors, r.Unresolved,
 		1e3*r.LatMean, 1e3*r.LatP50, 1e3*r.LatP95, 1e3*r.LatP99, r.Queries, r.Updates)
 }
 
 // collector accumulates thread-safe run statistics.
 type collector struct {
 	sent, shed, committed, rejected, timeouts, aborted, errs atomic.Uint64
+	unresolved                                               atomic.Uint64
 	queries, updates                                         atomic.Uint64
 
 	mu   sync.Mutex
@@ -195,17 +203,18 @@ func (c *collector) observe(status int, lat time.Duration, err error) {
 
 func (c *collector) report(mode Mode, dur time.Duration) Report {
 	r := Report{
-		Mode:      mode.String(),
-		Duration:  dur.Seconds(),
-		Sent:      c.sent.Load(),
-		Shed:      c.shed.Load(),
-		Committed: c.committed.Load(),
-		Rejected:  c.rejected.Load(),
-		Timeouts:  c.timeouts.Load(),
-		Aborted:   c.aborted.Load(),
-		Errors:    c.errs.Load(),
-		Queries:   c.queries.Load(),
-		Updates:   c.updates.Load(),
+		Mode:       mode.String(),
+		Duration:   dur.Seconds(),
+		Sent:       c.sent.Load(),
+		Shed:       c.shed.Load(),
+		Committed:  c.committed.Load(),
+		Rejected:   c.rejected.Load(),
+		Timeouts:   c.timeouts.Load(),
+		Aborted:    c.aborted.Load(),
+		Errors:     c.errs.Load(),
+		Unresolved: c.unresolved.Load(),
+		Queries:    c.queries.Load(),
+		Updates:    c.updates.Load(),
 	}
 	if r.Duration > 0 {
 		r.Throughput = float64(r.Committed) / r.Duration
@@ -332,23 +341,29 @@ func doRequest(ctx context.Context, cfg Config, col *collector, class string, k 
 		return
 	}
 	url := fmt.Sprintf("%s/txn?class=%s&k=%d", cfg.URL, class, k)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
-	if err != nil {
-		col.errs.Add(1)
-		return
-	}
+	// Count the attempt before building the request: a malformed URL makes
+	// every build fail, and those failures must land in Errors *and* Sent
+	// or the report identity (Sent == sum of outcomes) breaks.
 	col.sent.Add(1)
 	if class == "query" {
 		col.queries.Add(1)
 	} else {
 		col.updates.Add(1)
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		col.errs.Add(1)
+		return
+	}
 	t0 := time.Now()
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		// A request cut short by run end is not a server failure; its
-		// outcome is simply unknown.
-		if ctx.Err() == nil {
+		// outcome is simply unknown. Count it so the report still
+		// reconciles against Sent instead of silently dropping it.
+		if ctx.Err() != nil {
+			col.unresolved.Add(1)
+		} else {
 			col.observe(0, 0, err)
 		}
 		return

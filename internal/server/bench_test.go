@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+)
+
+// /txn hot-path benchmarks: the full handler (admission gate → engine →
+// striped accounting) at GOMAXPROCS parallelism, comparing the 1-shard
+// store (the pre-sharding global-lock baseline) against the auto shard
+// count. The handler is driven in-process through httptest recorders so
+// the measurement is the serving spine, not the TCP stack. Run with
+//
+//	go test -run '^$' -bench BenchmarkTxn -cpu 1,4,8 ./internal/server
+//
+// The uncontrolled limit and the hour-long measurement interval keep the
+// gate and the tick out of the picture; what remains is exactly the path
+// this package must scale.
+
+func benchTxnServer(b *testing.B, shards int, params string) {
+	store := kv.NewStoreShards(1024, shards)
+	s, err := New(Config{
+		Controller: core.NewStatic(1 << 20),
+		Engine:     NewOCC(store),
+		Items:      store.Size(),
+		Interval:   time.Hour,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/txn"+params, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK && rec.Code != http.StatusConflict {
+				b.Errorf("/txn answered %d", rec.Code)
+				return
+			}
+		}
+	})
+}
+
+func benchShardCounts() []int {
+	auto := kv.NewStoreShards(1024, 0).Shards()
+	if auto == 1 {
+		return []int{1, 8} // single-core runner: still exercise the multi-shard path
+	}
+	return []int{1, auto}
+}
+
+// BenchmarkTxnUpdateHeavy is all updaters writing every accessed item —
+// the mix that fully serialized on the old global commit lock.
+func BenchmarkTxnUpdateHeavy(b *testing.B) {
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("kvshards=%d", shards), func(b *testing.B) {
+			benchTxnServer(b, shards, "?class=update&k=8")
+		})
+	}
+}
+
+// BenchmarkTxnReadHeavy is all queries — reads share shard RLocks and the
+// striped accounting is the only write traffic.
+func BenchmarkTxnReadHeavy(b *testing.B) {
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("kvshards=%d", shards), func(b *testing.B) {
+			benchTxnServer(b, shards, "?class=query&k=8")
+		})
+	}
+}

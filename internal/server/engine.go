@@ -47,7 +47,8 @@ type Engine interface {
 
 // occEngine runs transactions through the kv store's native optimistic
 // certification: fully concurrent reads, commit-time validation under the
-// store's single writer lock.
+// write locks of only the shards the transaction touched, so disjoint
+// transactions commit in parallel.
 type occEngine struct {
 	store *kv.Store
 }
@@ -60,12 +61,19 @@ func (e *occEngine) Name() string { return "kv-occ" }
 
 // Exec implements Engine. Each access reads the item; writes increment it,
 // making every commit observable and every certification conflict real.
+// The access loop re-checks ctx periodically so a large transaction whose
+// client disconnected abandons instead of finishing work nobody will read.
 func (e *occEngine) Exec(ctx context.Context, spec TxnSpec) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	txn := e.store.Begin()
 	for i, key := range spec.Keys {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		v := txn.Get(key)
 		if spec.Write[i] {
 			txn.Set(key, v+1)

@@ -14,6 +14,23 @@
 //	GET  /metrics    Prometheus-style text; ?format=json for a JSON snapshot
 //	GET  /controller controller inspection; POST switches the controller live
 //	GET  /healthz    liveness probe
+//
+// The /metrics format contract: the default (no format parameter) is
+// Prometheus text. format=json selects the JSON snapshot. history=1
+// additionally includes the retained closed measurement intervals and is
+// only meaningful for JSON — the Prometheus text form has no history
+// representation, so history=1 without format=json is answered with 400
+// rather than silently switching the content type. Unknown format values
+// are 400 as well.
+//
+// The request hot path never takes the server-wide mutex: every
+// per-request counter (request/commit/abort/reject/timeout/disconnect
+// totals, the response-time accumulators, and the load integrator feeding
+// the controller's n(t) signal) lives in striped, cache-line-padded
+// atomic cells selected per request. The measurement tick and /metrics
+// fold the stripes; the server-wide mutex guards only controller state
+// and interval history. The remaining per-request shared state is the
+// request-sequence atomic and the admission gate's own mutex.
 package server
 
 import (
@@ -23,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -99,8 +117,9 @@ type IntervalStats struct {
 	// RespTime is the mean response time in seconds of requests that
 	// completed in the interval (queueing + execution + retries).
 	RespTime float64 `json:"resp_time"`
-	// AbortRate is CC aborts per commit (aborts per attempt when no
-	// commit landed in the interval).
+	// AbortRate is CC aborts per commit. When no commit landed in the
+	// interval it is aborts per attempt, which is 1.0 whenever any
+	// attempt ran (every attempt aborted) and 0 for an idle interval.
 	AbortRate float64 `json:"abort_rate"`
 	// Limit is the bound n* installed at the interval end.
 	Limit float64 `json:"limit"`
@@ -109,13 +128,16 @@ type IntervalStats struct {
 	Aborts  uint64 `json:"aborts"`
 }
 
-// Totals are monotone counters since server start.
+// Totals are monotone counters since server start. Disconnects counts
+// transactions abandoned because the client's request context was
+// canceled mid-execution — distinct from engine errors.
 type Totals struct {
-	Requests uint64 `json:"requests"`
-	Commits  uint64 `json:"commits"`
-	Aborts   uint64 `json:"aborts"`
-	Rejected uint64 `json:"rejected"`
-	Timeouts uint64 `json:"timeouts"`
+	Requests    uint64 `json:"requests"`
+	Commits     uint64 `json:"commits"`
+	Aborts      uint64 `json:"aborts"`
+	Rejected    uint64 `json:"rejected"`
+	Timeouts    uint64 `json:"timeouts"`
+	Disconnects uint64 `json:"disconnects"`
 }
 
 // Snapshot is the JSON document served by /metrics?format=json.
@@ -136,6 +158,86 @@ type Snapshot struct {
 	History []IntervalStats `json:"history,omitempty"`
 }
 
+// counterCell is one stripe of the hot-path counters. All fields are
+// monotone, so folds need no reset and a fold racing a request can skew a
+// value between two adjacent intervals but never lose or double-count it.
+// entryNanos/exitNanos accumulate admission entry/exit timestamps (nanos
+// since server start): the tick reconstructs the load integral
+// ∫ n(t) dt from them without any serializing lastT/area pair (see fold
+// and tick). Sums wrap around uint64 on long runs; interval deltas stay
+// exact under modular arithmetic. The pad spreads cells over distinct
+// cache lines.
+type counterCell struct {
+	requests    atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	rejected    atomic.Uint64
+	timeouts    atomic.Uint64
+	disconnects atomic.Uint64
+	respNanos   atomic.Uint64 // summed commit latencies
+	respN       atomic.Uint64
+	entryNanos  atomic.Uint64 // summed admission timestamps
+	entries     atomic.Uint64
+	exitNanos   atomic.Uint64 // summed release timestamps
+	exits       atomic.Uint64
+	_           [4]uint64
+}
+
+// foldTotals is one aggregation of all cells.
+type foldTotals struct {
+	requests, commits, aborts, rejected, timeouts, disconnects uint64
+	respNanos, respN                                           uint64
+	entryNanos, entries                                        uint64
+	exitNanos, exits                                           uint64
+}
+
+// numCells picks the stripe count: the next power of two at or above
+// GOMAXPROCS, at most 64.
+func numCells() int {
+	p := runtime.GOMAXPROCS(0)
+	n := 1
+	for n < p && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// fold sums the stripes. Within each cell, exit counters are read before
+// entry counters so a request racing the fold can only appear as
+// entered-but-not-yet-exited (never a negative active population), and
+// each count is read before its timestamp sum so a racing event can only
+// land in the sum without its count — the direction tick clamps away.
+func (s *Server) fold() foldTotals {
+	var f foldTotals
+	for i := range s.cells {
+		c := &s.cells[i]
+		f.exits += c.exits.Load()
+		f.exitNanos += c.exitNanos.Load()
+		f.entries += c.entries.Load()
+		f.entryNanos += c.entryNanos.Load()
+		f.requests += c.requests.Load()
+		f.commits += c.commits.Load()
+		f.aborts += c.aborts.Load()
+		f.rejected += c.rejected.Load()
+		f.timeouts += c.timeouts.Load()
+		f.disconnects += c.disconnects.Load()
+		f.respN += c.respN.Load()
+		f.respNanos += c.respNanos.Load()
+	}
+	return f
+}
+
+func (f foldTotals) totals() Totals {
+	return Totals{
+		Requests:    f.requests,
+		Commits:     f.commits,
+		Aborts:      f.aborts,
+		Rejected:    f.rejected,
+		Timeouts:    f.timeouts,
+		Disconnects: f.disconnects,
+	}
+}
+
 // Server is the transaction front-end. Create with New, serve its
 // Handler, and Close it to stop the measurement loop.
 type Server struct {
@@ -144,22 +246,18 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	seq atomic.Uint64 // per-request stream ids
+	seq atomic.Uint64 // per-request stream ids; also selects the stripe
+
+	cells    []counterCell // striped hot-path counters, len is a power of two
+	cellMask uint64
 
 	mu       sync.Mutex
 	ctrl     core.Controller
-	updates  uint64  // controller Update calls
-	area     float64 // ∫ active dt within the open interval
-	lastT    time.Time
-	lastTick time.Time // previous interval boundary (for the true Δt)
-	active   int
-	commits  uint64 // open-interval counters
-	aborts   uint64
-	respSum  float64
-	respN    uint64
+	updates  uint64     // controller Update calls
+	lastTick time.Time  // previous interval boundary (for the true Δt)
+	prevFold foldTotals // fold at the previous tick, for interval deltas
 	last     IntervalStats
 	history  []IntervalStats
-	totals   Totals
 	lastSamp core.Sample
 
 	stop chan struct{}
@@ -178,15 +276,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Items < 1 {
 		return nil, fmt.Errorf("server: Config.Items %d < 1", cfg.Items)
 	}
+	cells := numCells()
 	s := &Server{
-		cfg:   cfg,
-		gate:  gate.NewLive(cfg.Controller.Bound()),
-		ctrl:  cfg.Controller,
-		start: time.Now(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		gate:     gate.NewLive(cfg.Controller.Bound()),
+		ctrl:     cfg.Controller,
+		start:    time.Now(),
+		cells:    make([]counterCell, cells),
+		cellMask: uint64(cells - 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
-	s.lastT = s.start
 	s.lastTick = s.start
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/txn", s.handleTxn)
@@ -296,7 +396,13 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 
 	now := s.elapsed()
-	rng := sim.Stream(s.cfg.Seed, s.seq.Add(1))
+	seq := s.seq.Add(1)
+	// All of this request's counter traffic goes to one stripe; requests
+	// spread round-robin over stripes, so concurrent requests rarely share
+	// a counter cache line and never take s.mu. (The seq atomic itself and
+	// the gate's internal mutex remain the shared touch points.)
+	cell := &s.cells[seq&s.cellMask]
+	rng := sim.Stream(s.cfg.Seed, seq)
 	var query bool
 	switch req.Class {
 	case "query":
@@ -319,9 +425,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		class = "query"
 	}
 
-	s.mu.Lock()
-	s.totals.Requests++
-	s.mu.Unlock()
+	cell.requests.Add(1)
 
 	t0 := time.Now()
 
@@ -329,9 +433,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	// front of real network traffic.
 	if s.cfg.Reject {
 		if !s.gate.TryAcquire() {
-			s.mu.Lock()
-			s.totals.Rejected++
-			s.mu.Unlock()
+			cell.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, LatencyMS: msSince(t0)})
 			return
@@ -341,15 +443,13 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		err := s.gate.Acquire(ctx)
 		cancel()
 		if err != nil {
-			s.mu.Lock()
-			s.totals.Timeouts++
-			s.mu.Unlock()
+			cell.timeouts.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, LatencyMS: msSince(t0)})
 			return
 		}
 	}
-	s.note(+1)
+	s.noteEnter(cell)
 
 	attempts := 0
 	var execErr error
@@ -359,55 +459,49 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(execErr, ErrAborted) {
 			break
 		}
-		s.countAbort()
+		cell.aborts.Add(1)
 		if attempts > s.cfg.MaxRetry {
 			break
 		}
 	}
 
 	s.gate.Release()
-	s.note(-1)
+	s.noteExit(cell)
 
 	lat := time.Since(t0)
 	switch {
 	case execErr == nil:
-		s.countCommit(lat)
+		cell.respNanos.Add(uint64(lat.Nanoseconds()))
+		cell.respN.Add(1)
+		cell.commits.Add(1)
 		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
 	case errors.Is(execErr, ErrAborted):
 		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
+		// The client went away (or its deadline passed) mid-transaction:
+		// not an engine failure. Count it separately and skip the write —
+		// nobody is left to read a response.
+		cell.disconnects.Add(1)
 	default:
-		// Client went away mid-transaction or an engine failure.
+		// A genuine engine failure.
 		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
 	}
 }
 
 func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
 
-// note integrates the active-transaction count over time (the load signal
-// n(t) of the paper's measurement loop).
-func (s *Server) note(delta int) {
-	now := time.Now()
-	s.mu.Lock()
-	s.area += float64(s.active) * now.Sub(s.lastT).Seconds()
-	s.lastT = now
-	s.active += delta
-	s.mu.Unlock()
+// noteEnter/noteExit feed the load integrator (the n(t) signal of the
+// paper's measurement loop) without any shared state: each records the
+// event's timestamp sum before its count, matching fold's read order, so
+// the tick can reconstruct ∫ n(t) dt from per-stripe monotone counters.
+func (s *Server) noteEnter(cell *counterCell) {
+	cell.entryNanos.Add(uint64(time.Since(s.start).Nanoseconds()))
+	cell.entries.Add(1)
 }
 
-func (s *Server) countCommit(lat time.Duration) {
-	s.mu.Lock()
-	s.commits++
-	s.totals.Commits++
-	s.respSum += lat.Seconds()
-	s.respN++
-	s.mu.Unlock()
-}
-
-func (s *Server) countAbort() {
-	s.mu.Lock()
-	s.aborts++
-	s.totals.Aborts++
-	s.mu.Unlock()
+func (s *Server) noteExit(cell *counterCell) {
+	cell.exitNanos.Add(uint64(time.Since(s.start).Nanoseconds()))
+	cell.exits.Add(1)
 }
 
 // loop closes measurement intervals and drives the controller, mirroring
@@ -428,32 +522,66 @@ func (s *Server) loop() {
 
 func (s *Server) tick() {
 	now := time.Now()
+	nowNanos := now.Sub(s.start).Nanoseconds()
+	f := s.fold()
+
 	s.mu.Lock()
-	s.area += float64(s.active) * now.Sub(s.lastT).Seconds()
-	s.lastT = now
 	// Use the actually elapsed window, not the configured interval: under
 	// CPU saturation the ticker fires late, and dividing by the nominal Δt
 	// would inflate load and throughput exactly when the controller most
 	// needs accurate samples.
-	dt := now.Sub(s.lastTick).Seconds()
+	dtNanos := now.Sub(s.lastTick).Nanoseconds()
 	s.lastTick = now
-	if dt <= 0 {
-		dt = s.cfg.Interval.Seconds()
+	if dtNanos <= 0 {
+		dtNanos = s.cfg.Interval.Nanoseconds()
 	}
+	dt := float64(dtNanos) / 1e9
+	p := s.prevFold
+	s.prevFold = f
+
+	commits := f.commits - p.commits
+	aborts := f.aborts - p.aborts
+	respN := f.respN - p.respN
+	respNanos := f.respNanos - p.respNanos
+
+	// Load integral over the closed interval: with admission entry times
+	// e_i and exit times x_j (nanos since start),
+	//
+	//	∫_{T0}^{T1} n(t) dt = n(T0)·Δt + Σ_{e_i∈(T0,T1]} (T1−e_i)
+	//	                               − Σ_{x_j∈(T0,T1]} (T1−x_j).
+	//
+	// Both Σ terms fall out of the monotone per-stripe counts and
+	// timestamp sums via modular uint64 arithmetic — exact even after the
+	// sums wrap. A fold racing a request can catch a timestamp without
+	// its count (or vice versa), throwing a term off by the absolute
+	// timestamp scale; relTerm detects that and degrades gracefully.
+	dE := f.entries - p.entries
+	dX := f.exits - p.exits
+	relE := relTerm(int64(dE*uint64(nowNanos)-(f.entryNanos-p.entryNanos)), int64(dE), dtNanos)
+	relX := relTerm(int64(dX*uint64(nowNanos)-(f.exitNanos-p.exitNanos)), int64(dX), dtNanos)
+	activeStart := int64(p.entries - p.exits)
+	load := (float64(activeStart)*float64(dtNanos) + float64(relE) - float64(relX)) / float64(dtNanos)
+	if load < 0 {
+		load = 0
+	}
+
 	sample := core.Sample{
 		Time:        s.elapsed(),
-		Load:        s.area / dt,
-		Throughput:  float64(s.commits) / dt,
-		Completions: s.commits,
+		Load:        load,
+		Throughput:  float64(commits) / dt,
+		Completions: commits,
 	}
 	sample.Perf = sample.Throughput
-	if s.respN > 0 {
-		sample.RespTime = s.respSum / float64(s.respN)
+	if respN > 0 {
+		sample.RespTime = float64(respNanos) / 1e9 / float64(respN)
 	}
-	if s.commits > 0 {
-		sample.ConflictRate = float64(s.aborts) / float64(s.commits)
-	} else {
-		sample.ConflictRate = float64(s.aborts)
+	switch {
+	case commits > 0:
+		sample.ConflictRate = float64(aborts) / float64(commits)
+	case aborts > 0:
+		// No commit landed, so attempts == aborts and the documented
+		// aborts-per-attempt fallback is exactly 1.
+		sample.ConflictRate = 1
 	}
 	iv := IntervalStats{
 		T:          sample.Time,
@@ -461,10 +589,9 @@ func (s *Server) tick() {
 		Throughput: sample.Throughput,
 		RespTime:   sample.RespTime,
 		AbortRate:  sample.ConflictRate,
-		Commits:    s.commits,
-		Aborts:     s.aborts,
+		Commits:    commits,
+		Aborts:     aborts,
 	}
-	s.area, s.commits, s.aborts, s.respSum, s.respN = 0, 0, 0, 0, 0
 
 	limit := s.ctrl.Update(sample)
 	s.updates++
@@ -481,14 +608,31 @@ func (s *Server) tick() {
 	s.mu.Unlock()
 }
 
+// relTerm bounds a reconstructed Σ(T1−t_i) term to its possible span
+// [0, count·Δt] (all the interval's events at the boundary either way).
+// An out-of-range value means a fold raced a writer and leaked a
+// timestamp into the delta-sum without its count (or the reverse): the
+// leak is on the order of nanos-since-start, so the term is unusable,
+// not merely imprecise. Substituting the uniform-arrivals midpoint
+// count·Δt/2 bounds the damage of such a race to half an interval's
+// span instead of collapsing the whole term to an extreme.
+func relTerm(v, count, dtNanos int64) int64 {
+	max := count * dtNanos
+	if v < 0 || v > max {
+		return max / 2
+	}
+	return v
+}
+
 // SnapshotNow assembles the current metrics snapshot.
 func (s *Server) SnapshotNow(withHistory bool) Snapshot {
+	totals := s.fold().totals()
 	s.mu.Lock()
 	snap := Snapshot{
 		Now:        s.elapsed(),
 		Engine:     s.cfg.Engine.Name(),
 		Controller: s.ctrl.Name(),
-		Totals:     s.totals,
+		Totals:     totals,
 		Interval:   s.last,
 	}
 	if withHistory {
@@ -508,11 +652,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	snap := s.SnapshotNow(q.Get("history") == "1")
-	if q.Get("format") == "json" || q.Get("history") == "1" {
-		writeJSON(w, http.StatusOK, snap)
+	withHistory := q.Get("history") == "1"
+	switch q.Get("format") {
+	case "json":
+		writeJSON(w, http.StatusOK, s.SnapshotNow(withHistory))
+		return
+	case "":
+		// Prometheus text, below.
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json, or omit for Prometheus text)", q.Get("format")), http.StatusBadRequest)
 		return
 	}
+	if withHistory {
+		// The text form has no history representation; refuse instead of
+		// silently switching the content type to JSON.
+		http.Error(w, "history=1 requires format=json", http.StatusBadRequest)
+		return
+	}
+	snap := s.SnapshotNow(false)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	var b strings.Builder
 	gauge := func(name, help string, v float64) {
@@ -533,6 +690,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loadctl_aborts_total", "transaction attempts aborted by concurrency control", snap.Totals.Aborts)
 	counter("loadctl_rejected_total", "requests shed at a full gate (non-blocking admission)", snap.Totals.Rejected)
 	counter("loadctl_admission_timeouts_total", "requests that gave up waiting for admission", snap.Totals.Timeouts)
+	counter("loadctl_disconnects_total", "transactions abandoned by client disconnect mid-execution", snap.Totals.Disconnects)
 	counter("loadctl_gate_arrivals_total", "admission attempts at the gate", snap.Gate.Arrivals)
 	counter("loadctl_gate_admitted_total", "admissions granted by the gate", snap.Gate.Admitted)
 	counter("loadctl_gate_rejected_total", "non-blocking admissions refused by the gate", snap.Gate.Rejected)

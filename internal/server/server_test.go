@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -192,6 +194,175 @@ func TestMetricsIntervalCloses(t *testing.T) {
 			t.Fatal("no measurement interval with traffic ever closed")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// failEngine aborts every attempt — the all-conflict regime.
+type failEngine struct{}
+
+func (failEngine) Name() string { return "always-abort" }
+
+func (failEngine) Exec(ctx context.Context, spec TxnSpec) error { return ErrAborted }
+
+// TestAbortRateAllAbortedInterval pins the commits==0 fallback: an
+// interval where every attempt aborted must report aborts-per-attempt,
+// which is exactly 1.0 — not the raw abort count the old code leaked.
+func TestAbortRateAllAbortedInterval(t *testing.T) {
+	s, ts := newTestServer(t, 64, func(c *Config) {
+		c.Engine = failEngine{}
+		c.MaxRetry = -1 // no restarts: one attempt per request
+	})
+	for i := 0; i < 5; i++ {
+		if code, _ := postTxn(t, ts.URL, "?class=update&k=2"); code != http.StatusConflict {
+			t.Fatalf("got %d, want 409", code)
+		}
+	}
+	s.tick() // close the measurement interval deterministically
+	snap := getSnapshot(t, ts.URL)
+	if snap.Interval.Commits != 0 || snap.Interval.Aborts != 5 {
+		t.Fatalf("interval counts = %d/%d, want 0 commits, 5 aborts", snap.Interval.Commits, snap.Interval.Aborts)
+	}
+	if snap.Interval.AbortRate != 1 {
+		t.Fatalf("AbortRate = %v, want 1.0 (aborts per attempt with no commit)", snap.Interval.AbortRate)
+	}
+	// And an idle interval reports 0, not NaN or a stale value.
+	s.tick()
+	if snap = getSnapshot(t, ts.URL); snap.Interval.AbortRate != 0 {
+		t.Fatalf("idle interval AbortRate = %v, want 0", snap.Interval.AbortRate)
+	}
+}
+
+// TestMetricsHistoryContract pins the /metrics format contract: history=1
+// is only valid with format=json — it must never silently switch the
+// Prometheus text endpoint to JSON — and unknown formats are refused.
+func TestMetricsHistoryContract(t *testing.T) {
+	_, ts := newTestServer(t, 8, nil)
+	get := func(params string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type")
+	}
+	if code, _ := get("?history=1"); code != http.StatusBadRequest {
+		t.Fatalf("bare history=1: got %d, want 400", code)
+	}
+	if code, ct := get("?format=json&history=1"); code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("format=json&history=1: got %d/%q, want 200/JSON", code, ct)
+	}
+	if code, ct := get(""); code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default: got %d/%q, want 200/text", code, ct)
+	}
+	if code, _ := get("?format=xml"); code != http.StatusBadRequest {
+		t.Fatalf("unknown format: got %d, want 400", code)
+	}
+}
+
+// TestClientDisconnectCounted drops the client mid-transaction and checks
+// the outcome is classified as a disconnect, not an engine error.
+func TestClientDisconnectCounted(t *testing.T) {
+	_, ts := newTestServer(t, 64, func(c *Config) {
+		c.Engine = slowEngine{inner: c.Engine, delay: 300 * time.Millisecond}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/txn?class=update&k=2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("expected the canceled request to fail client-side")
+	}
+	// The handler finishes after the client is gone; poll for the count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := getSnapshot(t, ts.URL)
+		if snap.Totals.Disconnects == 1 {
+			if snap.Totals.Commits != 0 {
+				t.Fatalf("disconnected transaction also committed: %+v", snap.Totals)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect never counted: %+v", snap.Totals)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStripedCountersReconcile hammers /txn concurrently and checks the
+// striped counters aggregate without drift: totals match the offered
+// traffic exactly, and once all measurement intervals close, the interval
+// history sums to the same commit total the monotone counters report.
+func TestStripedCountersReconcile(t *testing.T) {
+	const (
+		workers = 16
+		each    = 15
+	)
+	_, ts := newTestServer(t, 1024, func(c *Config) {
+		c.Engine = slowEngine{inner: c.Engine, delay: 2 * time.Millisecond}
+		c.Interval = 25 * time.Millisecond
+		c.HistoryLen = 10000
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				code, _ := postTxn(t, ts.URL, "?class=query&k=2")
+				if code != http.StatusOK {
+					t.Errorf("query got %d", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := getSnapshot(t, ts.URL)
+	if snap.Totals.Requests != workers*each || snap.Totals.Commits != workers*each {
+		t.Fatalf("totals = %+v, want %d requests and commits", snap.Totals, workers*each)
+	}
+
+	// Interval history must converge to the same total once the tail
+	// interval closes — the accounting identity between the striped
+	// open-interval deltas and the monotone totals.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/metrics?format=json&history=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hs Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		var sum uint64
+		sawLoad := false
+		for _, iv := range hs.History {
+			sum += iv.Commits
+			if iv.Load > 0 {
+				sawLoad = true
+			}
+		}
+		if sum == hs.Totals.Commits {
+			if !sawLoad {
+				t.Fatal("no interval ever saw a positive load integral")
+			}
+			return
+		}
+		if sum > hs.Totals.Commits {
+			t.Fatalf("history sums to %d commits, above the total %d", sum, hs.Totals.Commits)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history never converged: %d of %d commits in closed intervals", sum, hs.Totals.Commits)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

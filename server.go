@@ -30,6 +30,12 @@ type ServerConfig struct {
 	Engine string
 	// Items is the store size D (default 4096; smaller = more contention).
 	Items int
+	// KVShards is the kv store's shard count: items are interleaved over
+	// this many independently locked shards so the commit fast path takes
+	// no store-wide lock. Rounded up to a power of two and clamped to
+	// [1, 64]; 0 selects the automatic count (next power of two at or
+	// above GOMAXPROCS). Use 1 for the unsharded baseline.
+	KVShards int
 	// Interval is the measurement interval Δt (default 1s).
 	Interval time.Duration
 	// MaxRetry bounds CC-abort restarts per request (0 = default of 3,
@@ -60,7 +66,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if items <= 0 {
 		items = 4096
 	}
-	store := kv.NewStore(items)
+	if cfg.KVShards < 0 {
+		return nil, fmt.Errorf("loadctl: ServerConfig.KVShards %d < 0", cfg.KVShards)
+	}
+	store := kv.NewStoreShards(items, cfg.KVShards)
 	engine, err := server.NewEngine(cfg.Engine, store)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ func TestPublicServerAPI(t *testing.T) {
 		Controller: loadctl.NewPA(paCfg),
 		Engine:     "occ",
 		Items:      64,
+		KVShards:   4,           // explicit shard count through the public config
 		Interval:   time.Minute, // frozen: this test checks plumbing, not control
 	})
 	if err != nil {
@@ -76,5 +77,10 @@ func TestPublicServerAPI(t *testing.T) {
 		Controller: loadctl.NewStatic(4), Engine: "bogus",
 	}); err == nil {
 		t.Fatal("unknown engine accepted")
+	}
+	if _, err := loadctl.NewServer(loadctl.ServerConfig{
+		Controller: loadctl.NewStatic(4), KVShards: -1,
+	}); err == nil {
+		t.Fatal("negative shard count accepted")
 	}
 }
