@@ -5,9 +5,16 @@
 //
 //	go run ./cmd/loadctld -addr :8344 -controller pa -engine occ
 //
+//	# multi-class admission: the canonical interactive/readonly/batch
+//	# split, one adaptive controller per class
+//	go run ./cmd/loadctld -classes standard -class-control perclass
+//
+//	# custom classes: name:weight:priority[:shape[:k]]
+//	go run ./cmd/loadctld -classes 'web:4:0,analytics:1:2:query:64'
+//
 // Then drive it with cmd/loadgen and watch /metrics:
 //
-//	go run ./cmd/loadgen -url http://127.0.0.1:8344 -mode open -rate 400
+//	go run ./cmd/loadgen -url http://127.0.0.1:8344 -scenario retry-storm
 //	curl -s 'http://127.0.0.1:8344/metrics?format=json'
 package main
 
@@ -18,6 +25,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +41,8 @@ func main() {
 		lo           = flag.Float64("lo", 1, "lower static clamp for the bound")
 		hi           = flag.Float64("hi", 1000, "upper static clamp for the bound")
 		engine       = flag.String("engine", "occ", "concurrency control: occ, cert, 2pl, wait-die")
+		classes      = flag.String("classes", "default", "admission classes: 'default' (single gate), 'standard' (interactive/readonly/batch), or 'name:weight:priority[:shape[:k]],...'")
+		classControl = flag.String("class-control", "pool", "what controllers steer: pool (shared limit split by weight) or perclass (one controller per class)")
 		items        = flag.Int("items", 4096, "store size D (smaller = more contention)")
 		kvShards     = flag.Int("kv-shards", 0, "kv store shards, rounded up to a power of two (0 = auto from GOMAXPROCS, 1 = unsharded baseline)")
 		interval     = flag.Duration("interval", time.Second, "measurement interval")
@@ -46,27 +57,74 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	classCfg, err := parseClasses(*classes)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	fmt.Printf("loadctld: serving on %s (controller=%s engine=%s items=%d kv-shards=%d interval=%s)\n",
-		*addr, ctrl.Name(), *engine, *items, *kvShards, *interval)
+	names := make([]string, len(classCfg))
+	for i, c := range classCfg {
+		names[i] = c.Name
+	}
+	fmt.Printf("loadctld: serving on %s (controller=%s engine=%s items=%d kv-shards=%d interval=%s classes=%s control=%s)\n",
+		*addr, ctrl.Name(), *engine, *items, *kvShards, *interval, strings.Join(names, ","), *classControl)
 	err = loadctl.Serve(ctx, loadctl.ServerConfig{
-		Addr:         *addr,
-		Controller:   ctrl,
-		Engine:       *engine,
-		Items:        *items,
-		KVShards:     *kvShards,
-		Interval:     *interval,
-		MaxRetry:     *maxRetry,
-		QueueTimeout: *queueTimeout,
-		Reject:       *reject,
-		Seed:         *seed,
+		Addr:            *addr,
+		Controller:      ctrl,
+		Engine:          *engine,
+		Items:           *items,
+		KVShards:        *kvShards,
+		Classes:         classCfg,
+		ClassControl:    *classControl,
+		ClassController: *controller,
+		Interval:        *interval,
+		MaxRetry:        *maxRetry,
+		QueueTimeout:    *queueTimeout,
+		Reject:          *reject,
+		Seed:            *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseClasses resolves the -classes flag: the "default"/"standard"
+// shorthands or a comma-separated list of name:weight:priority[:shape[:k]].
+func parseClasses(spec string) ([]loadctl.ClassConfig, error) {
+	switch spec {
+	case "", "default":
+		return nil, nil // single-gate behavior
+	case "standard":
+		return loadctl.DefaultClasses(), nil
+	}
+	var out []loadctl.ClassConfig
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("loadctld: -classes entry %q: want name:weight:priority[:shape[:k]]", part)
+		}
+		cc := loadctl.ClassConfig{Name: fields[0]}
+		var err error
+		if cc.Weight, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("loadctld: -classes entry %q: bad weight: %w", part, err)
+		}
+		if cc.Priority, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, fmt.Errorf("loadctld: -classes entry %q: bad priority: %w", part, err)
+		}
+		if len(fields) > 3 {
+			cc.Shape = fields[3]
+		}
+		if len(fields) > 4 {
+			if cc.K, err = strconv.Atoi(fields[4]); err != nil {
+				return nil, fmt.Errorf("loadctld: -classes entry %q: bad k: %w", part, err)
+			}
+		}
+		out = append(out, cc)
+	}
+	return out, nil
 }
 
 func buildController(name string, initial, lo, hi float64) (loadctl.Controller, error) {

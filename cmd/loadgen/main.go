@@ -13,6 +13,15 @@
 //
 //	# closed loop: 128 terminals, 50 ms mean think time
 //	go run ./cmd/loadgen -mode closed -clients 128 -think 50ms
+//
+//	# a builtin adversarial scenario (multi-class, phased)
+//	go run ./cmd/loadgen -scenario retry-storm
+//
+//	# a scenario file (see DESIGN.md for the schema)
+//	go run ./cmd/loadgen -scenario ./my-scenario.json
+//
+//	# list builtin scenarios
+//	go run ./cmd/loadgen -list-scenarios
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 func main() {
 	var (
 		url       = flag.String("url", "http://127.0.0.1:8344", "server base URL")
+		scenario  = flag.String("scenario", "", "run a scenario: a builtin name or a JSON file path (overrides -mode et al.)")
+		listScen  = flag.Bool("list-scenarios", false, "list builtin scenarios and exit")
 		mode      = flag.String("mode", "open", "traffic model: open (Poisson) or closed (think time)")
 		rate      = flag.Float64("rate", 200, "open-loop arrival rate, tx/s (base value)")
 		jumpAt    = flag.Float64("jump-at", 0, "open loop: jump time in seconds (0 = no jump)")
@@ -49,6 +60,26 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
+
+	if *listScen {
+		for _, n := range loadgen.BuiltinNames() {
+			sc, _ := loadgen.Builtin(n)
+			fmt.Printf("%-14s %s\n", n, sc.Notes)
+		}
+		return
+	}
+	if *scenario != "" {
+		// Only an explicit -seed overrides the scenario file's own seed;
+		// the flag's default of 1 must not clobber it.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		runScenario(*scenario, *url, *seed, seedSet, *asJSON)
+		return
+	}
 
 	cfg := loadgen.Config{
 		URL:      *url,
@@ -94,6 +125,42 @@ func main() {
 		return
 	}
 	fmt.Println(report)
+}
+
+// runScenario resolves name as a builtin scenario or a file path, runs it
+// and prints the report.
+func runScenario(name, url string, seed int64, seedSet, asJSON bool) {
+	sc, err := loadgen.Builtin(name)
+	if err != nil {
+		data, readErr := os.ReadFile(name)
+		if readErr != nil {
+			log.Fatalf("loadgen: %q is neither a builtin scenario (%v) nor a readable file (%v)", name, err, readErr)
+		}
+		sc, err = loadgen.ParseScenario(data)
+		if err != nil {
+			log.Fatalf("loadgen: %s: %v", name, err)
+		}
+	}
+	if seedSet {
+		sc.Seed = seed
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "loadgen: scenario %q against %s, %d streams for %.0fs\n",
+		sc.Name, url, len(sc.Streams), sc.DurationSeconds)
+	rep, err := loadgen.RunScenario(ctx, url, sc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(rep)
 }
 
 // buildRate composes the arrival-rate schedule from the flags: a constant

@@ -1,0 +1,283 @@
+package gate
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustMulti(t *testing.T, specs []ClassSpec, pool float64) *Multi {
+	t.Helper()
+	m, err := NewMulti(specs, pool)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	return m
+}
+
+func twoClass(t *testing.T, pool float64) *Multi {
+	return mustMulti(t, []ClassSpec{
+		{Name: "interactive", Weight: 3, Priority: 0},
+		{Name: "batch", Weight: 1, Priority: 2},
+	}, pool)
+}
+
+func TestMultiValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []ClassSpec
+		pool  float64
+	}{
+		{"no classes", nil, 4},
+		{"empty name", []ClassSpec{{Name: ""}}, 4},
+		{"duplicate", []ClassSpec{{Name: "a"}, {Name: "a"}}, 4},
+		{"negative weight", []ClassSpec{{Name: "a", Weight: -1}}, 4},
+		{"nan weight", []ClassSpec{{Name: "a", Weight: math.NaN()}}, 4},
+		{"nan pool", []ClassSpec{{Name: "a"}}, math.NaN()},
+	}
+	for _, tc := range cases {
+		if _, err := NewMulti(tc.specs, tc.pool); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestMultiSingleClassBehavesLikeLive(t *testing.T) {
+	m := mustMulti(t, []ClassSpec{{Name: "default"}}, 2)
+	ci, ok := m.ClassIndex("default")
+	if !ok {
+		t.Fatal("ClassIndex(default) not found")
+	}
+	if !m.TryAcquire(ci) || !m.TryAcquire(ci) {
+		t.Fatal("two slots should be free")
+	}
+	if m.TryAcquire(ci) {
+		t.Fatal("third TryAcquire should fail at limit 2")
+	}
+	m.Release(ci)
+	if !m.TryAcquire(ci) {
+		t.Fatal("released slot should be reusable")
+	}
+	st := m.Stats()
+	if st.Classes[0].Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Classes[0].Rejected)
+	}
+	agg := m.AggregateStats()
+	if agg.Arrivals != agg.Admitted+agg.Rejected+agg.Timeouts {
+		t.Fatalf("identity violated: %+v", agg)
+	}
+}
+
+// A class below its guaranteed share admits even when another class has
+// consumed the rest of the pool; the hog cannot borrow past queued demand.
+func TestMultiWeightedShareGuarantee(t *testing.T) {
+	m := twoClass(t, 4) // shares: interactive 3, batch 1
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+
+	// Batch grabs its share and then borrows the idle pool entirely.
+	for i := 0; i < 4; i++ {
+		if !m.TryAcquire(batch) {
+			t.Fatalf("batch borrow %d refused on an idle pool", i)
+		}
+	}
+	// Pool is full: an interactive arrival must queue, not be lost...
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	admitted := make(chan struct{})
+	go func() {
+		if err := m.Acquire(ctx, inter); err == nil {
+			close(admitted)
+		}
+	}()
+	waitCond(t, func() bool { return m.Queued() == 1 })
+
+	// ...and further batch arrivals may not borrow past that waiter.
+	if m.TryAcquire(batch) {
+		t.Fatal("batch borrowed although interactive demand is queued")
+	}
+
+	// The next freed slot goes to interactive (below its share), even
+	// though batch releases it.
+	m.Release(batch)
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("interactive waiter not admitted after release")
+	}
+}
+
+// Under overload surplus goes in strict priority order: queued
+// interactive (priority 0) is always admitted before queued batch.
+func TestMultiStrictPriorityUnderOverload(t *testing.T) {
+	m := twoClass(t, 2)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+
+	// Fill the pool.
+	if !m.TryAcquire(inter) || !m.TryAcquire(batch) {
+		t.Fatal("filling the pool failed")
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := func(name string, class int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Acquire(ctx, class); err != nil {
+				t.Errorf("Acquire(%s): %v", name, err)
+			}
+		}()
+	}
+	// Queue batch first, then interactive: priority must beat FIFO
+	// across classes. Admission order is read from the gate's own
+	// counters — goroutine scheduling after wake-up is not ordered.
+	start("batch", batch)
+	waitCond(t, func() bool { return m.Queued() == 1 })
+	start("interactive", inter)
+	waitCond(t, func() bool { return m.Queued() == 2 })
+
+	m.Release(inter)
+	waitCond(t, func() bool { return m.Queued() == 1 })
+	st := m.Stats()
+	if got := st.Classes[inter].Admitted; got != 2 {
+		t.Fatalf("interactive admitted = %d after first release, want 2 (priority must beat batch's FIFO position)", got)
+	}
+	if got := st.Classes[batch].Admitted; got != 1 {
+		t.Fatalf("batch admitted = %d after first release, want still 1", got)
+	}
+	m.Release(batch)
+	wg.Wait()
+}
+
+func TestMultiPerClassModeIndependentLimits(t *testing.T) {
+	m := twoClass(t, 4)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+	m.SetPerClass(true)
+	m.SetClassLimit(inter, 1)
+	m.SetClassLimit(batch, 2)
+
+	if !m.TryAcquire(inter) {
+		t.Fatal("interactive slot 1 refused")
+	}
+	if m.TryAcquire(inter) {
+		t.Fatal("interactive must stop at its own limit 1")
+	}
+	// Batch capacity is independent of interactive saturation.
+	if !m.TryAcquire(batch) || !m.TryAcquire(batch) {
+		t.Fatal("batch slots refused below its limit")
+	}
+	if m.TryAcquire(batch) {
+		t.Fatal("batch must stop at its own limit 2")
+	}
+	if got := m.Limit(); got != 3 {
+		t.Fatalf("Limit() in per-class mode = %v, want Σ=3", got)
+	}
+	// Raising a class limit wakes that class's queue only.
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, inter) }()
+	waitCond(t, func() bool { return m.Queued() == 1 })
+	m.SetClassLimit(inter, 2)
+	if err := <-done; err != nil {
+		t.Fatalf("Acquire after SetClassLimit: %v", err)
+	}
+}
+
+func TestMultiAcquireTimeoutKeepsIdentity(t *testing.T) {
+	m := twoClass(t, 1)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+	if !m.TryAcquire(inter) {
+		t.Fatal("fill failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Acquire(ctx, batch); err == nil {
+		t.Fatal("Acquire should have timed out")
+	}
+	m.Release(inter)
+	st := m.Stats()
+	for _, c := range st.Classes {
+		if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+			t.Fatalf("class %s identity violated: %+v", c.Name, c)
+		}
+	}
+}
+
+// Hammer the gate from many goroutines across classes and mode/limit
+// changes; the per-class identity must hold at quiescence (run with -race).
+func TestMultiRaceIdentity(t *testing.T) {
+	m := twoClass(t, 8)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for g := 0; g < 16; g++ {
+		class := inter
+		if g%2 == 0 {
+			class = batch
+		}
+		wg.Add(1)
+		go func(class int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if i%3 == 0 {
+					if m.TryAcquire(class) {
+						m.Release(class)
+					}
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				err := m.Acquire(ctx, class)
+				cancel()
+				if err == nil {
+					m.Release(class)
+				}
+			}
+		}(class)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		limits := []float64{2, 8, 1, 16, 4}
+		for i := 0; !stop.Load(); i++ {
+			m.SetPoolLimit(limits[i%len(limits)])
+			m.SetPerClass(i%2 == 0)
+			m.SetClassLimit(inter, limits[(i+1)%len(limits)])
+			m.SetClassLimit(batch, limits[(i+2)%len(limits)])
+			time.Sleep(100 * time.Microsecond)
+		}
+		m.SetPerClass(false)
+		m.SetPoolLimit(1e9)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Active != 0 {
+		t.Fatalf("active = %d at quiescence", st.Active)
+	}
+	for _, c := range st.Classes {
+		if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+			t.Fatalf("class %s identity violated: %+v", c.Name, c)
+		}
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -1,0 +1,130 @@
+package kv
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// FuzzOCCCommit drives random multi-key read/write sets from several
+// goroutines against stores of random size and shard count. Whatever the
+// interleaving, the run must terminate (the ascending-order shard locking
+// makes deadlock impossible) and commits must be atomic: every committed
+// transaction increments each of its write keys by exactly one on top of
+// the value it read, so the final cell values equal the committed write
+// counts — lost updates would show up as a shortfall.
+func FuzzOCCCommit(f *testing.F) {
+	f.Add([]byte{4, 2, 3})
+	f.Add([]byte{16, 1, 2, 0xff, 0x01, 0x80, 0x41, 7, 7, 7})
+	f.Add([]byte{64, 8, 4, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 1, 2, 0, 0, 0, 0}) // single item: maximal conflicts
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+
+		items := int(next())%64 + 1
+		shards := int(next())%8 + 1
+		goroutines := int(next())%3 + 2
+		st := NewStoreShards(items, shards)
+
+		// committedWrites[k] counts write-set members of committed txns.
+		committedWrites := make([]atomic.Uint64, items)
+
+		// Each goroutine's transactions come from its own slice of the
+		// fuzz input so the schedule shape is input-driven.
+		type op struct {
+			key   int
+			write bool
+		}
+		plans := make([][][]op, goroutines)
+		for g := range plans {
+			txns := int(next())%4 + 1
+			plans[g] = make([][]op, txns)
+			for i := range plans[g] {
+				ops := int(next())%6 + 1
+				for j := 0; j < ops; j++ {
+					b := next()
+					plans[g][i] = append(plans[g][i], op{
+						key:   int(b>>1) % items,
+						write: b&1 == 1,
+					})
+				}
+			}
+		}
+
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for _, ops := range plans[g] {
+					for attempt := 0; ; attempt++ {
+						txn := st.Begin().WithClass(g)
+						// increments[k] counts how often this txn bumped k:
+						// Get sees the txn's own buffered writes, so a key
+						// written twice ends up incremented twice.
+						increments := make(map[int]uint64)
+						for _, o := range ops {
+							v := txn.Get(o.key)
+							if o.write {
+								txn.Set(o.key, v+1)
+								increments[o.key]++
+							}
+						}
+						err := txn.Commit()
+						if err == nil {
+							for k, n := range increments {
+								committedWrites[k].Add(n)
+							}
+							break
+						}
+						if !errors.Is(err, ErrConflict) {
+							t.Errorf("unexpected commit error: %v", err)
+							return
+						}
+						if attempt >= 32 {
+							// Give up on this txn; liveness under heavy
+							// conflict is the retry policy's job, not the
+							// store's.
+							break
+						}
+					}
+				}
+			}(g)
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("kv: concurrent OCC commits did not terminate (deadlock?)")
+		}
+
+		for k := 0; k < items; k++ {
+			want := int64(committedWrites[k].Load())
+			if got := st.Read(k); got != want {
+				t.Fatalf("item %d = %d, want %d committed increments (lost or phantom update)", k, got, want)
+			}
+		}
+		commits, aborts := st.Stats()
+		var classC, classA uint64
+		for c := 0; c < MaxTxnClasses; c++ {
+			cc, ca := st.ClassStats(c)
+			classC += cc
+			classA += ca
+		}
+		if classC != commits || classA != aborts {
+			t.Fatalf("per-class counters drifted: class Σ=(%d,%d), totals=(%d,%d)",
+				classC, classA, commits, aborts)
+		}
+	})
+}

@@ -33,6 +33,12 @@ var ErrConflict = errors.New("kv: certification conflict, retry")
 // bitmask during commit, so it cannot exceed 64.
 const MaxShards = 64
 
+// MaxTxnClasses bounds the per-class conflict accounting: transactions
+// may carry a class index in [0, MaxTxnClasses) (via Txn.WithClass) and
+// each shard keeps commit/abort counters per class. Indexes outside the
+// range clamp to class 0, the default.
+const MaxTxnClasses = 16
+
 // shard owns the items whose index i satisfies i&mask == its position.
 // The trailing pad keeps neighbouring shards' locks and counters on
 // separate cache lines.
@@ -42,7 +48,11 @@ type shard struct {
 	vers    []uint64
 	commits uint64
 	aborts  uint64
-	_       [40]byte
+	// Per-class commit/abort counters (class 0 = default); the scalar
+	// totals above stay authoritative for aggregate Stats.
+	classCommits [MaxTxnClasses]uint64
+	classAborts  [MaxTxnClasses]uint64
+	_            [40]byte
 }
 
 // Store is a fixed-size array of versioned cells, interleaved over shards.
@@ -121,6 +131,29 @@ func (s *Store) Stats() (commits, aborts uint64) {
 	return commits, aborts
 }
 
+// ClassStats returns (commits, aborts) so far for one transaction class,
+// aggregated across shards. Out-of-range classes clamp to class 0,
+// mirroring WithClass.
+func (s *Store) ClassStats(class int) (commits, aborts uint64) {
+	class = clampClass(class)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		commits += sh.classCommits[class]
+		aborts += sh.classAborts[class]
+		sh.mu.RUnlock()
+	}
+	return commits, aborts
+}
+
+// clampClass folds any class index into the tracked range.
+func clampClass(c int) int {
+	if c < 0 || c >= MaxTxnClasses {
+		return 0
+	}
+	return c
+}
+
 // Read returns the committed value of item i without any transaction
 // bookkeeping. It is for engines that provide their own concurrency control
 // (e.g. a lock manager serializing access) and for test seeding.
@@ -146,13 +179,22 @@ func (s *Store) Write(i int, v int64) {
 // multiple goroutines (one transaction = one goroutine, as in the model).
 type Txn struct {
 	s        *Store
+	class    int
 	readVers map[int]uint64
 	writes   map[int]int64
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction in class 0.
 func (s *Store) Begin() *Txn {
 	return &Txn{s: s, readVers: make(map[int]uint64), writes: make(map[int]int64)}
+}
+
+// WithClass tags the transaction with a class index for the per-class
+// commit/abort counters; out-of-range indexes clamp to class 0. It
+// returns the transaction for chaining.
+func (t *Txn) WithClass(class int) *Txn {
+	t.class = clampClass(class)
+	return t
 }
 
 // Get reads item i, recording its version for commit-time validation.
@@ -198,6 +240,7 @@ func (t *Txn) Commit() error {
 	for i, ver := range t.readVers {
 		if t.s.shards[i&t.s.mask].vers[i>>t.s.bits] != ver {
 			first.aborts++
+			first.classAborts[t.class]++
 			t.s.unlockShards(touched)
 			return ErrConflict
 		}
@@ -208,6 +251,7 @@ func (t *Txn) Commit() error {
 		sh.vers[i>>t.s.bits]++
 	}
 	first.commits++
+	first.classCommits[t.class]++
 	t.s.unlockShards(touched)
 	return nil
 }

@@ -316,3 +316,54 @@ func TestShardedNoLostUpdates(t *testing.T) {
 		}
 	}
 }
+
+func TestClassStats(t *testing.T) {
+	s := NewStoreShards(16, 4)
+
+	// Class 1 commits twice.
+	for i := 0; i < 2; i++ {
+		txn := s.Begin().WithClass(1)
+		txn.Set(i, 7)
+		if err := s1Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Class 2 aborts once: read item 5, concurrent direct write bumps its
+	// version, certification fails.
+	txn := s.Begin().WithClass(2)
+	_ = txn.Get(5)
+	s.Write(5, 9)
+	if err := txn.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+
+	if c, a := s.ClassStats(1); c != 2 || a != 0 {
+		t.Fatalf("class 1 stats = (%d,%d), want (2,0)", c, a)
+	}
+	if c, a := s.ClassStats(2); c != 0 || a != 1 {
+		t.Fatalf("class 2 stats = (%d,%d), want (0,1)", c, a)
+	}
+	// Out-of-range class indexes clamp to class 0 on both write and read.
+	txn = s.Begin().WithClass(99)
+	txn.Set(9, 1)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.ClassStats(-3); c != 1 {
+		t.Fatalf("clamped class stats = %d, want 1", c)
+	}
+	// Per-class counters partition the totals.
+	commits, aborts := s.Stats()
+	var sumC, sumA uint64
+	for c := 0; c < MaxTxnClasses; c++ {
+		cc, ca := s.ClassStats(c)
+		sumC += cc
+		sumA += ca
+	}
+	if sumC != commits || sumA != aborts {
+		t.Fatalf("class sums (%d,%d) != totals (%d,%d)", sumC, sumA, commits, aborts)
+	}
+}
+
+// s1Commit is a tiny helper so the happy-path commit reads as one call.
+func s1Commit(txn *Txn) error { return txn.Commit() }

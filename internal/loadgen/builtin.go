@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builtin returns one of the named adversarial scenarios, pre-built
+// against the server's default class set (interactive / readonly /
+// batch). They are both regression workloads and documentation: each is
+// exactly what its JSON file would say.
+func Builtin(name string) (*Scenario, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("loadgen: unknown builtin scenario %q (have %v)", name, BuiltinNames())
+	}
+	sc := mk()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgen: builtin %q invalid: %w", name, err)
+	}
+	return sc, nil
+}
+
+// BuiltinNames lists the builtin scenarios in sorted order.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builtins = map[string]func() *Scenario{
+	// A steady interactive population, then a batch flood: an open-loop
+	// wall of heavyweight updaters arrives at t=10s. The per-class gate
+	// must keep interactive inside its weighted share while batch sheds.
+	"batch-flood": func() *Scenario {
+		return &Scenario{
+			Name:            "batch-flood",
+			Notes:           "batch updater flood at t=10s must not starve interactive below its weight",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "closed", Clients: 32, ThinkMS: 50,
+					K: &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "batch", Mode: "open",
+					Rate: &ScheduleJSON{Kind: "jump", At: 10, Before: 5, After: 400},
+					K:    &ScheduleJSON{Kind: "const", Value: 48},
+				},
+			},
+		}
+	},
+	// A 20× arrival spike on the interactive class itself — the
+	// controller has to ride the flash crowd without collapsing the
+	// classes that did not change.
+	"flash-crowd": func() *Scenario {
+		return &Scenario{
+			Name:            "flash-crowd",
+			Notes:           "20x interactive arrival spike during [15s, 25s)",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "open",
+					Rate: &ScheduleJSON{Kind: "burst", Value: 40, Mult: 20, At: 15, Dur: 10},
+					K:    &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "readonly", Mode: "closed", Clients: 16, ThinkMS: 100,
+				},
+			},
+		}
+	},
+	// Shed batch work is re-offered immediately: every 429/503 spawns a
+	// retry, so offered load rises exactly when the server sheds — the
+	// feedback loop that melts naive admission control.
+	"retry-storm": func() *Scenario {
+		return &Scenario{
+			Name:            "retry-storm",
+			Notes:           "batch retries every shed request up to 4 times with 50ms backoff",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "closed", Clients: 32, ThinkMS: 50,
+					K: &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "batch", Mode: "open",
+					Rate:  &ScheduleJSON{Kind: "jump", At: 10, Before: 5, After: 250},
+					K:     &ScheduleJSON{Kind: "const", Value: 48},
+					Retry: &RetryConfig{Max: 4, BackoffMS: 50},
+				},
+			},
+		}
+	},
+	// The conflict hot set covers 3% of the store and relocates every
+	// 8s: the controller tunes to one conflict regime just as it moves.
+	"hotspot-shift": func() *Scenario {
+		return &Scenario{
+			Name:            "hotspot-shift",
+			Notes:           "3% hot set relocating every 8s under a constant updater stream",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "closed", Clients: 24, ThinkMS: 50,
+					K: &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "batch", Mode: "open", Shape: "update",
+					Rate:    &ScheduleJSON{Kind: "const", Value: 120},
+					K:       &ScheduleJSON{Kind: "const", Value: 8},
+					Hotspot: &HotspotConfig{SpanFrac: 0.03, ShiftSeconds: 8},
+				},
+			},
+		}
+	},
+	// Slow clients drip huge transactions through a tiny in-flight
+	// window, each dwelling half a second after every response: capacity
+	// is occupied, not used. Interactive must keep flowing around them.
+	"slow-drip": func() *Scenario {
+		return &Scenario{
+			Name:            "slow-drip",
+			Notes:           "8 slow terminals hold k=256 transactions and stall 500ms per response",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "closed", Clients: 32, ThinkMS: 50,
+					K: &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "batch", Mode: "closed", Clients: 8, ThinkMS: 1,
+					Shape: "update", K: &ScheduleJSON{Kind: "const", Value: 256},
+					StallMS: 500,
+				},
+			},
+		}
+	},
+}

@@ -1,0 +1,43 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScenario throws arbitrary bytes at the scenario parser. The
+// contract: never panic, and any accepted scenario must survive a JSON
+// round trip (accepted files are re-emittable documentation).
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"name":"x","streams":[{"mode":"closed"}]}`))
+	f.Add([]byte(`{"streams":[{"mode":"open","rate":{"kind":"const","value":10}}]}`))
+	f.Add([]byte(`{"streams":[{"mode":"open","rate":{"kind":"burst","value":5,"mult":3,"at":1,"dur":2},` +
+		`"hotspot":{"span_frac":0.5,"shift_seconds":2},"retry":{"max":1,"on":["aborted"]}}]}`))
+	f.Add([]byte(`{"streams":[{"mode":"open","rate":{"kind":"step","times":[0,1],"vals":[1,2],"lo":0,"hi":5}}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"streams":[]} {"streams":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := ParseScenario(out); err != nil {
+			t.Fatalf("accepted scenario does not re-parse: %v\n%s", err, out)
+		}
+		// Every stream's schedules must compile — Validate promised so.
+		for _, st := range sc.Streams {
+			for _, sj := range []*ScheduleJSON{st.Rate, st.K, st.QueryFrac} {
+				if sj == nil {
+					continue
+				}
+				if _, err := sj.Build(); err != nil {
+					t.Fatalf("validated schedule does not build: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,9 @@ import (
 	"io"
 	"math"
 	"net/http"
+	neturl "net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,8 +133,12 @@ type Report struct {
 	Aborted    uint64 `json:"aborted"`
 	Errors     uint64 `json:"errors"`
 	Unresolved uint64 `json:"unresolved"`
-	Queries    uint64 `json:"queries"`
-	Updates    uint64 `json:"updates"`
+	// Queries/Updates count requests whose shape the client chose;
+	// requests that leave the shape to the server (class-tagged scenario
+	// streams without an explicit shape) are in neither, so the pair may
+	// undercount Sent.
+	Queries uint64 `json:"queries"`
+	Updates uint64 `json:"updates"`
 	// Throughput is committed transactions per second of run time.
 	Throughput float64 `json:"throughput"`
 	// LatMean/LatP50/LatP95/LatP99 are response-time statistics in
@@ -333,30 +340,84 @@ func sampleTxn(rng *sim.RNG, mix workload.Mix, t float64) (class string, k int) 
 	return class, mix.KAt(t)
 }
 
+// txnParams is everything one POST /txn carries. Class/Shape empty means
+// "server decides"; Span 0 means the full store.
+type txnParams struct {
+	Class string
+	Shape string
+	K     int
+	Base  int
+	Span  int
+}
+
+// url renders the query string against the server base URL.
+func (p txnParams) url(base string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString("/txn")
+	sep := byte('?')
+	add := func(key, val string) {
+		b.WriteByte(sep)
+		sep = '&'
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	if p.Class != "" {
+		add("class", neturl.QueryEscape(p.Class))
+	}
+	if p.Shape != "" {
+		add("shape", neturl.QueryEscape(p.Shape))
+	}
+	if p.K > 0 {
+		add("k", strconv.Itoa(p.K))
+	}
+	if p.Span > 0 {
+		add("base", strconv.Itoa(p.Base))
+		add("span", strconv.Itoa(p.Span))
+	}
+	return b.String()
+}
+
 // doRequest performs one POST /txn round trip and records the outcome.
 func doRequest(ctx context.Context, cfg Config, col *collector, class string, k int) {
+	issueRequest(ctx, cfg.Client, cfg.URL, col, txnParams{Class: class, K: k})
+}
+
+// issueRequest is the shared request primitive under both the schedule
+// replayer and the scenario engine. It returns the HTTP status (0 when
+// the request never completed).
+func issueRequest(ctx context.Context, client *http.Client, base string, col *collector, p txnParams) int {
 	// The pacing selects racing ctx.Done against a zero timer can let an
 	// arrival through after run end; don't count a request never sent.
 	if ctx.Err() != nil {
-		return
+		return 0
 	}
-	url := fmt.Sprintf("%s/txn?class=%s&k=%d", cfg.URL, class, k)
 	// Count the attempt before building the request: a malformed URL makes
 	// every build fail, and those failures must land in Errors *and* Sent
 	// or the report identity (Sent == sum of outcomes) breaks.
 	col.sent.Add(1)
-	if class == "query" {
-		col.queries.Add(1)
-	} else {
-		col.updates.Add(1)
+	shape := p.Shape
+	if shape == "" && (p.Class == "query" || p.Class == "update") {
+		shape = p.Class // legacy shape-through-class API
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	switch shape {
+	case "query":
+		col.queries.Add(1)
+	case "update":
+		col.updates.Add(1)
+	default:
+		// The server decides the shape (class default or mix sample);
+		// the client cannot book it, so Queries+Updates may undercount
+		// Sent for class-tagged streams.
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url(base), nil)
 	if err != nil {
 		col.errs.Add(1)
-		return
+		return 0
 	}
 	t0 := time.Now()
-	resp, err := cfg.Client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		// A request cut short by run end is not a server failure; its
 		// outcome is simply unknown. Count it so the report still
@@ -366,9 +427,10 @@ func doRequest(ctx context.Context, cfg Config, col *collector, class string, k 
 		} else {
 			col.observe(0, 0, err)
 		}
-		return
+		return 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
 	col.observe(resp.StatusCode, time.Since(t0), nil)
+	return resp.StatusCode
 }

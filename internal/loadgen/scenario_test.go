@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseScenarioValid(t *testing.T) {
+	data := []byte(`{
+		"name": "all-kinds",
+		"duration_seconds": 12,
+		"seed": 7,
+		"items": 1024,
+		"streams": [
+			{"class": "interactive", "mode": "closed", "clients": 8, "think_ms": 20,
+			 "k": {"kind": "sin", "mean": 8, "amp": 4, "period": 10},
+			 "query_frac": {"kind": "ramp", "start": 2, "dur": 4, "before": 0, "after": 1}},
+			{"class": "batch", "mode": "open",
+			 "rate": {"kind": "burst", "value": 50, "mult": 10, "at": 4, "dur": 2},
+			 "start_seconds": 1, "stop_seconds": 11,
+			 "hotspot": {"span_frac": 0.1, "shift_seconds": 3},
+			 "retry": {"max": 2, "backoff_ms": 10, "on": ["rejected", "aborted"]}},
+			{"name": "steps", "mode": "open",
+			 "rate": {"kind": "step", "times": [0, 5, 10], "vals": [10, 100, 10], "lo": 0, "hi": 80}}
+		]
+	}`)
+	sc, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Name != "all-kinds" || len(sc.Streams) != 3 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	// Defaults were applied.
+	if sc.Streams[0].MaxInFlight != 4096 || sc.Streams[0].Name != "interactive" {
+		t.Fatalf("defaults missing: %+v", sc.Streams[0])
+	}
+	// The clamped step schedule respects lo/hi.
+	s, err := sc.Streams[2].Rate.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Value(6); v != 80 {
+		t.Fatalf("clamped step at t=6 = %g, want 80", v)
+	}
+	// Burst = base outside the window, base*mult inside.
+	b, _ := sc.Streams[1].Rate.Build()
+	if b.Value(3) != 50 || b.Value(5) != 500 || b.Value(7) != 50 {
+		t.Fatalf("burst values: %g/%g/%g", b.Value(3), b.Value(5), b.Value(7))
+	}
+}
+
+// TestParseScenarioErrors is the table-driven sweep over malformed
+// scenario files: every one must fail with a message naming the problem.
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the error
+	}{
+		{"not json", `{"name": `, "scenario:"},
+		{"trailing data", `{"streams":[{"mode":"closed"}]} trailing`, "trailing data"},
+		{"unknown field", `{"streems": []}`, "unknown field"},
+		{"no streams", `{"name": "x", "streams": []}`, "at least one stream"},
+		{"negative duration", `{"duration_seconds": -1, "streams": [{"mode":"closed"}]}`, "duration_seconds"},
+		{"bad mode", `{"streams": [{"mode": "sideways"}]}`, "bad mode"},
+		{"open without rate", `{"streams": [{"mode": "open"}]}`, "needs a rate schedule"},
+		{"bad shape", `{"streams": [{"mode": "closed", "shape": "triangle"}]}`, "bad shape"},
+		{"bad schedule kind", `{"streams": [{"mode": "open", "rate": {"kind": "zigzag"}}]}`, "unknown schedule kind"},
+		{"sin without period", `{"streams": [{"mode": "open", "rate": {"kind": "sin", "mean": 5}}]}`, "period"},
+		{"step mismatched", `{"streams": [{"mode": "open", "rate": {"kind": "step", "times": [0, 1], "vals": [1]}}]}`, "step schedule"},
+		{"step unsorted", `{"streams": [{"mode": "open", "rate": {"kind": "step", "times": [5, 1], "vals": [1, 2]}}]}`, "ascending"},
+		{"burst without dur", `{"streams": [{"mode": "open", "rate": {"kind": "burst", "value": 5}}]}`, "burst"},
+		{"burst negative at", `{"streams": [{"mode": "open", "rate": {"kind": "burst", "value": 5, "mult": 2, "at": -5, "dur": 10}}]}`, "at >= 0"},
+		{"hotspot span", `{"streams": [{"mode": "closed", "hotspot": {"span_frac": 1.5}}]}`, "span_frac"},
+		{"retry trigger", `{"streams": [{"mode": "closed", "retry": {"max": 1, "on": ["teapot"]}}]}`, "retry trigger"},
+		{"negative think", `{"streams": [{"mode": "closed", "think_ms": -5}]}`, "think_ms"},
+		{"inverted window", `{"streams": [{"mode": "closed", "start_seconds": 9, "stop_seconds": 3}]}`, "active window"},
+		{"duplicate names", `{"streams": [{"name":"a","mode":"closed"},{"name":"a","mode":"closed"}]}`, "duplicate stream name"},
+		{"inverted clamp", `{"streams": [{"mode": "open", "rate": {"kind": "const", "value": 5, "lo": 9, "hi": 1}}]}`, "clamp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuiltinScenariosValid(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d builtin scenarios: %v", len(names), names)
+	}
+	for _, n := range names {
+		sc, err := Builtin(n)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", n, err)
+		}
+		// Builtins must also survive a JSON round trip — they are the
+		// documented file format.
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", n, err)
+		}
+		if _, err := ParseScenario(data); err != nil {
+			t.Fatalf("builtin %q does not round-trip: %v", n, err)
+		}
+	}
+	if _, err := Builtin("no-such"); err == nil {
+		t.Fatal("unknown builtin must error")
+	}
+}
+
+// TestRunScenarioSmoke runs a two-stream scenario against a stub /txn
+// endpoint and checks that the per-stream reports reconcile and carry
+// the streams' class tags through to the server.
+func TestRunScenarioSmoke(t *testing.T) {
+	classes := make(chan string, 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case classes <- r.URL.Query().Get("class"):
+		default:
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"committed"}`))
+	}))
+	defer srv.Close()
+
+	sc := &Scenario{
+		Name:            "smoke",
+		DurationSeconds: 0.4,
+		Streams: []StreamConfig{
+			{Class: "interactive", Mode: "closed", Clients: 4, ThinkMS: 1},
+			{Class: "batch", Mode: "open", Rate: &ScheduleJSON{Kind: "const", Value: 200}},
+		},
+	}
+	rep, err := RunScenario(context.Background(), srv.URL, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("stream reports: %d", len(rep.Streams))
+	}
+	var total uint64
+	for _, s := range rep.Streams {
+		if s.Sent == 0 {
+			t.Fatalf("stream %s sent nothing", s.Name)
+		}
+		if got := s.Committed + s.Rejected + s.Timeouts + s.Aborted + s.Errors + s.Unresolved; got != s.Sent {
+			t.Fatalf("stream %s does not reconcile: sent=%d outcomes=%d", s.Name, s.Sent, got)
+		}
+		total += s.Sent
+	}
+	if rep.Total.Sent != total {
+		t.Fatalf("total sent %d != Σ streams %d", rep.Total.Sent, total)
+	}
+	seen := map[string]bool{}
+	close(classes)
+	for c := range classes {
+		seen[c] = true
+	}
+	if !seen["interactive"] || !seen["batch"] {
+		t.Fatalf("class tags did not reach the server: %v", seen)
+	}
+}
+
+// TestRunScenarioWindow checks that start/stop windows gate traffic.
+func TestRunScenarioWindow(t *testing.T) {
+	var early, late atomic.Int64
+	start := time.Now()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if time.Since(start) < 200*time.Millisecond {
+			early.Add(1)
+		} else {
+			late.Add(1)
+		}
+		_, _ = w.Write([]byte(`{"status":"committed"}`))
+	}))
+	defer srv.Close()
+
+	sc := &Scenario{
+		Name:            "window",
+		DurationSeconds: 0.5,
+		Streams: []StreamConfig{{
+			Class: "batch", Mode: "open",
+			Rate:         &ScheduleJSON{Kind: "const", Value: 400},
+			StartSeconds: 0.25,
+		}},
+	}
+	if _, err := RunScenario(context.Background(), srv.URL, sc, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := early.Load(); n != 0 {
+		t.Fatalf("%d requests arrived before the stream's start window", n)
+	}
+	if late.Load() == 0 {
+		t.Fatal("no requests arrived inside the window")
+	}
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+)
+
+func newClassServer(t *testing.T, limit float64, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, limit, func(c *Config) {
+		c.Classes = []ClassConfig{
+			{Name: "interactive", Weight: 3, Priority: 0},
+			{Name: "readonly", Weight: 2, Priority: 1, Shape: "query"},
+			{Name: "batch", Weight: 1, Priority: 2, Shape: "update", K: 16},
+		}
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+func TestMultiClassTxnRouting(t *testing.T) {
+	_, ts := newClassServer(t, 64, nil)
+
+	// Admission class + pinned shape: readonly defaults to queries.
+	code, tr := postTxn(t, ts.URL, "?class=readonly")
+	if code != http.StatusOK || tr.AdmissionClass != "readonly" || tr.Class != "query" {
+		t.Fatalf("readonly: %d %+v", code, tr)
+	}
+	// batch pins shape update and a default k.
+	code, tr = postTxn(t, ts.URL, "?class=batch")
+	if code != http.StatusOK || tr.AdmissionClass != "batch" || tr.Class != "update" {
+		t.Fatalf("batch: %d %+v", code, tr)
+	}
+	// Shape override on a class.
+	code, tr = postTxn(t, ts.URL, "?class=batch&shape=query")
+	if code != http.StatusOK || tr.Class != "query" || tr.AdmissionClass != "batch" {
+		t.Fatalf("batch+query: %d %+v", code, tr)
+	}
+	// Legacy alias still means shape when no class of that name exists,
+	// and routes to the default (first) class.
+	code, tr = postTxn(t, ts.URL, "?class=query&k=2")
+	if code != http.StatusOK || tr.Class != "query" || tr.AdmissionClass != "interactive" {
+		t.Fatalf("legacy alias: %d %+v", code, tr)
+	}
+	// Hotspot range restriction works; span=0 is the documented
+	// full-store value in both the query and body forms.
+	code, tr = postTxn(t, ts.URL, "?class=interactive&k=4&base=16&span=8")
+	if code != http.StatusOK {
+		t.Fatalf("hotspot txn: %d %+v", code, tr)
+	}
+	code, tr = postTxn(t, ts.URL, "?class=interactive&k=4&span=0")
+	if code != http.StatusOK {
+		t.Fatalf("span=0 txn: %d %+v", code, tr)
+	}
+}
+
+func TestMultiClassMetrics(t *testing.T) {
+	_, ts := newClassServer(t, 64, nil)
+	for i := 0; i < 4; i++ {
+		postTxn(t, ts.URL, "?class=interactive&k=2")
+	}
+	for i := 0; i < 2; i++ {
+		postTxn(t, ts.URL, "?class=batch&k=2")
+	}
+	snap := getSnapshot(t, ts.URL)
+	if snap.Mode != "pool" || len(snap.Classes) != 3 {
+		t.Fatalf("snapshot shape: mode=%q classes=%d", snap.Mode, len(snap.Classes))
+	}
+	byName := map[string]ClassSnapshot{}
+	for _, c := range snap.Classes {
+		byName[c.Name] = c
+	}
+	if byName["interactive"].Totals.Requests != 4 || byName["batch"].Totals.Requests != 2 {
+		t.Fatalf("per-class requests: %+v", byName)
+	}
+	if byName["interactive"].Totals.Commits != 4 {
+		t.Fatalf("interactive commits = %d", byName["interactive"].Totals.Commits)
+	}
+	if byName["interactive"].RespP95 <= 0 {
+		t.Fatal("interactive p95 not populated")
+	}
+	// Weighted shares of the pool: 3:2:1 over limit 64.
+	if l := byName["interactive"].Limit; l < 31 || l > 33 {
+		t.Fatalf("interactive share = %v, want 32", l)
+	}
+	// Aggregate totals are the class sums.
+	if snap.Totals.Requests != 6 {
+		t.Fatalf("aggregate requests = %d", snap.Totals.Requests)
+	}
+
+	// Prometheus text carries the labeled families.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`loadctl_class_commits_total{class="interactive"} 4`,
+		`loadctl_class_commits_total{class="batch"} 2`,
+		`loadctl_class_limit{class="interactive"} 32`,
+		`loadctl_class_resp_p95_seconds{class="interactive"}`,
+		`loadctl_class_queued{class="batch"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPerClassControlMode(t *testing.T) {
+	_, ts := newClassServer(t, 60, func(c *Config) {
+		c.ClassControl = "perclass"
+		c.ClassController = "static"
+	})
+	// GET /controller exposes the per-class controllers.
+	resp, err := http.Get(ts.URL + "/controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Mode    string `json:"mode"`
+		Classes []struct {
+			Class      string  `json:"class"`
+			Controller string  `json:"controller"`
+			Limit      float64 `json:"limit"`
+		} `json:"classes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.Mode != "perclass" || len(view.Classes) != 3 {
+		t.Fatalf("controller view: %+v", view)
+	}
+	// Static per-class controllers were seeded at the weighted shares.
+	for _, c := range view.Classes {
+		want := map[string]float64{"interactive": 30, "readonly": 20, "batch": 10}[c.Class]
+		if c.Limit != want {
+			t.Fatalf("class %s seeded limit %v, want %v", c.Class, c.Limit, want)
+		}
+	}
+
+	// Re-target one class live.
+	code, body := postController(t, ts.URL, `{"scope":"class","class":"batch","controller":"static","initial":5}`)
+	if code != http.StatusOK || !strings.Contains(body, `"batch"`) {
+		t.Fatalf("scope=class switch: %d %s", code, body)
+	}
+	snap := getSnapshot(t, ts.URL)
+	for _, c := range snap.Classes {
+		if c.Name == "batch" && c.Limit != 5 {
+			t.Fatalf("batch limit after switch = %v, want 5", c.Limit)
+		}
+	}
+
+	// Back to pool control.
+	code, _ = postController(t, ts.URL, `{"scope":"pool","controller":"static","initial":48}`)
+	if code != http.StatusOK {
+		t.Fatalf("scope=pool switch: %d", code)
+	}
+	snap = getSnapshot(t, ts.URL)
+	if snap.Mode != "pool" || snap.Limit != 48 {
+		t.Fatalf("after pool switch: mode=%q limit=%v", snap.Mode, snap.Limit)
+	}
+}
+
+func TestSwitchToPerClassViaController(t *testing.T) {
+	_, ts := newClassServer(t, 60, nil)
+	code, body := postController(t, ts.URL, `{"scope":"perclass","controller":"static"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"perclass"`) {
+		t.Fatalf("scope=perclass: %d %s", code, body)
+	}
+	snap := getSnapshot(t, ts.URL)
+	if snap.Mode != "perclass" {
+		t.Fatalf("mode = %q, want perclass", snap.Mode)
+	}
+	// Capacity-neutral switch: Σ class limits == old pool limit.
+	if snap.Limit != 60 {
+		t.Fatalf("total limit after perclass switch = %v, want 60", snap.Limit)
+	}
+}
+
+func postController(t *testing.T, base, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/controller", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestEndpointErrorPaths is the table-driven sweep over /txn, /metrics
+// and /controller error handling: every bad input is a 400 with a
+// message naming the problem, never a silent fallback.
+func TestEndpointErrorPaths(t *testing.T) {
+	_, ts := newClassServer(t, 64, nil)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		code   int
+		want   string // substring of the response body
+	}{
+		{"txn unknown class", "POST", "/txn?class=frobnicate", "", 400, `unknown class "frobnicate"`},
+		{"txn class list in error", "POST", "/txn?class=nope", "", 400, "interactive, readonly, batch"},
+		{"txn bad shape", "POST", "/txn?class=interactive&shape=diamond", "", 400, "bad shape"},
+		{"txn bad k", "POST", "/txn?k=zero", "", 400, "bad k"},
+		{"txn negative k", "POST", "/txn?k=-3", "", 400, "bad k"},
+		{"txn bad span", "POST", "/txn?span=-2", "", 400, "bad span"},
+		{"txn bad base", "POST", "/txn?base=-1", "", 400, "bad base"},
+		{"txn bad body", "POST", "/txn", `{"class":`, 400, "bad JSON body"},
+		{"txn negative body k", "POST", "/txn", `{"k": -2}`, 400, "must not be negative"},
+		{"metrics unknown format", "GET", "/metrics?format=xml", "", 400, `unknown format "xml"`},
+		{"metrics bare history", "GET", "/metrics?history=1", "", 400, "history=1 requires format=json"},
+		{"controller bad json", "POST", "/controller", `{"controller":`, 400, "bad JSON body"},
+		{"controller unknown name", "POST", "/controller", `{"controller":"plc"}`, 400, `unknown controller "plc"`},
+		{"controller unknown scope", "POST", "/controller", `{"scope":"galaxy","controller":"pa"}`, 400, `unknown scope "galaxy"`},
+		{"controller unknown class", "POST", "/controller", `{"scope":"class","class":"nope","controller":"pa"}`, 400, `unknown class "nope"`},
+		{"controller perclass bad name", "POST", "/controller", `{"scope":"perclass","controller":"bogus"}`, 400, `unknown controller "bogus"`},
+		{"controller bad bounds", "POST", "/controller", `{"controller":"pa","lo":9,"hi":1}`, 400, "invalid bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			switch tc.method {
+			case "GET":
+				resp, err = http.Get(ts.URL + tc.path)
+			default:
+				resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, tc.code, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Fatalf("body %q does not contain %q", body, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewValidatesClasses(t *testing.T) {
+	store := kv.NewStore(64)
+	base := func() Config {
+		return Config{
+			Controller: core.NewStatic(8),
+			Engine:     NewOCC(store),
+			Items:      store.Size(),
+			Interval:   10 * time.Second,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty class name", func(c *Config) { c.Classes = []ClassConfig{{Name: ""}} }},
+		{"duplicate class", func(c *Config) {
+			c.Classes = []ClassConfig{{Name: "a"}, {Name: "a"}}
+		}},
+		{"negative weight", func(c *Config) { c.Classes = []ClassConfig{{Name: "a", Weight: -2}} }},
+		{"bad shape", func(c *Config) { c.Classes = []ClassConfig{{Name: "a", Shape: "blob"}} }},
+		{"negative k", func(c *Config) { c.Classes = []ClassConfig{{Name: "a", K: -1}} }},
+		{"bad class control", func(c *Config) { c.ClassControl = "chaos" }},
+		{"too many classes", func(c *Config) {
+			for i := 0; i <= kv.MaxTxnClasses; i++ {
+				c.Classes = append(c.Classes, ClassConfig{Name: fmt.Sprintf("c%d", i)})
+			}
+		}},
+		{"bad class controller", func(c *Config) {
+			c.ClassControl = "perclass"
+			c.ClassController = "bogus"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+// Under a full pool with strict priorities, batch is shed while
+// interactive keeps being admitted — the server-level view of the gate's
+// shedding contract (reject mode for determinism).
+func TestClassSheddingUnderOverload(t *testing.T) {
+	srv, ts := newClassServer(t, 1, func(c *Config) { c.Reject = true })
+	// Occupy the single pool slot via a direct gate acquisition so the
+	// pool is genuinely full.
+	ci, ok := srv.multi.ClassIndex("batch")
+	if !ok {
+		t.Fatal("batch class missing")
+	}
+	if !srv.multi.TryAcquire(ci) {
+		t.Fatal("could not occupy the pool")
+	}
+	defer srv.multi.Release(ci)
+
+	code, tr := postTxn(t, ts.URL, "?class=batch")
+	if code != http.StatusTooManyRequests || tr.Status != "rejected" {
+		t.Fatalf("batch at full pool: %d %+v", code, tr)
+	}
+	snap := getSnapshot(t, ts.URL)
+	for _, c := range snap.Classes {
+		if c.Name == "batch" && c.Totals.Rejected != 1 {
+			t.Fatalf("batch rejection not counted per class: %+v", c)
+		}
+		if c.Name == "interactive" && c.Totals.Rejected != 0 {
+			t.Fatalf("interactive must not have shed anything: %+v", c)
+		}
+	}
+}

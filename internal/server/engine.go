@@ -19,11 +19,13 @@ import (
 var ErrAborted = errors.New("server: transaction aborted by concurrency control")
 
 // TxnSpec is one transaction attempt: the items to access in order and the
-// per-item write intent. A read-only spec is the paper's "query" class; a
-// spec with writes is an "updater".
+// per-item write intent. A read-only spec is the paper's "query" shape; a
+// spec with writes is an "updater". Class is the admission-class index,
+// threaded through to the store's per-class conflict counters.
 type TxnSpec struct {
 	Keys  []int
 	Write []bool
+	Class int
 }
 
 // Update reports whether the spec writes at least one item.
@@ -67,7 +69,7 @@ func (e *occEngine) Exec(ctx context.Context, spec TxnSpec) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	txn := e.store.Begin()
+	txn := e.store.Begin().WithClass(spec.Class)
 	for i, key := range spec.Keys {
 		if i&1023 == 1023 {
 			if err := ctx.Err(); err != nil {

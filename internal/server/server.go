@@ -8,11 +8,21 @@
 // that periodically re-estimates the throughput-optimal multiprogramming
 // limit n* and installs it at the gate.
 //
+// Admission is multi-class: requests carry an admission class (interactive
+// / readonly / batch in the default set, fully configurable), each class
+// owns a slice of the shared concurrency pool in proportion to its weight,
+// and under overload surplus demand is shed in strict priority order — the
+// paper's per-class load control in front of real network traffic. The
+// adaptive controllers steer either the global pool (one controller, the
+// weights split its limit) or per-class limits (one controller per class).
+//
 // Endpoints:
 //
-//	POST /txn        execute one transaction (class/k via query or JSON body)
+//	POST /txn        execute one transaction (class/shape/k/base/span via
+//	                 query or JSON body)
 //	GET  /metrics    Prometheus-style text; ?format=json for a JSON snapshot
-//	GET  /controller controller inspection; POST switches the controller live
+//	GET  /controller controller inspection; POST switches controllers live
+//	                 (scope: pool, perclass, or a single class)
 //	GET  /healthz    liveness probe
 //
 // The /metrics format contract: the default (no format parameter) is
@@ -25,12 +35,13 @@
 //
 // The request hot path never takes the server-wide mutex: every
 // per-request counter (request/commit/abort/reject/timeout/disconnect
-// totals, the response-time accumulators, and the load integrator feeding
-// the controller's n(t) signal) lives in striped, cache-line-padded
-// atomic cells selected per request. The measurement tick and /metrics
-// fold the stripes; the server-wide mutex guards only controller state
-// and interval history. The remaining per-request shared state is the
-// request-sequence atomic and the admission gate's own mutex.
+// totals, the response-time accumulators, the per-class latency histogram
+// and the load integrator feeding the controller's n(t) signal) lives in
+// striped, cache-line-padded atomic cells selected per request within the
+// request's class. The measurement tick and /metrics fold the stripes; the
+// server-wide mutex guards only controller state and interval history. The
+// remaining per-request shared state is the request-sequence atomic and
+// the admission gate's own mutex.
 package server
 
 import (
@@ -49,18 +60,32 @@ import (
 
 	"github.com/tpctl/loadctl/internal/core"
 	"github.com/tpctl/loadctl/internal/gate"
+	"github.com/tpctl/loadctl/internal/kv"
 	"github.com/tpctl/loadctl/internal/sim"
 	"github.com/tpctl/loadctl/internal/workload"
 )
 
 // Config parameterizes the transaction front-end.
 type Config struct {
-	// Controller re-estimates the concurrency limit; required.
+	// Controller re-estimates the shared concurrency pool; required. In
+	// per-class control its bound seeds the class limits and it remains
+	// the fallback when a class has no controller of its own.
 	Controller core.Controller
 	// Engine executes transactions; required.
 	Engine Engine
 	// Items is the store size D used to sample access sets; required (>0).
 	Items int
+	// Classes declares the admission classes. Empty means one class
+	// "default" — the single-gate behavior. Use DefaultClasses() for the
+	// canonical interactive/readonly/batch split.
+	Classes []ClassConfig
+	// ClassControl selects what the adaptive controllers steer: "pool"
+	// (default; Controller moves the shared limit, weights split it) or
+	// "perclass" (one controller per class moves that class's own limit).
+	ClassControl string
+	// ClassController names the controller built per class in perclass
+	// mode: "pa" (default), "is", "static", "none".
+	ClassController string
 	// Interval is the measurement interval Δt (default 1s).
 	Interval time.Duration
 	// Mix supplies defaults for transaction shape when a request does not
@@ -103,6 +128,15 @@ func (c Config) withDefaults() Config {
 	if c.Mix.K == nil {
 		c.Mix = workload.DefaultMix()
 	}
+	if len(c.Classes) == 0 {
+		c.Classes = singleClass()
+	}
+	if c.ClassControl == "" {
+		c.ClassControl = "pool"
+	}
+	if c.ClassController == "" {
+		c.ClassController = "pa"
+	}
 	return c
 }
 
@@ -121,7 +155,8 @@ type IntervalStats struct {
 	// interval it is aborts per attempt, which is 1.0 whenever any
 	// attempt ran (every attempt aborted) and 0 for an idle interval.
 	AbortRate float64 `json:"abort_rate"`
-	// Limit is the bound n* installed at the interval end.
+	// Limit is the bound installed at the interval end: the shared pool
+	// (aggregate rows) or the class's effective slice (per-class rows).
 	Limit float64 `json:"limit"`
 	// Commits and Aborts are raw event counts in the interval.
 	Commits uint64 `json:"commits"`
@@ -140,21 +175,58 @@ type Totals struct {
 	Disconnects uint64 `json:"disconnects"`
 }
 
+func (t *Totals) add(o Totals) {
+	t.Requests += o.Requests
+	t.Commits += o.Commits
+	t.Aborts += o.Aborts
+	t.Rejected += o.Rejected
+	t.Timeouts += o.Timeouts
+	t.Disconnects += o.Disconnects
+}
+
+// ClassSnapshot is one admission class's slice of the metrics snapshot.
+type ClassSnapshot struct {
+	Name     string  `json:"name"`
+	Weight   float64 `json:"weight"`
+	Priority int     `json:"priority"`
+	// Limit is the class's effective concurrency slice: its guaranteed
+	// share of the pool in pool control, its own controller-steered limit
+	// in per-class control.
+	Limit  float64 `json:"limit"`
+	Active int     `json:"active"`
+	Queued int     `json:"queued"`
+	Totals Totals  `json:"totals"`
+	// Interval is the class's most recently closed measurement interval.
+	Interval IntervalStats `json:"interval"`
+	// RespP50/P95/P99 are response-time quantiles in seconds over all
+	// commits since server start (log-bucketed, ±~10%).
+	RespP50 float64 `json:"resp_p50"`
+	RespP95 float64 `json:"resp_p95"`
+	RespP99 float64 `json:"resp_p99"`
+	// Gate is the class's admission-gate snapshot (queue depth, shed
+	// counts, share).
+	Gate gate.ClassStats `json:"gate"`
+}
+
 // Snapshot is the JSON document served by /metrics?format=json.
 type Snapshot struct {
-	Now        float64        `json:"now"`
-	Engine     string         `json:"engine"`
-	Controller string         `json:"controller"`
-	Limit      float64        `json:"limit"`
-	Active     int            `json:"active"`
-	Queued     int            `json:"queued"`
-	Gate       gate.LiveStats `json:"gate"`
-	Totals     Totals         `json:"totals"`
+	Now        float64 `json:"now"`
+	Engine     string  `json:"engine"`
+	Controller string  `json:"controller"`
+	// Mode is "pool" or "perclass" — what the controllers steer.
+	Mode   string         `json:"mode"`
+	Limit  float64        `json:"limit"`
+	Active int            `json:"active"`
+	Queued int            `json:"queued"`
+	Gate   gate.LiveStats `json:"gate"`
+	Totals Totals         `json:"totals"`
 	// Interval is the most recently closed measurement interval (zero
 	// value until the first interval closes).
 	Interval IntervalStats `json:"interval"`
-	// History holds the retained closed intervals, oldest first (only
-	// populated with ?history=1).
+	// Classes holds the per-class breakdown in configuration order.
+	Classes []ClassSnapshot `json:"classes"`
+	// History holds the retained closed aggregate intervals, oldest first
+	// (only populated with ?history=1).
 	History []IntervalStats `json:"history,omitempty"`
 }
 
@@ -183,12 +255,27 @@ type counterCell struct {
 	_           [4]uint64
 }
 
-// foldTotals is one aggregation of all cells.
+// foldTotals is one aggregation of a class's cells.
 type foldTotals struct {
 	requests, commits, aborts, rejected, timeouts, disconnects uint64
 	respNanos, respN                                           uint64
 	entryNanos, entries                                        uint64
 	exitNanos, exits                                           uint64
+}
+
+func (f *foldTotals) add(o foldTotals) {
+	f.requests += o.requests
+	f.commits += o.commits
+	f.aborts += o.aborts
+	f.rejected += o.rejected
+	f.timeouts += o.timeouts
+	f.disconnects += o.disconnects
+	f.respNanos += o.respNanos
+	f.respN += o.respN
+	f.entryNanos += o.entryNanos
+	f.entries += o.entries
+	f.exitNanos += o.exitNanos
+	f.exits += o.exits
 }
 
 // numCells picks the stripe count: the next power of two at or above
@@ -202,15 +289,16 @@ func numCells() int {
 	return n
 }
 
-// fold sums the stripes. Within each cell, exit counters are read before
-// entry counters so a request racing the fold can only appear as
-// entered-but-not-yet-exited (never a negative active population), and
+// foldClass sums one class's stripes. Within each cell, exit counters are
+// read before entry counters so a request racing the fold can only appear
+// as entered-but-not-yet-exited (never a negative active population), and
 // each count is read before its timestamp sum so a racing event can only
 // land in the sum without its count — the direction tick clamps away.
-func (s *Server) fold() foldTotals {
+func (s *Server) foldClass(class int) foldTotals {
 	var f foldTotals
-	for i := range s.cells {
-		c := &s.cells[i]
+	base := class * s.stripes
+	for i := 0; i < s.stripes; i++ {
+		c := &s.cells[base+i]
 		f.exits += c.exits.Load()
 		f.exitNanos += c.exitNanos.Load()
 		f.entries += c.entries.Load()
@@ -220,11 +308,20 @@ func (s *Server) fold() foldTotals {
 		f.aborts += c.aborts.Load()
 		f.rejected += c.rejected.Load()
 		f.timeouts += c.timeouts.Load()
-		f.disconnects += c.disconnects.Load()
 		f.respN += c.respN.Load()
 		f.respNanos += c.respNanos.Load()
+		f.disconnects += c.disconnects.Load()
 	}
 	return f
+}
+
+// foldAll folds every class.
+func (s *Server) foldAll() []foldTotals {
+	folds := make([]foldTotals, len(s.classes))
+	for ci := range s.classes {
+		folds[ci] = s.foldClass(ci)
+	}
+	return folds
 }
 
 func (f foldTotals) totals() Totals {
@@ -241,24 +338,34 @@ func (f foldTotals) totals() Totals {
 // Server is the transaction front-end. Create with New, serve its
 // Handler, and Close it to stop the measurement loop.
 type Server struct {
-	cfg   Config
-	gate  *gate.Live
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	classes []ClassConfig
+	multi   *gate.Multi
+	mux     *http.ServeMux
+	start   time.Time
 
 	seq atomic.Uint64 // per-request stream ids; also selects the stripe
 
-	cells    []counterCell // striped hot-path counters, len is a power of two
-	cellMask uint64
+	// cells holds the striped hot-path counters: class ci's stripes are
+	// cells[ci*stripes : (ci+1)*stripes].
+	cells      []counterCell
+	stripes    int
+	stripeMask uint64
+	hists      []latHist // per-class commit latency histograms
 
-	mu       sync.Mutex
-	ctrl     core.Controller
-	updates  uint64     // controller Update calls
-	lastTick time.Time  // previous interval boundary (for the true Δt)
-	prevFold foldTotals // fold at the previous tick, for interval deltas
-	last     IntervalStats
-	history  []IntervalStats
-	lastSamp core.Sample
+	mu           sync.Mutex
+	ctrl         core.Controller   // steers the shared pool in pool mode
+	classCtrls   []core.Controller // steer per-class limits in perclass mode
+	perClass     bool
+	updates      uint64    // pool controller Update calls
+	classUpdates []uint64  // per-class controller Update calls
+	lastTick     time.Time // previous interval boundary (for the true Δt)
+	prevFold     []foldTotals
+	last         IntervalStats
+	lastClass    []IntervalStats
+	history      []IntervalStats
+	lastSamp     core.Sample
+	lastClassSmp []core.Sample
 
 	stop chan struct{}
 	done chan struct{}
@@ -276,16 +383,53 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Items < 1 {
 		return nil, fmt.Errorf("server: Config.Items %d < 1", cfg.Items)
 	}
-	cells := numCells()
+	switch cfg.ClassControl {
+	case "pool", "perclass":
+	default:
+		return nil, fmt.Errorf("server: unknown ClassControl %q (want pool or perclass)", cfg.ClassControl)
+	}
+	if len(cfg.Classes) > kv.MaxTxnClasses {
+		// The store's per-class conflict counters clamp indexes beyond
+		// this into class 0; refuse rather than silently merge classes.
+		return nil, fmt.Errorf("server: %d classes exceed the per-class accounting limit %d", len(cfg.Classes), kv.MaxTxnClasses)
+	}
+	seen := make(map[string]bool, len(cfg.Classes))
+	for _, cc := range cfg.Classes {
+		if err := cc.validate(); err != nil {
+			return nil, err
+		}
+		if seen[cc.Name] {
+			return nil, fmt.Errorf("server: duplicate class %q", cc.Name)
+		}
+		seen[cc.Name] = true
+	}
+	multi, err := gate.NewMulti(gateSpecs(cfg.Classes), cfg.Controller.Bound())
+	if err != nil {
+		return nil, err
+	}
+	stripes := numCells()
 	s := &Server{
-		cfg:      cfg,
-		gate:     gate.NewLive(cfg.Controller.Bound()),
-		ctrl:     cfg.Controller,
-		start:    time.Now(),
-		cells:    make([]counterCell, cells),
-		cellMask: uint64(cells - 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		classes:      cfg.Classes,
+		multi:        multi,
+		ctrl:         cfg.Controller,
+		start:        time.Now(),
+		cells:        make([]counterCell, len(cfg.Classes)*stripes),
+		stripes:      stripes,
+		stripeMask:   uint64(stripes - 1),
+		hists:        make([]latHist, len(cfg.Classes)),
+		classCtrls:   make([]core.Controller, len(cfg.Classes)),
+		classUpdates: make([]uint64, len(cfg.Classes)),
+		prevFold:     make([]foldTotals, len(cfg.Classes)),
+		lastClass:    make([]IntervalStats, len(cfg.Classes)),
+		lastClassSmp: make([]core.Sample, len(cfg.Classes)),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	if cfg.ClassControl == "perclass" {
+		if err := s.enterPerClassLocked(cfg.ClassController, core.DefaultBounds(), 0); err != nil {
+			return nil, err
+		}
 	}
 	s.lastTick = s.start
 	s.mux = http.NewServeMux()
@@ -300,6 +444,38 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// enterPerClassLocked builds one controller per class by name within the
+// given bounds and flips the gate to per-class mode. Each controller is
+// seeded at the class's weighted slice of total when total > 0, else at
+// the class's current effective slice — so the switch is capacity-neutral
+// by default. The caller holds mu (or is still constructing the server).
+func (s *Server) enterPerClassLocked(name string, bounds core.Bounds, total float64) error {
+	st := s.multi.Stats()
+	var sumW float64
+	for _, c := range st.Classes {
+		sumW += c.Weight
+	}
+	for ci := range s.classes {
+		seed := st.Classes[ci].Share
+		if s.perClass {
+			seed = st.Classes[ci].Limit
+		}
+		if total > 0 && sumW > 0 {
+			seed = total * st.Classes[ci].Weight / sumW
+		}
+		ctrl, err := makeController(name, seed, bounds)
+		if err != nil {
+			return err
+		}
+		s.classCtrls[ci] = ctrl
+		s.classUpdates[ci] = 0
+		s.multi.SetClassLimit(ci, ctrl.Bound())
+	}
+	s.perClass = true
+	s.multi.SetPerClass(true)
+	return nil
+}
+
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -310,8 +486,9 @@ func (s *Server) Close() {
 	<-s.done
 }
 
-// Limit returns the currently installed bound n*.
-func (s *Server) Limit() float64 { return s.gate.Limit() }
+// Limit returns the currently installed total concurrency bound: the
+// shared pool in pool mode, the sum of class limits in per-class mode.
+func (s *Server) Limit() float64 { return s.multi.Limit() }
 
 // elapsed is seconds since server start — the time axis workload schedules
 // and interval stats share.
@@ -320,18 +497,33 @@ func (s *Server) elapsed() float64 { return time.Since(s.start).Seconds() }
 // txnRequest is the optional JSON body of POST /txn; query parameters of
 // the same names take precedence.
 type txnRequest struct {
-	// Class is "query" (read-only), "update", or "" (sampled from the mix).
+	// Class is the admission class name. The legacy values "query" and
+	// "update" (when no class of that name is configured) are shape
+	// aliases routed to the default class. Empty selects the default
+	// class.
 	Class string `json:"class"`
-	// K overrides the number of items accessed (0 = from the mix).
+	// Shape overrides the transaction shape: "query" (read-only) or
+	// "update"; "" falls back to the class default, then the mix.
+	Shape string `json:"shape"`
+	// K overrides the number of items accessed (0 = class default, then
+	// the mix).
 	K int `json:"k"`
+	// Base/Span restrict the access set to the key range
+	// [Base, Base+Span) mod Items — the hotspot knob adversarial
+	// scenarios shift over time. Span 0 means the full store.
+	Base int `json:"base"`
+	Span int `json:"span"`
 }
 
-// txnResponse is the JSON answer of POST /txn.
+// txnResponse is the JSON answer of POST /txn. Class is the transaction
+// shape ("query"/"update" — the field predates multi-class admission);
+// AdmissionClass is the admission class the request was gated under.
 type txnResponse struct {
-	Status    string  `json:"status"`
-	Class     string  `json:"class,omitempty"`
-	Attempts  int     `json:"attempts,omitempty"`
-	LatencyMS float64 `json:"latency_ms"`
+	Status         string  `json:"status"`
+	Class          string  `json:"class,omitempty"`
+	AdmissionClass string  `json:"admission_class,omitempty"`
+	Attempts       int     `json:"attempts,omitempty"`
+	LatencyMS      float64 `json:"latency_ms"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -342,17 +534,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// buildSpec samples one transaction's access set: k distinct items, write
-// intent per position for updaters.
-func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64) TxnSpec {
+// buildSpec samples one transaction's access set: k distinct items from
+// the key range [base, base+span) mod Items (span<=0 = the whole store),
+// write intent per position for updaters.
+func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64, base, span int) TxnSpec {
+	domain := s.cfg.Items
+	if span > 0 && span < domain {
+		domain = span
+	}
 	if k < 1 {
 		k = 1
 	}
-	if k > s.cfg.Items {
-		k = s.cfg.Items
+	if k > domain {
+		k = domain
 	}
 	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)}
-	rng.SampleDistinct(spec.Keys, s.cfg.Items)
+	rng.SampleDistinct(spec.Keys, domain)
+	if base > 0 {
+		for i := range spec.Keys {
+			spec.Keys[i] = (spec.Keys[i] + base) % s.cfg.Items
+		}
+	}
 	if query {
 		return spec
 	}
@@ -368,6 +570,34 @@ func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64) T
 		spec.Write[rng.Intn(k)] = true
 	}
 	return spec
+}
+
+// resolveClass maps a request's class/shape fields to (class index, shape)
+// or an error message for a 400. Shape "" means "sample from the mix".
+func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg string) {
+	name, shape := req.Class, req.Shape
+	if shape == "" && (name == "query" || name == "update") {
+		if _, isClass := s.multi.ClassIndex(name); !isClass {
+			// Legacy single-gate API: ?class=query meant the shape.
+			name, shape = "", name
+		}
+	}
+	if name != "" {
+		idx, ok := s.multi.ClassIndex(name)
+		if !ok {
+			return 0, "", fmt.Sprintf("unknown class %q (have %s)", name, strings.Join(s.multi.ClassNames(), ", "))
+		}
+		ci = idx
+	}
+	if shape == "" {
+		shape = s.classes[ci].Shape
+	}
+	switch shape {
+	case "", "query", "update":
+	default:
+		return 0, "", fmt.Sprintf("bad shape %q (want query or update)", shape)
+	}
+	return ci, shape, ""
 }
 
 func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
@@ -386,66 +616,90 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("class"); v != "" {
 		req.Class = v
 	}
-	if v := q.Get("k"); v != "" {
-		k, err := strconv.Atoi(v)
-		if err != nil || k < 1 {
-			http.Error(w, "bad k", http.StatusBadRequest)
+	if v := q.Get("shape"); v != "" {
+		req.Shape = v
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+		min  int
+	}{{"k", &req.K, 1}, {"base", &req.Base, 0}, {"span", &req.Span, 0}} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < p.min {
+			http.Error(w, "bad "+p.name, http.StatusBadRequest)
 			return
 		}
-		req.K = k
+		*p.dst = n
+	}
+	if req.K < 0 || req.Base < 0 || req.Span < 0 {
+		http.Error(w, "k, base and span must not be negative", http.StatusBadRequest)
+		return
+	}
+
+	ci, shape, errMsg := s.resolveClass(req)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
 	}
 
 	now := s.elapsed()
 	seq := s.seq.Add(1)
-	// All of this request's counter traffic goes to one stripe; requests
-	// spread round-robin over stripes, so concurrent requests rarely share
-	// a counter cache line and never take s.mu. (The seq atomic itself and
-	// the gate's internal mutex remain the shared touch points.)
-	cell := &s.cells[seq&s.cellMask]
+	// All of this request's counter traffic goes to one stripe of its
+	// class; requests spread round-robin over stripes, so concurrent
+	// requests rarely share a counter cache line and never take s.mu.
+	// (The seq atomic itself and the gate's internal mutex remain the
+	// shared touch points.)
+	cell := &s.cells[ci*s.stripes+int(seq&s.stripeMask)]
 	rng := sim.Stream(s.cfg.Seed, seq)
 	var query bool
-	switch req.Class {
+	switch shape {
 	case "query":
 		query = true
 	case "update":
 		query = false
-	case "":
-		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
 	default:
-		http.Error(w, fmt.Sprintf("bad class %q (want query or update)", req.Class), http.StatusBadRequest)
-		return
+		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
 	}
 	k := req.K
 	if k == 0 {
+		k = s.classes[ci].K
+	}
+	if k == 0 {
 		k = s.cfg.Mix.KAt(now)
 	}
-	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now))
+	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now), req.Base, req.Span)
+	spec.Class = ci
 	class := "update"
 	if query {
 		class = "query"
 	}
+	className := s.classes[ci].Name
 
 	cell.requests.Add(1)
 
 	t0 := time.Now()
 
 	// Admission: the adaptive gate is the paper's §4.3 load control in
-	// front of real network traffic.
+	// front of real network traffic, per class.
 	if s.cfg.Reject {
-		if !s.gate.TryAcquire() {
+		if !s.multi.TryAcquire(ci) {
 			cell.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, LatencyMS: msSince(t0)})
+			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
 			return
 		}
 	} else {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-		err := s.gate.Acquire(ctx)
+		err := s.multi.Acquire(ctx, ci)
 		cancel()
 		if err != nil {
 			cell.timeouts.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, LatencyMS: msSince(t0)})
+			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
 			return
 		}
 	}
@@ -465,7 +719,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.gate.Release()
+	s.multi.Release(ci)
 	s.noteExit(cell)
 
 	lat := time.Since(t0)
@@ -474,9 +728,10 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cell.respNanos.Add(uint64(lat.Nanoseconds()))
 		cell.respN.Add(1)
 		cell.commits.Add(1)
-		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+		s.hists[ci].add(lat.Seconds())
+		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
 	case errors.Is(execErr, ErrAborted):
-		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
 	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
 		// The client went away (or its deadline passed) mid-transaction:
 		// not an engine failure. Count it separately and skip the write —
@@ -484,7 +739,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cell.disconnects.Add(1)
 	default:
 		// A genuine engine failure.
-		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, Attempts: attempts, LatencyMS: msSince(t0)})
+		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
 	}
 }
 
@@ -520,25 +775,10 @@ func (s *Server) loop() {
 	}
 }
 
-func (s *Server) tick() {
-	now := time.Now()
-	nowNanos := now.Sub(s.start).Nanoseconds()
-	f := s.fold()
-
-	s.mu.Lock()
-	// Use the actually elapsed window, not the configured interval: under
-	// CPU saturation the ticker fires late, and dividing by the nominal Δt
-	// would inflate load and throughput exactly when the controller most
-	// needs accurate samples.
-	dtNanos := now.Sub(s.lastTick).Nanoseconds()
-	s.lastTick = now
-	if dtNanos <= 0 {
-		dtNanos = s.cfg.Interval.Nanoseconds()
-	}
+// intervalFrom turns one class's (or the aggregate's) fold delta into the
+// closed-interval statistics and the controller sample.
+func intervalFrom(t float64, f, p foldTotals, nowNanos, dtNanos int64) (IntervalStats, core.Sample) {
 	dt := float64(dtNanos) / 1e9
-	p := s.prevFold
-	s.prevFold = f
-
 	commits := f.commits - p.commits
 	aborts := f.aborts - p.aborts
 	respN := f.respN - p.respN
@@ -566,7 +806,7 @@ func (s *Server) tick() {
 	}
 
 	sample := core.Sample{
-		Time:        s.elapsed(),
+		Time:        t,
 		Load:        load,
 		Throughput:  float64(commits) / dt,
 		Completions: commits,
@@ -592,19 +832,66 @@ func (s *Server) tick() {
 		Commits:    commits,
 		Aborts:     aborts,
 	}
+	return iv, sample
+}
 
-	limit := s.ctrl.Update(sample)
-	s.updates++
+func (s *Server) tick() {
+	now := time.Now()
+	nowNanos := now.Sub(s.start).Nanoseconds()
+	folds := s.foldAll()
+
+	s.mu.Lock()
+	// Use the actually elapsed window, not the configured interval: under
+	// CPU saturation the ticker fires late, and dividing by the nominal Δt
+	// would inflate load and throughput exactly when the controller most
+	// needs accurate samples.
+	dtNanos := now.Sub(s.lastTick).Nanoseconds()
+	s.lastTick = now
+	if dtNanos <= 0 {
+		dtNanos = s.cfg.Interval.Nanoseconds()
+	}
+	t := s.elapsed()
+
+	var agg, prevAgg foldTotals
+	for ci := range folds {
+		iv, sample := intervalFrom(t, folds[ci], s.prevFold[ci], nowNanos, dtNanos)
+		agg.add(folds[ci])
+		prevAgg.add(s.prevFold[ci])
+		s.prevFold[ci] = folds[ci]
+		s.lastClassSmp[ci] = sample
+		if s.perClass && s.classCtrls[ci] != nil {
+			limit := s.classCtrls[ci].Update(sample)
+			s.classUpdates[ci]++
+			iv.Limit = limit
+			s.multi.SetClassLimit(ci, limit)
+		}
+		s.lastClass[ci] = iv
+	}
+
+	iv, sample := intervalFrom(t, agg, prevAgg, nowNanos, dtNanos)
+	if !s.perClass {
+		// Pool control: the aggregate sample steers the shared limit.
+		limit := s.ctrl.Update(sample)
+		s.updates++
+		iv.Limit = limit
+		// Install while still holding mu so a concurrent controller
+		// switch cannot be overwritten by a limit computed from the old
+		// controller.
+		s.multi.SetPoolLimit(limit)
+		// Per-class rows report the effective slice of the new pool.
+		st := s.multi.Stats()
+		for ci := range s.lastClass {
+			s.lastClass[ci].Limit = st.Classes[ci].Share
+		}
+	} else {
+		iv.Limit = s.multi.Limit()
+	}
 	s.lastSamp = sample
-	iv.Limit = limit
 	s.last = iv
 	s.history = append(s.history, iv)
 	if len(s.history) > s.cfg.HistoryLen {
 		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
 	}
-	// Install while still holding mu so a concurrent controller switch
-	// cannot be overwritten by a limit computed from the old controller.
-	s.gate.SetLimit(limit)
 	s.mu.Unlock()
 }
 
@@ -626,24 +913,63 @@ func relTerm(v, count, dtNanos int64) int64 {
 
 // SnapshotNow assembles the current metrics snapshot.
 func (s *Server) SnapshotNow(withHistory bool) Snapshot {
-	totals := s.fold().totals()
+	folds := s.foldAll()
+	gateStats := s.multi.Stats()
+
+	var totals Totals
+	classTotals := make([]Totals, len(folds))
+	for ci, f := range folds {
+		classTotals[ci] = f.totals()
+		totals.add(classTotals[ci])
+	}
+
 	s.mu.Lock()
 	snap := Snapshot{
 		Now:        s.elapsed(),
 		Engine:     s.cfg.Engine.Name(),
 		Controller: s.ctrl.Name(),
+		Mode:       s.modeLocked(),
 		Totals:     totals,
 		Interval:   s.last,
+	}
+	for ci, cc := range s.classes {
+		g := gateStats.Classes[ci]
+		limit := g.Share
+		if s.perClass {
+			limit = g.Limit
+		}
+		snap.Classes = append(snap.Classes, ClassSnapshot{
+			Name:     cc.Name,
+			Weight:   g.Weight,
+			Priority: cc.Priority,
+			Limit:    limit,
+			Active:   g.Active,
+			Queued:   g.Queued,
+			Totals:   classTotals[ci],
+			Interval: s.lastClass[ci],
+			RespP50:  s.hists[ci].quantile(0.50),
+			RespP95:  s.hists[ci].quantile(0.95),
+			RespP99:  s.hists[ci].quantile(0.99),
+			Gate:     g,
+		})
 	}
 	if withHistory {
 		snap.History = append([]IntervalStats(nil), s.history...)
 	}
 	s.mu.Unlock()
-	snap.Limit = s.gate.Limit()
-	snap.Active = s.gate.Active()
-	snap.Queued = s.gate.Queued()
-	snap.Gate = s.gate.Stats()
+	snap.Limit = s.multi.Limit()
+	snap.Active = gateStats.Active
+	snap.Queued = gateStats.Queued
+	snap.Gate = s.multi.AggregateStats()
 	return snap
+}
+
+// modeLocked names the control mode; the caller holds mu.
+func (s *Server) modeLocked() string {
+	if s.perClass {
+		return "perclass"
+	}
+	return "pool"
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -678,7 +1004,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	gauge("loadctl_limit", "current adaptive concurrency limit n*", snap.Limit)
+	// Labeled families: one HELP/TYPE header, one sample per class.
+	gaugeVec := func(name, help string, get func(ClassSnapshot) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, c := range snap.Classes {
+			fmt.Fprintf(&b, "%s{class=%q} %s\n", name, c.Name, promFloat(get(c)))
+		}
+	}
+	counterVec := func(name, help string, get func(ClassSnapshot) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, c := range snap.Classes {
+			fmt.Fprintf(&b, "%s{class=%q} %d\n", name, c.Name, get(c))
+		}
+	}
+	gauge("loadctl_limit", "current total adaptive concurrency limit n*", snap.Limit)
 	gauge("loadctl_active", "transactions currently holding an admission slot", float64(snap.Active))
 	gauge("loadctl_queued", "requests waiting for admission", float64(snap.Queued))
 	gauge("loadctl_interval_load", "time-averaged in-flight transactions over the last interval", snap.Interval.Load)
@@ -695,6 +1034,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("loadctl_gate_admitted_total", "admissions granted by the gate", snap.Gate.Admitted)
 	counter("loadctl_gate_rejected_total", "non-blocking admissions refused by the gate", snap.Gate.Rejected)
 	gauge("loadctl_gate_queue_max", "high-water mark of the admission queue", float64(snap.Gate.QueueMax))
+
+	gaugeVec("loadctl_class_limit", "effective per-class concurrency slice (share of the pool, or the class's own limit)",
+		func(c ClassSnapshot) float64 { return c.Limit })
+	gaugeVec("loadctl_class_active", "transactions of the class holding an admission slot",
+		func(c ClassSnapshot) float64 { return float64(c.Active) })
+	gaugeVec("loadctl_class_queued", "requests of the class waiting for admission",
+		func(c ClassSnapshot) float64 { return float64(c.Queued) })
+	gaugeVec("loadctl_class_load", "time-averaged in-flight transactions of the class over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.Load })
+	gaugeVec("loadctl_class_throughput", "class commits per second over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.Throughput })
+	gaugeVec("loadctl_class_resp_seconds", "class mean response time over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.RespTime })
+	gaugeVec("loadctl_class_resp_p95_seconds", "class p95 response time since start (log-bucketed)",
+		func(c ClassSnapshot) float64 { return c.RespP95 })
+	gaugeVec("loadctl_class_abort_rate", "class CC aborts per commit over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.AbortRate })
+	counterVec("loadctl_class_requests_total", "transaction requests received per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Requests })
+	counterVec("loadctl_class_commits_total", "transactions committed per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Commits })
+	counterVec("loadctl_class_aborts_total", "transaction attempts aborted per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Aborts })
+	counterVec("loadctl_class_rejected_total", "class requests shed at a full gate",
+		func(c ClassSnapshot) uint64 { return c.Totals.Rejected })
+	counterVec("loadctl_class_timeouts_total", "class requests that gave up waiting for admission",
+		func(c ClassSnapshot) uint64 { return c.Totals.Timeouts })
 	_, _ = w.Write([]byte(b.String()))
 }
 
@@ -707,21 +1073,41 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// classCtrlView is one class's row in the GET /controller document.
+type classCtrlView struct {
+	Class      string      `json:"class"`
+	Controller string      `json:"controller"`
+	Limit      float64     `json:"limit"`
+	Updates    uint64      `json:"updates"`
+	LastSample core.Sample `json:"last_sample"`
+}
+
 // controllerView is the GET /controller document.
 type controllerView struct {
 	Controller      string  `json:"controller"`
+	Mode            string  `json:"mode"`
 	Limit           float64 `json:"limit"`
 	IntervalSeconds float64 `json:"interval_seconds"`
 	Updates         uint64  `json:"updates"`
-	// LastSample is the most recent measurement fed to the controller.
+	// LastSample is the most recent aggregate measurement.
 	LastSample core.Sample `json:"last_sample"`
+	// Classes lists the per-class controllers (populated in perclass
+	// mode).
+	Classes []classCtrlView `json:"classes,omitempty"`
 }
 
 // controllerSwitch is the POST /controller body.
 type controllerSwitch struct {
 	// Controller is "pa", "is", "static", or "none".
 	Controller string `json:"controller"`
-	// Initial optionally sets the new controller's starting bound;
+	// Scope selects what the new controller steers: "pool" (default) —
+	// one controller for the shared limit; "perclass" — one controller
+	// per class; "class" — replace a single class's controller (implies
+	// perclass mode), named by Class.
+	Scope string `json:"scope"`
+	Class string `json:"class"`
+	// Initial optionally sets the new controller's starting bound (for
+	// scope perclass: the new total, split over classes by weight);
 	// default carries the currently installed limit over.
 	Initial float64 `json:"initial"`
 	// Lo/Hi optionally override the static clamp (both must be set).
@@ -735,22 +1121,34 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		view := controllerView{
 			Controller:      s.ctrl.Name(),
+			Mode:            s.modeLocked(),
 			IntervalSeconds: s.cfg.Interval.Seconds(),
 			Updates:         s.updates,
 			LastSample:      s.lastSamp,
 		}
+		if s.perClass {
+			for ci, cc := range s.classes {
+				name := "(pool)"
+				if s.classCtrls[ci] != nil {
+					name = s.classCtrls[ci].Name()
+				}
+				view.Classes = append(view.Classes, classCtrlView{
+					Class:      cc.Name,
+					Controller: name,
+					Limit:      s.multi.ClassLimit(ci),
+					Updates:    s.classUpdates[ci],
+					LastSample: s.lastClassSmp[ci],
+				})
+			}
+		}
 		s.mu.Unlock()
-		view.Limit = s.gate.Limit()
+		view.Limit = s.multi.Limit()
 		writeJSON(w, http.StatusOK, view)
 	case http.MethodPost:
 		var req controllerSwitch
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
 			return
-		}
-		initial := req.Initial
-		if initial <= 0 {
-			initial = s.gate.Limit()
 		}
 		bounds := core.DefaultBounds()
 		if req.Lo != 0 || req.Hi != 0 {
@@ -760,22 +1158,98 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		ctrl, err := makeController(req.Controller, initial, bounds)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		switch req.Scope {
+		case "", "pool":
+			initial := req.Initial
+			if initial <= 0 {
+				initial = s.multi.Limit()
+			}
+			ctrl, err := makeController(req.Controller, initial, bounds)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			s.ctrl = ctrl
+			s.updates = 0
+			s.perClass = false
+			s.multi.SetPerClass(false)
+			// Under mu for the same reason as in tick(): swap and install
+			// are one atomic step relative to the measurement loop.
+			s.multi.SetPoolLimit(ctrl.Bound())
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": ctrl.Name(),
+				"mode":       "pool",
+				"limit":      ctrl.Bound(),
+			})
+		case "perclass":
+			// Validate the name before mutating anything.
+			if _, err := makeController(req.Controller, 1, bounds); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			// Initial > 0 is the new total to split by weight; 0 keeps
+			// the current slices.
+			err := s.enterPerClassLocked(req.Controller, bounds, req.Initial)
+			limits := make(map[string]float64, len(s.classes))
+			for ci, cc := range s.classes {
+				limits[cc.Name] = s.multi.ClassLimit(ci)
+			}
+			s.mu.Unlock()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": req.Controller,
+				"mode":       "perclass",
+				"limits":     limits,
+			})
+		case "class":
+			ci, ok := s.multi.ClassIndex(req.Class)
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown class %q (have %s)", req.Class, strings.Join(s.multi.ClassNames(), ", ")), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			if !s.perClass {
+				// Entering per-class mode: seed the untargeted classes
+				// with static controllers at their current share so only
+				// the addressed class changes behavior.
+				st := s.multi.Stats()
+				for i := range s.classes {
+					s.classCtrls[i] = core.NewStatic(st.Classes[i].Share)
+					s.classUpdates[i] = 0
+					s.multi.SetClassLimit(i, st.Classes[i].Share)
+				}
+				s.perClass = true
+				s.multi.SetPerClass(true)
+			}
+			initial := req.Initial
+			if initial <= 0 {
+				initial = s.multi.ClassLimit(ci)
+			}
+			ctrl, err := makeController(req.Controller, initial, bounds)
+			if err != nil {
+				s.mu.Unlock()
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.classCtrls[ci] = ctrl
+			s.classUpdates[ci] = 0
+			s.multi.SetClassLimit(ci, ctrl.Bound())
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": ctrl.Name(),
+				"mode":       "perclass",
+				"class":      req.Class,
+				"limit":      ctrl.Bound(),
+			})
+		default:
+			http.Error(w, fmt.Sprintf("unknown scope %q (want pool, perclass or class)", req.Scope), http.StatusBadRequest)
 		}
-		s.mu.Lock()
-		s.ctrl = ctrl
-		s.updates = 0
-		// Under mu for the same reason as in tick(): swap and install are
-		// one atomic step relative to the measurement loop.
-		s.gate.SetLimit(ctrl.Bound())
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"controller": ctrl.Name(),
-			"limit":      ctrl.Bound(),
-		})
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}

@@ -14,10 +14,20 @@ import (
 	"github.com/tpctl/loadctl/internal/workload"
 )
 
+// ClassConfig declares one admission class: its name, weighted share of
+// the admission pool, shed priority, and optional default transaction
+// shape. See server.ClassConfig for field documentation.
+type ClassConfig = server.ClassConfig
+
+// DefaultClasses is the canonical interactive / readonly / batch class
+// split used by the binaries and the builtin scenarios.
+func DefaultClasses() []ClassConfig { return server.DefaultClasses() }
+
 // ServerConfig configures the network-facing transaction front-end: an
 // HTTP server whose /txn endpoint runs each request through the adaptive
-// admission gate and a concurrency-controlled in-memory store, with
-// /metrics and /controller for observation and live controller switching.
+// multi-class admission gate and a concurrency-controlled in-memory
+// store, with /metrics and /controller for observation and live
+// controller switching.
 type ServerConfig struct {
 	// Addr is the listen address for Serve (default ":8344").
 	Addr string
@@ -36,6 +46,18 @@ type ServerConfig struct {
 	// [1, 64]; 0 selects the automatic count (next power of two at or
 	// above GOMAXPROCS). Use 1 for the unsharded baseline.
 	KVShards int
+	// Classes declares the admission classes (empty = one "default"
+	// class, the single-gate behavior). Each class owns a weighted slice
+	// of the admission pool and sheds in priority order under overload;
+	// requests select a class with ?class=<name>.
+	Classes []ClassConfig
+	// ClassControl selects what the controllers steer: "pool" (default —
+	// one controller moves the shared limit, weights split it) or
+	// "perclass" (one controller per class moves that class's limit).
+	ClassControl string
+	// ClassController names the controller built per class in perclass
+	// mode: "pa" (default), "is", "static", "none".
+	ClassController string
 	// Interval is the measurement interval Δt (default 1s).
 	Interval time.Duration
 	// MaxRetry bounds CC-abort restarts per request (0 = default of 3,
@@ -75,15 +97,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	inner, err := server.New(server.Config{
-		Controller:   cfg.Controller,
-		Engine:       engine,
-		Items:        items,
-		Interval:     cfg.Interval,
-		Mix:          workload.DefaultMix(),
-		MaxRetry:     cfg.MaxRetry,
-		QueueTimeout: cfg.QueueTimeout,
-		Reject:       cfg.Reject,
-		Seed:         cfg.Seed,
+		Controller:      cfg.Controller,
+		Engine:          engine,
+		Items:           items,
+		Classes:         cfg.Classes,
+		ClassControl:    cfg.ClassControl,
+		ClassController: cfg.ClassController,
+		Interval:        cfg.Interval,
+		Mix:             workload.DefaultMix(),
+		MaxRetry:        cfg.MaxRetry,
+		QueueTimeout:    cfg.QueueTimeout,
+		Reject:          cfg.Reject,
+		Seed:            cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
