@@ -49,6 +49,7 @@ func main() {
 		maxRetry     = flag.Int("maxretry", 3, "restart budget per request on CC abort (-1 = no restarts)")
 		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max admission wait before shedding (503)")
 		reject       = flag.Bool("reject", false, "non-blocking admission: full gate answers 429")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: max wait for in-flight transactions after SIGTERM")
 		seed         = flag.Int64("seed", 1, "access-set sampling seed")
 	)
 	flag.Parse()
@@ -84,11 +85,16 @@ func main() {
 		MaxRetry:        *maxRetry,
 		QueueTimeout:    *queueTimeout,
 		Reject:          *reject,
+		DrainTimeout:    *drainTimeout,
 		Seed:            *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A clean drain (SIGTERM/SIGINT → stop accepting → in-flight work
+	// finished) exits 0, so orchestrators and the proxy's kill/restart
+	// scenarios can tell a drain from a crash.
+	fmt.Println("loadctld: drained, exiting")
 }
 
 // parseClasses resolves the -classes flag: the "default"/"standard"

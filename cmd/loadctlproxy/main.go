@@ -1,0 +1,90 @@
+// Loadctlproxy fronts N loadctld backends with load-aware routing: each
+// /txn request goes to a backend picked by the configured policy, backend
+// saturation is learned passively from the X-Loadctl-Load header on
+// forwarded responses plus an active /healthz check loop, and cluster-wide
+// overload is propagated as fast 503s instead of queueing.
+//
+//	# three backends, self-tuning threshold routing
+//	go run ./cmd/loadctld -addr :8344 &
+//	go run ./cmd/loadctld -addr :8345 &
+//	go run ./cmd/loadctld -addr :8346 &
+//	go run ./cmd/loadctlproxy -addr :8080 \
+//	    -backends 127.0.0.1:8344,127.0.0.1:8345,127.0.0.1:8346 \
+//	    -policy threshold
+//
+// Then drive the proxy exactly like a single loadctld:
+//
+//	go run ./cmd/loadgen -url http://127.0.0.1:8080 -scenario flash-crowd
+//	curl -s 'http://127.0.0.1:8080/metrics?format=json'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/cluster"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "proxy listen address")
+		backends  = flag.String("backends", "", "comma-separated backend base URLs (host:port accepted); required")
+		policy    = flag.String("policy", "threshold", "routing policy: round-robin, least-inflight, threshold")
+		healthInt = flag.Duration("health-interval", 500*time.Millisecond, "active health-check period")
+		deadAfter = flag.Int("dead-after", 2, "consecutive failed health checks before a backend is marked dead")
+	)
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("loadctlproxy: -backends is required (comma-separated list)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	p, err := cluster.New(cluster.Config{
+		Backends:       urls,
+		Policy:         *policy,
+		HealthInterval: *healthInt,
+		DeadAfter:      *deadAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("loadctlproxy: listen %s: %v", *addr, err)
+	}
+	fmt.Printf("loadctlproxy: routing on %s over %d backends (policy=%s health-interval=%s)\n",
+		*addr, len(urls), p.PolicyName(), *healthInt)
+	hs := &http.Server{Handler: p.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelShutdown()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("loadctlproxy: shut down")
+	case err := <-errc:
+		log.Fatal(err)
+	}
+}

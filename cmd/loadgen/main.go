@@ -32,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"github.com/tpctl/loadctl/internal/loadgen"
@@ -42,6 +43,7 @@ import (
 func main() {
 	var (
 		url       = flag.String("url", "http://127.0.0.1:8344", "server base URL")
+		addr      = flag.String("addr", "", "comma-separated target base URLs (host:port accepted): load is spread across all — e.g. a proxy plus backends, or the backends directly; overrides -url")
 		scenario  = flag.String("scenario", "", "run a scenario: a builtin name or a JSON file path (overrides -mode et al.)")
 		listScen  = flag.Bool("list-scenarios", false, "list builtin scenarios and exit")
 		mode      = flag.String("mode", "open", "traffic model: open (Poisson) or closed (think time)")
@@ -68,6 +70,7 @@ func main() {
 		}
 		return
 	}
+	urls := parseTargets(*addr, *url)
 	if *scenario != "" {
 		// Only an explicit -seed overrides the scenario file's own seed;
 		// the flag's default of 1 must not clobber it.
@@ -77,12 +80,12 @@ func main() {
 				seedSet = true
 			}
 		})
-		runScenario(*scenario, *url, *seed, seedSet, *asJSON)
+		runScenario(*scenario, urls, *seed, seedSet, *asJSON)
 		return
 	}
 
 	cfg := loadgen.Config{
-		URL:      *url,
+		URLs:     urls,
 		Duration: *dur,
 		Timeout:  *timeout,
 		Seed:     *seed,
@@ -107,10 +110,11 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	targets := strings.Join(urls, ",")
 	if cfg.Mode == loadgen.Open {
-		fmt.Fprintf(os.Stderr, "loadgen: open loop against %s, rate %v for %s\n", *url, cfg.Rate, *dur)
+		fmt.Fprintf(os.Stderr, "loadgen: open loop against %s, rate %v for %s\n", targets, cfg.Rate, *dur)
 	} else {
-		fmt.Fprintf(os.Stderr, "loadgen: closed loop against %s, %d clients, think %s for %s\n", *url, *clients, *think, *dur)
+		fmt.Fprintf(os.Stderr, "loadgen: closed loop against %s, %d clients, think %s for %s\n", targets, *clients, *think, *dur)
 	}
 	report, err := loadgen.Run(ctx, cfg)
 	if err != nil {
@@ -127,9 +131,32 @@ func main() {
 	fmt.Println(report)
 }
 
+// parseTargets resolves the -addr list (comma-separated, scheme optional)
+// or falls back to the single -url.
+func parseTargets(addr, url string) []string {
+	if addr == "" {
+		return []string{url}
+	}
+	var urls []string
+	for _, u := range strings.Split(addr, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		log.Fatal("loadgen: -addr contains no targets")
+	}
+	return urls
+}
+
 // runScenario resolves name as a builtin scenario or a file path, runs it
 // and prints the report.
-func runScenario(name, url string, seed int64, seedSet, asJSON bool) {
+func runScenario(name string, urls []string, seed int64, seedSet, asJSON bool) {
 	sc, err := loadgen.Builtin(name)
 	if err != nil {
 		data, readErr := os.ReadFile(name)
@@ -147,8 +174,11 @@ func runScenario(name, url string, seed int64, seedSet, asJSON bool) {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	fmt.Fprintf(os.Stderr, "loadgen: scenario %q against %s, %d streams for %.0fs\n",
-		sc.Name, url, len(sc.Streams), sc.DurationSeconds)
-	rep, err := loadgen.RunScenario(ctx, url, sc, nil)
+		sc.Name, strings.Join(urls, ","), len(sc.Streams), sc.DurationSeconds)
+	// No actuator here: a scenario with cluster events needs a harness
+	// that controls the backends (see the cluster integration test) and
+	// is rejected with a clear error.
+	rep, err := loadgen.RunScenarioOpts(ctx, sc, loadgen.ScenarioOptions{URLs: urls})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,537 @@
+// Package cluster is the routing tier in front of N loadctld backends:
+// one Proxy accepts /txn traffic and dispatches each request to a backend
+// chosen by a pluggable load-aware policy, so the single-node adaptive
+// admission control of the paper scales out without the balancer and the
+// per-node controllers fighting each other.
+//
+// The proxy learns backend load two ways, both cheap:
+//
+//   - passively: every forwarded /txn response carries the backend's
+//     X-Loadctl-Load header (limit, active, queued, utilization, per-class
+//     shed state) — routing information rides on the traffic itself;
+//   - actively: a health-check loop polls each backend's /healthz on a
+//     fixed interval, which also revives backends that passive traffic
+//     marked dead and detects draining backends with no traffic.
+//
+// Overload propagates instead of queueing: when every live backend's last
+// interval shed a class, the proxy answers that class 503 + Retry-After
+// immediately — the cluster-level analogue of the paper's admission gate
+// shedding at a full queue, and the behavior that keeps a saturated
+// cluster's queues from growing without bound. A backend that refuses
+// connections is marked dead at once and the request fails over to
+// another backend; a failure after the dial (the request may have
+// reached the backend) is answered 502 instead of replayed, because
+// transactions are not idempotent. A draining backend (graceful
+// shutdown) is taken out of rotation without being counted as failed.
+//
+// Endpoints: POST /txn (the routed data path), GET /metrics (Prometheus
+// text, ?format=json for a snapshot — the same dual-format contract as
+// loadctld), GET /healthz (proxy self-health: degraded/down as backends
+// disappear).
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/loadsig"
+)
+
+// BackendHeader names the response header the proxy adds with the index
+// of the backend that served the request — observability for clients and
+// tests, and the ground truth for redistribution assertions.
+const BackendHeader = "X-Loadctl-Backend"
+
+// Config parameterizes the proxy.
+type Config struct {
+	// Backends are the base URLs of the loadctld instances; required.
+	Backends []string
+	// Policy names the routing policy: "round-robin" (default),
+	// "least-inflight", or "threshold".
+	Policy string
+	// HealthInterval is the active health-check period (default 500ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default: HealthInterval,
+	// capped at 2s).
+	HealthTimeout time.Duration
+	// DeadAfter is how many consecutive failed health checks mark a
+	// backend dead (default 2). Refused/reset connections on the data
+	// path mark it dead immediately regardless.
+	DeadAfter int
+	// SignalStale is how old a passively ingested load signal may be
+	// before the policies stop trusting it (default 3×HealthInterval).
+	SignalStale time.Duration
+	// MaxBodyBytes caps the /txn request body the proxy buffers for
+	// retries (default 1MiB).
+	MaxBodyBytes int64
+	// Transport overrides the outbound HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "round-robin"
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = c.HealthInterval
+		if c.HealthTimeout > 2*time.Second {
+			c.HealthTimeout = 2 * time.Second
+		}
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.SignalStale <= 0 {
+		c.SignalStale = 3 * c.HealthInterval
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = &http.Transport{MaxIdleConnsPerHost: 256}
+	}
+	return c
+}
+
+// backend is one upstream loadctld as the proxy tracks it. All fields are
+// atomics: the data path and the health loop touch them without locks.
+type backend struct {
+	url string
+
+	inflight atomic.Int64 // proxy's own outstanding requests toward it
+
+	forwarded atomic.Uint64 // forward attempts started
+	relayed   atomic.Uint64 // backend responses relayed to the client
+	errs      atomic.Uint64 // transport failures talking to it
+
+	dead     atomic.Bool
+	draining atomic.Bool
+	// deadSince is nanos since proxy start of the dead transition (valid
+	// while dead).
+	deadSince   atomic.Int64
+	consecFails atomic.Int32
+	checks      atomic.Uint64 // health probes sent
+	checkFails  atomic.Uint64 // health probes failed
+
+	sig   atomic.Pointer[loadsig.Signal]
+	sigAt atomic.Int64 // nanos since proxy start of the last signal
+
+	ewmaLatNanos atomic.Int64 // smoothed relay latency
+}
+
+// score is the backend's load estimate the policies rank on: the fraction
+// of its admission capacity in use, with queued demand counted on top, so
+// ≥ 1 means "saturated — new work will queue or shed there". It blends
+// the last passive/active signal with the proxy's own in-flight count
+// (which is always fresh); with no usable signal only the local view
+// remains, normalized by a nominal capacity so scores stay comparable.
+func (b *backend) score(nowNanos int64, stale time.Duration) float64 {
+	inf := float64(b.inflight.Load())
+	const nominal = 16.0
+	sig := b.sig.Load()
+	if sig == nil || nowNanos-b.sigAt.Load() > stale.Nanoseconds() {
+		return inf / nominal
+	}
+	limit := sig.Limit
+	if limit <= 0 || math.IsInf(limit, 1) {
+		limit = math.Max(nominal, inf)
+	}
+	active := math.Max(float64(sig.Active), inf)
+	return (active + float64(sig.Queued)) / limit
+}
+
+// saturated reports whether the backend's last signal shows a full gate
+// with waiters — the "marked saturated" state exposed in metrics.
+func (b *backend) saturated(nowNanos int64, stale time.Duration) bool {
+	sig := b.sig.Load()
+	return sig != nil && nowNanos-b.sigAt.Load() <= stale.Nanoseconds() &&
+		sig.Queued > 0 && loadsig.UtilOf(sig.Active, sig.Limit) >= 1
+}
+
+// markDead transitions the backend to dead (idempotently) at nowNanos.
+func (b *backend) markDead(nowNanos int64) {
+	if b.dead.CompareAndSwap(false, true) {
+		b.deadSince.Store(nowNanos)
+	}
+}
+
+// revive clears the dead state after a successful health probe.
+func (b *backend) revive() {
+	b.consecFails.Store(0)
+	b.dead.Store(false)
+}
+
+// proxyCell is one stripe of the proxy's hot-path counters, cache-line
+// padded like the server's. All monotone; folds never lose events.
+type proxyCell struct {
+	requests    atomic.Uint64
+	relayed     atomic.Uint64
+	shedOverl   atomic.Uint64 // fast-rejects: cluster-wide class overload
+	shedNoBack  atomic.Uint64 // fast-rejects: no routable backend
+	failed      atomic.Uint64 // 502: non-retriable backend failure, or all backends failed
+	disconnects atomic.Uint64 // client gone mid-proxy
+	retries     atomic.Uint64 // forward attempts beyond the first
+	respNanos   atomic.Uint64 // summed relay latencies
+	respN       atomic.Uint64
+	_           [7]uint64
+}
+
+// Totals are the proxy's monotone counters since start. The identity
+//
+//	Requests == Relayed + FastRejectedOverload + FastRejectedNoBackend
+//	          + Failed + Disconnects
+//
+// holds exactly at quiescence: every request that enters handleTxn leaves
+// through exactly one of those doors.
+type Totals struct {
+	Requests              uint64 `json:"requests"`
+	Relayed               uint64 `json:"relayed"`
+	FastRejectedOverload  uint64 `json:"fast_rejected_overload"`
+	FastRejectedNoBackend uint64 `json:"fast_rejected_no_backend"`
+	Failed                uint64 `json:"failed"`
+	Disconnects           uint64 `json:"disconnects"`
+	Retries               uint64 `json:"retries"`
+}
+
+// Proxy is the routing tier. Create with New, serve Handler, Close to
+// stop the health loop.
+type Proxy struct {
+	cfg      Config
+	backends []*backend
+	policy   Policy
+	client   *http.Client
+	mux      *http.ServeMux
+	start    time.Time
+
+	seq        atomic.Uint64
+	cells      []proxyCell
+	stripes    int
+	stripeMask uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and starts the health loop.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: at least one backend is required")
+	}
+	policy, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	p := &Proxy{
+		cfg:    cfg,
+		policy: policy,
+		client: &http.Client{Transport: cfg.Transport},
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, u := range cfg.Backends {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, errors.New("cluster: empty backend URL")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", u)
+		}
+		seen[u] = true
+		p.backends = append(p.backends, &backend{url: u})
+	}
+	p.stripes = numCells()
+	p.stripeMask = uint64(p.stripes - 1)
+	p.cells = make([]proxyCell, p.stripes)
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("/txn", p.handleTxn)
+	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	go p.healthLoop()
+	return p, nil
+}
+
+// numCells picks the stripe count: next power of two ≥ GOMAXPROCS, ≤ 64.
+func numCells() int {
+	procs := runtime.GOMAXPROCS(0)
+	n := 1
+	for n < procs && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// Handler returns the HTTP handler serving all proxy endpoints.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// Close stops the health loop; the handler keeps routing on last-known
+// backend state.
+func (p *Proxy) Close() {
+	close(p.stop)
+	<-p.done
+}
+
+// Policy returns the active routing policy's name.
+func (p *Proxy) PolicyName() string { return p.policy.Name() }
+
+func (p *Proxy) nowNanos() int64 { return time.Since(p.start).Nanoseconds() }
+
+// routable collects the backends new work may go to: not dead, not
+// draining. Excluded indexes (already tried this request) are skipped.
+func (p *Proxy) routable(exclude uint64) []int {
+	idx := make([]int, 0, len(p.backends))
+	for i, b := range p.backends {
+		if exclude&(1<<uint(i)) != 0 {
+			continue
+		}
+		if b.dead.Load() || b.draining.Load() {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// clusterShedding reports whether every routable backend's fresh signal
+// sheds the request's class — the condition under which queueing at the
+// proxy only adds latency to work the cluster will drop anyway. An
+// untagged request belongs to each backend's default admission class
+// (the signal names it), so classless traffic propagates too. A stale or
+// missing signal — or one too old to name its default class — vetoes
+// propagation: fast-rejecting on guesswork would turn a signal outage
+// into an outage of the class. Only the class query parameter is
+// considered; a class given solely in the JSON body is not parsed on the
+// proxy's hot path and is treated as untagged.
+func (p *Proxy) clusterShedding(routable []int, class string) bool {
+	if len(routable) == 0 {
+		return false
+	}
+	now := p.nowNanos()
+	for _, i := range routable {
+		b := p.backends[i]
+		sig := b.sig.Load()
+		if sig == nil || now-b.sigAt.Load() > p.cfg.SignalStale.Nanoseconds() {
+			return false
+		}
+		name := class
+		if name == "" {
+			name = sig.Default
+		}
+		if name == "" || !sig.Shed(name) {
+			return false
+		}
+	}
+	return true
+}
+
+func fastReject(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	cell := &p.cells[p.seq.Add(1)&p.stripeMask]
+	cell.requests.Add(1)
+
+	// Buffer the body once so a failed forward can be retried verbatim on
+	// another backend.
+	var body []byte
+	if r.Body != nil && r.ContentLength != 0 {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxBodyBytes+1))
+		if err != nil {
+			cell.disconnects.Add(1)
+			return
+		}
+		if int64(len(body)) > p.cfg.MaxBodyBytes {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			// Count it as served: it left through an HTTP answer the
+			// client saw, not through a routing door.
+			cell.relayed.Add(1)
+			return
+		}
+	}
+
+	class := r.URL.Query().Get("class")
+	var tried uint64
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		routable := p.routable(tried)
+		if len(routable) == 0 {
+			if attempt == 0 {
+				cell.shedNoBack.Add(1)
+				fastReject(w, "no backend available")
+			} else {
+				cell.failed.Add(1)
+				http.Error(w, "all backends failed", http.StatusBadGateway)
+			}
+			return
+		}
+		if attempt == 0 && p.clusterShedding(routable, class) {
+			// Overload propagation: every live backend shed this class
+			// last interval. Queueing here would only delay the 503 the
+			// cluster is already giving; reject fast so clients back off.
+			cell.shedOverl.Add(1)
+			fastReject(w, fmt.Sprintf("cluster shedding class %q", class))
+			return
+		}
+		i := p.pick(routable)
+		tried |= 1 << uint(i)
+		if attempt > 0 {
+			cell.retries.Add(1)
+		}
+		done, err := p.forward(w, r, i, body)
+		if done {
+			cell.relayed.Add(1)
+			lat := time.Since(t0)
+			cell.respNanos.Add(uint64(lat.Nanoseconds()))
+			cell.respN.Add(1)
+			return
+		}
+		if r.Context().Err() != nil {
+			// The client went away; nothing to answer and no blame on the
+			// backend.
+			cell.disconnects.Add(1)
+			return
+		}
+		// Transport failure: the backend is unreachable. Mark it dead now
+		// — the health loop revives it.
+		p.backends[i].markDead(p.nowNanos())
+		if !retriableForward(err) {
+			// The request may have reached the backend before the
+			// connection broke (e.g. a reset mid-response): a transaction
+			// is not idempotent, so replaying it elsewhere could execute
+			// it twice. Surface the failure instead and let the client
+			// decide — only dial-level failures, where the request
+			// provably never left the proxy, fail over transparently.
+			cell.failed.Add(1)
+			http.Error(w, "backend failed mid-request", http.StatusBadGateway)
+			return
+		}
+	}
+}
+
+// pick scores the routable backends and lets the policy choose.
+func (p *Proxy) pick(routable []int) int {
+	if len(routable) == 1 {
+		return routable[0]
+	}
+	now := p.nowNanos()
+	cands := make([]Candidate, len(routable))
+	for k, i := range routable {
+		b := p.backends[i]
+		cands[k] = Candidate{
+			Index:    i,
+			Score:    b.score(now, p.cfg.SignalStale),
+			Inflight: b.inflight.Load(),
+		}
+	}
+	return p.policy.Pick(cands)
+}
+
+// retriableForward reports whether a forward error happened at the dial
+// level — connection refused, no route, DNS — meaning the request never
+// reached the backend and replaying it on another one cannot double-run
+// a transaction.
+func retriableForward(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// forward sends the request to backend i and relays the response. It
+// returns done=true when a response (any status) was relayed to the
+// client; done=false with the transport error when the backend could not
+// be reached, leaving the ResponseWriter untouched so the caller may
+// retry elsewhere.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []byte) (bool, error) {
+	b := p.backends[i]
+	url := b.url + "/txn"
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, rd)
+	if err != nil {
+		return false, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	b.forwarded.Add(1)
+	b.inflight.Add(1)
+	t0 := time.Now()
+	resp, err := p.client.Do(req)
+	b.inflight.Add(-1)
+	if err != nil {
+		b.errs.Add(1)
+		return false, err
+	}
+	defer resp.Body.Close()
+	p.ingest(b, resp)
+	b.noteLatency(time.Since(t0))
+	b.relayed.Add(1)
+
+	h := w.Header()
+	for _, key := range []string{"Content-Type", "Retry-After", loadsig.Header} {
+		if v := resp.Header.Get(key); v != "" {
+			h.Set(key, v)
+		}
+	}
+	h.Set(BackendHeader, strconv.Itoa(i))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true, nil
+}
+
+// ingest records the load signal riding a forwarded response.
+func (p *Proxy) ingest(b *backend, resp *http.Response) {
+	h := resp.Header.Get(loadsig.Header)
+	if h == "" {
+		return
+	}
+	sig, err := loadsig.Parse(h)
+	if err != nil {
+		return // a garbled signal is ignored, not trusted
+	}
+	b.sig.Store(sig)
+	b.sigAt.Store(p.nowNanos())
+	b.draining.Store(sig.Draining())
+}
+
+// noteLatency folds one relay latency into the EWMA. The racy
+// read-modify-write loses updates under contention, which only slows the
+// smoothing — acceptable for an observability gauge.
+func (b *backend) noteLatency(lat time.Duration) {
+	const alpha = 0.2
+	old := b.ewmaLatNanos.Load()
+	if old == 0 {
+		b.ewmaLatNanos.Store(lat.Nanoseconds())
+		return
+	}
+	b.ewmaLatNanos.Store(int64(alpha*float64(lat.Nanoseconds()) + (1-alpha)*float64(old)))
+}

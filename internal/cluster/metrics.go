@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/tpctl/loadctl/internal/loadsig"
+)
+
+// Backend states as exposed in metrics.
+const (
+	StateUp        = "up"
+	StateSaturated = "saturated"
+	StateDraining  = "draining"
+	StateDead      = "dead"
+)
+
+// BackendSnapshot is one backend's row in the proxy snapshot.
+type BackendSnapshot struct {
+	Index int    `json:"index"`
+	URL   string `json:"url"`
+	// State is up, saturated (signal shows a full gate with waiters),
+	// draining, or dead.
+	State    string `json:"state"`
+	Inflight int64  `json:"inflight"`
+	// Forwarded counts forward attempts, Relayed the responses actually
+	// returned to clients, Errors the transport failures; at quiescence
+	// Forwarded == Relayed + Errors.
+	Forwarded uint64 `json:"forwarded"`
+	Relayed   uint64 `json:"relayed"`
+	Errors    uint64 `json:"errors"`
+	// Score is the load estimate the policies rank on (≥1 ≈ saturated).
+	Score float64 `json:"score"`
+	// EWMALatencySeconds is the smoothed relay latency.
+	EWMALatencySeconds float64 `json:"ewma_latency_seconds"`
+	// Signal is the last ingested load signal (nil before the first);
+	// SignalAgeSeconds its age (-1 with no signal yet).
+	Signal           *loadsig.Signal `json:"signal,omitempty"`
+	SignalAgeSeconds float64         `json:"signal_age_seconds"`
+	// DeadSinceSeconds is the time of the dead transition on the proxy's
+	// clock (seconds since proxy start; 0 unless dead).
+	DeadSinceSeconds float64 `json:"dead_since_seconds,omitempty"`
+	HealthChecks     uint64  `json:"health_checks"`
+	HealthFails      uint64  `json:"health_fails"`
+}
+
+// Snapshot is the JSON document served by /metrics?format=json.
+type Snapshot struct {
+	NowSec float64 `json:"now"`
+	Policy string  `json:"policy"`
+	// Threshold is the threshold policy's current learned θ (0 for the
+	// other policies).
+	Threshold             float64           `json:"threshold,omitempty"`
+	HealthIntervalSeconds float64           `json:"health_interval_seconds"`
+	Alive                 int               `json:"alive"`
+	Totals                Totals            `json:"totals"`
+	MeanLatencySeconds    float64           `json:"mean_latency_seconds"`
+	Backends              []BackendSnapshot `json:"backends"`
+}
+
+// foldCells sums the proxy's counter stripes.
+func (p *Proxy) foldCells() (Totals, uint64, uint64) {
+	var t Totals
+	var respNanos, respN uint64
+	for i := range p.cells {
+		c := &p.cells[i]
+		t.Requests += c.requests.Load()
+		t.Relayed += c.relayed.Load()
+		t.FastRejectedOverload += c.shedOverl.Load()
+		t.FastRejectedNoBackend += c.shedNoBack.Load()
+		t.Failed += c.failed.Load()
+		t.Disconnects += c.disconnects.Load()
+		t.Retries += c.retries.Load()
+		respNanos += c.respNanos.Load()
+		respN += c.respN.Load()
+	}
+	return t, respNanos, respN
+}
+
+// SnapshotNow assembles the current proxy state.
+func (p *Proxy) SnapshotNow() Snapshot {
+	now := p.nowNanos()
+	totals, respNanos, respN := p.foldCells()
+	snap := Snapshot{
+		NowSec:                float64(now) / 1e9,
+		Policy:                p.policy.Name(),
+		HealthIntervalSeconds: p.cfg.HealthInterval.Seconds(),
+		Totals:                totals,
+	}
+	if th, ok := p.policy.(*threshold); ok {
+		snap.Threshold = th.Theta()
+	}
+	if respN > 0 {
+		snap.MeanLatencySeconds = float64(respNanos) / 1e9 / float64(respN)
+	}
+	for i, b := range p.backends {
+		bs := BackendSnapshot{
+			Index:              i,
+			URL:                b.url,
+			Inflight:           b.inflight.Load(),
+			Forwarded:          b.forwarded.Load(),
+			Relayed:            b.relayed.Load(),
+			Errors:             b.errs.Load(),
+			Score:              b.score(now, p.cfg.SignalStale),
+			EWMALatencySeconds: float64(b.ewmaLatNanos.Load()) / 1e9,
+			SignalAgeSeconds:   -1,
+			HealthChecks:       b.checks.Load(),
+			HealthFails:        b.checkFails.Load(),
+		}
+		if sig := b.sig.Load(); sig != nil {
+			bs.Signal = sig
+			bs.SignalAgeSeconds = float64(now-b.sigAt.Load()) / 1e9
+		}
+		switch {
+		case b.dead.Load():
+			bs.State = StateDead
+			bs.DeadSinceSeconds = float64(b.deadSince.Load()) / 1e9
+		case b.draining.Load():
+			bs.State = StateDraining
+		case b.saturated(now, p.cfg.SignalStale):
+			bs.State = StateSaturated
+		default:
+			bs.State = StateUp
+		}
+		snap.Alive++
+		if bs.State == StateDead {
+			snap.Alive--
+		}
+		snap.Backends = append(snap.Backends, bs)
+	}
+	return snap
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleMetrics serves the proxy metrics in the same dual-format contract
+// as loadctld: Prometheus text by default, ?format=json for the snapshot,
+// anything else a 400.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	switch f := r.URL.Query().Get("format"); f {
+	case "json":
+		writeJSON(w, http.StatusOK, p.SnapshotNow())
+		return
+	case "":
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json, or omit for Prometheus text)", f), http.StatusBadRequest)
+		return
+	}
+	snap := p.SnapshotNow()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeVec := func(name, help string, get func(BackendSnapshot) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, bs := range snap.Backends {
+			fmt.Fprintf(&b, "%s{backend=\"%d\"} %s\n", name, bs.Index, promFloat(get(bs)))
+		}
+	}
+	counterVec := func(name, help string, get func(BackendSnapshot) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, bs := range snap.Backends {
+			fmt.Fprintf(&b, "%s{backend=\"%d\"} %d\n", name, bs.Index, get(bs))
+		}
+	}
+	counter("loadctlproxy_requests_total", "requests accepted at the proxy", snap.Totals.Requests)
+	counter("loadctlproxy_relayed_total", "backend responses relayed to clients", snap.Totals.Relayed)
+	counter("loadctlproxy_fast_rejected_overload_total", "fast rejects: every live backend shedding the class", snap.Totals.FastRejectedOverload)
+	counter("loadctlproxy_fast_rejected_no_backend_total", "fast rejects: no routable backend", snap.Totals.FastRejectedNoBackend)
+	counter("loadctlproxy_failed_total", "requests answered 502: a backend failed mid-request (not replayed) or every routable backend failed", snap.Totals.Failed)
+	counter("loadctlproxy_disconnects_total", "clients gone before a response could be relayed", snap.Totals.Disconnects)
+	counter("loadctlproxy_retries_total", "forward attempts beyond a request's first", snap.Totals.Retries)
+	gauge("loadctlproxy_alive_backends", "backends not marked dead", float64(snap.Alive))
+	gauge("loadctlproxy_mean_latency_seconds", "mean relay latency since start", snap.MeanLatencySeconds)
+	if snap.Threshold > 0 {
+		gauge("loadctlproxy_threshold", "threshold policy's learned load threshold", snap.Threshold)
+	}
+	counterVec("loadctlproxy_backend_forwarded_total", "forward attempts per backend",
+		func(bs BackendSnapshot) uint64 { return bs.Forwarded })
+	counterVec("loadctlproxy_backend_relayed_total", "responses relayed per backend",
+		func(bs BackendSnapshot) uint64 { return bs.Relayed })
+	counterVec("loadctlproxy_backend_errors_total", "transport failures per backend",
+		func(bs BackendSnapshot) uint64 { return bs.Errors })
+	gaugeVec("loadctlproxy_backend_inflight", "proxy's outstanding requests per backend",
+		func(bs BackendSnapshot) float64 { return float64(bs.Inflight) })
+	gaugeVec("loadctlproxy_backend_score", "load score per backend (>=1 means saturated)",
+		func(bs BackendSnapshot) float64 { return bs.Score })
+	gaugeVec("loadctlproxy_backend_up", "1 when the backend is routable (up or saturated)",
+		func(bs BackendSnapshot) float64 {
+			if bs.State == StateUp || bs.State == StateSaturated {
+				return 1
+			}
+			return 0
+		})
+	gaugeVec("loadctlproxy_backend_ewma_latency_seconds", "smoothed relay latency per backend",
+		func(bs BackendSnapshot) float64 { return bs.EWMALatencySeconds })
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// handleHealthz reports the proxy's own health: ok with every backend
+// routable, degraded with some dead/draining, down (503) with none left.
+func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := p.SnapshotNow()
+	routable := 0
+	for _, bs := range snap.Backends {
+		if bs.State != StateDead && bs.State != StateDraining {
+			routable++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case routable == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case routable < len(snap.Backends):
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"routable": routable,
+		"backends": len(snap.Backends),
+	})
+}

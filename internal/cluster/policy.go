@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Candidate is one routable backend as the policies see it: its index in
+// the proxy's backend list, the proxy's own in-flight count toward it
+// (always fresh), and its load score (see backend.score — a blend of the
+// passively ingested load signal and the proxy's local view, roughly
+// "fraction of the backend's admission capacity in use", where ≥ 1 means
+// saturated).
+type Candidate struct {
+	Index    int
+	Score    float64
+	Inflight int64
+}
+
+// Policy picks a backend from the routable candidates (never empty).
+// Implementations must be safe for concurrent use — Pick runs on the
+// request hot path.
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate) int
+}
+
+// NewPolicy builds a routing policy by name: "round-robin",
+// "least-inflight", or "threshold" (self-tuning threshold with
+// power-of-two-choices fallback).
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &roundRobin{}, nil
+	case "least-inflight":
+		return &leastInflight{}, nil
+	case "threshold":
+		return newThreshold(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (want round-robin, least-inflight, threshold)", name)
+	}
+}
+
+// roundRobin cycles through the candidates, blind to load — the baseline
+// the load-aware policies are measured against.
+type roundRobin struct{ n atomic.Uint64 }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(cands []Candidate) int {
+	return cands[int((p.n.Add(1)-1)%uint64(len(cands)))].Index
+}
+
+// leastInflight picks the backend with the fewest requests the proxy
+// itself has outstanding toward it — join-shortest-queue on purely local
+// state, no signaling needed. Ties break by score, then round-robin.
+type leastInflight struct{ n atomic.Uint64 }
+
+func (p *leastInflight) Name() string { return "least-inflight" }
+
+func (p *leastInflight) Pick(cands []Candidate) int {
+	r := p.n.Add(1)
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		switch {
+		case cands[i].Inflight < cands[best].Inflight:
+			best = i
+		case cands[i].Inflight == cands[best].Inflight &&
+			cands[i].Score < cands[best].Score:
+			best = i
+		case cands[i].Inflight == cands[best].Inflight &&
+			cands[i].Score == cands[best].Score && (r+uint64(i))%2 == 0:
+			// Deterministic-ish tie shuffle so equal backends share load.
+			best = i
+		}
+	}
+	return cands[best].Index
+}
+
+// threshold is the self-learning threshold policy (after Goldsztajn et
+// al.): route round-robin among backends whose load score is below a
+// learned threshold θ — cheap, signal-light dispatching that approaches
+// join-shortest-queue — and fall back to power-of-two-choices on the
+// score when no backend is below θ. θ self-tunes to sit just above the
+// cluster's typical load level: every fallback (θ too tight for the
+// current load) nudges it up, and every decision where *all* backends
+// were below θ (θ too loose to discriminate) decays it down. The
+// asymmetric steps make θ rise quickly under a load surge and relax
+// slowly afterwards.
+type threshold struct {
+	theta atomic.Uint64 // math.Float64bits of θ
+	n     atomic.Uint64 // round-robin cursor and p2c hash seed
+}
+
+const (
+	thetaInit = 0.75
+	thetaUp   = 0.05
+	thetaDown = 0.005
+	thetaMin  = 0.05
+	thetaMax  = 4.0
+)
+
+func newThreshold() *threshold {
+	p := &threshold{}
+	p.theta.Store(math.Float64bits(thetaInit))
+	return p
+}
+
+func (p *threshold) Name() string { return "threshold" }
+
+// Theta exposes the current learned threshold (metrics only).
+func (p *threshold) Theta() float64 { return math.Float64frombits(p.theta.Load()) }
+
+// bump moves θ by delta with clamping; a racy read-modify-write is fine —
+// lost updates only slow the tuning, never corrupt it.
+func (p *threshold) bump(delta float64) {
+	th := math.Float64frombits(p.theta.Load()) + delta
+	if th < thetaMin {
+		th = thetaMin
+	}
+	if th > thetaMax {
+		th = thetaMax
+	}
+	p.theta.Store(math.Float64bits(th))
+}
+
+func (p *threshold) Pick(cands []Candidate) int {
+	th := math.Float64frombits(p.theta.Load())
+	r := p.n.Add(1)
+
+	below := 0
+	pick := -1
+	// Round-robin among the below-threshold backends without allocating:
+	// count them, then take the (r mod count)-th.
+	for _, c := range cands {
+		if c.Score < th {
+			below++
+		}
+	}
+	if below > 0 {
+		k := int((r - 1) % uint64(below))
+		for _, c := range cands {
+			if c.Score < th {
+				if k == 0 {
+					pick = c.Index
+					break
+				}
+				k--
+			}
+		}
+		if below == len(cands) && len(cands) > 1 {
+			p.bump(-thetaDown) // θ no longer discriminates: tighten
+		}
+		return pick
+	}
+
+	// Everyone is at or above θ: the cluster is hotter than the learned
+	// level. Raise θ and fall back to power-of-two-choices on the score.
+	p.bump(+thetaUp)
+	h := splitmix64(r)
+	i := int(h % uint64(len(cands)))
+	j := i
+	if len(cands) > 1 {
+		j = (i + 1 + int((h>>32)%uint64(len(cands)-1))) % len(cands)
+	}
+	if cands[j].Score < cands[i].Score {
+		i = j
+	}
+	return cands[i].Index
+}
+
+// splitmix64 scrambles the round-robin cursor into the two p2c draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

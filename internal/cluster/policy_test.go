@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"", "round-robin", "least-inflight", "threshold"} {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("random"); err == nil {
+		t.Error("NewPolicy(random): want error, got nil")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p, _ := NewPolicy("round-robin")
+	cands := []Candidate{{Index: 3}, {Index: 5}, {Index: 7}}
+	counts := map[int]int{}
+	for i := 0; i < 9; i++ {
+		counts[p.Pick(cands)]++
+	}
+	for _, c := range cands {
+		if counts[c.Index] != 3 {
+			t.Fatalf("round-robin skew: %v", counts)
+		}
+	}
+}
+
+func TestLeastInflightPicksLowest(t *testing.T) {
+	p, _ := NewPolicy("least-inflight")
+	cands := []Candidate{
+		{Index: 0, Inflight: 9, Score: 0.1},
+		{Index: 1, Inflight: 2, Score: 0.9},
+		{Index: 2, Inflight: 5, Score: 0.2},
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Pick(cands); got != 1 {
+			t.Fatalf("least-inflight picked %d, want 1", got)
+		}
+	}
+	// Inflight tie: the lower score wins.
+	cands[0].Inflight = 2
+	for i := 0; i < 20; i++ {
+		if got := p.Pick(cands); got != 0 {
+			t.Fatalf("tie-break picked %d, want 0 (lower score)", got)
+		}
+	}
+}
+
+func TestThresholdPrefersBelowThreshold(t *testing.T) {
+	p := newThreshold()
+	// One backend well below θ=0.75, one above: the below one always wins.
+	cands := []Candidate{
+		{Index: 0, Score: 2.0},
+		{Index: 1, Score: 0.2},
+	}
+	for i := 0; i < 50; i++ {
+		if got := p.Pick(cands); got != 1 {
+			t.Fatalf("threshold picked saturated backend %d", got)
+		}
+	}
+}
+
+func TestThresholdFallsBackToPowerOfTwoChoices(t *testing.T) {
+	p := newThreshold()
+	before := p.Theta()
+	// Everyone above θ: with two candidates p2c always compares both, so
+	// the lower score must win every time, and θ must rise.
+	cands := []Candidate{
+		{Index: 0, Score: 1.5},
+		{Index: 1, Score: 3.0},
+	}
+	for i := 0; i < 30; i++ {
+		if got := p.Pick(cands); got != 0 {
+			t.Fatalf("p2c fallback picked the higher-loaded backend %d", got)
+		}
+	}
+	if p.Theta() <= before {
+		t.Fatalf("θ did not rise under sustained fallback: %v -> %v", before, p.Theta())
+	}
+}
+
+func TestThresholdSelfTunesDown(t *testing.T) {
+	p := newThreshold()
+	// Everyone far below θ: the threshold stops discriminating and must
+	// decay, but spread stays round-robin.
+	cands := []Candidate{
+		{Index: 0, Score: 0.01},
+		{Index: 1, Score: 0.02},
+		{Index: 2, Score: 0.03},
+	}
+	before := p.Theta()
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		counts[p.Pick(cands)]++
+	}
+	if p.Theta() >= before {
+		t.Fatalf("θ did not decay on an idle cluster: %v -> %v", before, p.Theta())
+	}
+	for _, c := range cands {
+		if counts[c.Index] < 50 {
+			t.Fatalf("idle spread skew: %v", counts)
+		}
+	}
+}
+
+func TestThresholdClamps(t *testing.T) {
+	p := newThreshold()
+	hot := []Candidate{{Index: 0, Score: 99}, {Index: 1, Score: 98}}
+	for i := 0; i < 10000; i++ {
+		p.Pick(hot)
+	}
+	if th := p.Theta(); th > thetaMax {
+		t.Fatalf("θ escaped its upper clamp: %v", th)
+	}
+	cold := []Candidate{{Index: 0, Score: 0}, {Index: 1, Score: 0}}
+	for i := 0; i < 100000; i++ {
+		p.Pick(cold)
+	}
+	if th := p.Theta(); th < thetaMin {
+		t.Fatalf("θ escaped its lower clamp: %v", th)
+	}
+}

@@ -324,6 +324,23 @@ func (m *Multi) SetClassLimit(class int, limit float64) {
 	m.pumpLocked()
 }
 
+// SetClassWeight changes class class's weight live (pool mode: its
+// guaranteed share becomes pool·w/Σw at once). Raising a weight can admit
+// waiters immediately; lowering one never revokes held slots — the class
+// just stops admitting until it drains below its new share. Weights must
+// be positive and finite.
+func (m *Multi) SetClassWeight(class int, w float64) {
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("gate: class weight must be positive and finite, got %v", w))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.classes[class]
+	m.sumW += w - c.spec.Weight
+	c.spec.Weight = w
+	m.pumpLocked()
+}
+
 // SetPerClass switches between pool mode (false) and per-class mode
 // (true). Class limits are NOT recomputed here: they keep whatever
 // SetClassLimit installed last (NewMulti seeds them to the

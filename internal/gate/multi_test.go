@@ -270,6 +270,127 @@ func TestMultiRaceIdentity(t *testing.T) {
 	}
 }
 
+func TestMultiSetClassWeightUpdatesShares(t *testing.T) {
+	m := twoClass(t, 8) // shares: interactive 6, batch 2
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+
+	m.SetClassWeight(batch, 3) // weights now 3:3 — equal shares of 4
+	st := m.Stats()
+	if st.Classes[inter].Share != 4 || st.Classes[batch].Share != 4 {
+		t.Fatalf("shares after reweight: %v / %v, want 4 / 4",
+			st.Classes[inter].Share, st.Classes[batch].Share)
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetClassWeight(%v) did not panic", bad)
+				}
+			}()
+			m.SetClassWeight(batch, bad)
+		}()
+	}
+}
+
+// Reconfiguration under load: weights, class limits, the pool limit and
+// the mode all change while waiters sit in the queues. The per-class
+// identity Arrivals == Admitted + Rejected + Timeouts + Queued must hold
+// in every consistent snapshot (Stats is taken under the gate mutex) and
+// at quiescence — run with -race.
+func TestMultiReconfigureRaceIdentity(t *testing.T) {
+	m := mustMulti(t, []ClassSpec{
+		{Name: "interactive", Weight: 3, Priority: 0},
+		{Name: "readonly", Weight: 2, Priority: 1},
+		{Name: "batch", Weight: 1, Priority: 2},
+	}, 4)
+	classes := []int{0, 1, 2}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	// Acquirers: timeouts long enough that queues stay populated while
+	// the reconfigurator runs, short enough that shedding happens too.
+	for g := 0; g < 12; g++ {
+		class := classes[g%len(classes)]
+		wg.Add(1)
+		go func(class int, g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if i%4 == 0 {
+					if m.TryAcquire(class) {
+						time.Sleep(50 * time.Microsecond)
+						m.Release(class)
+					}
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+g%5)*time.Millisecond)
+				err := m.Acquire(ctx, class)
+				cancel()
+				if err == nil {
+					time.Sleep(50 * time.Microsecond)
+					m.Release(class)
+				}
+			}
+		}(class, g)
+	}
+
+	// The reconfigurator: every knob the gate has, repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		weights := []float64{1, 4, 0.5, 8, 2}
+		limits := []float64{1, 6, 2, 12, 3}
+		for i := 0; !stop.Load(); i++ {
+			m.SetClassWeight(classes[i%3], weights[i%len(weights)])
+			m.SetClassLimit(classes[(i+1)%3], limits[i%len(limits)])
+			m.SetPoolLimit(limits[(i+2)%len(limits)])
+			m.SetPerClass(i%3 == 0)
+			time.Sleep(200 * time.Microsecond)
+		}
+		m.SetPerClass(false)
+		m.SetPoolLimit(1e9)
+	}()
+
+	// Live identity checker: Stats() is a consistent snapshot, so the
+	// identity must hold mid-flight, queues and all.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			st := m.Stats()
+			for _, c := range st.Classes {
+				if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+					t.Errorf("live identity violated for %s: %+v", c.Name, c)
+					stop.Store(true)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Active != 0 {
+		t.Fatalf("active = %d at quiescence", st.Active)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("queued = %d at quiescence", st.Queued)
+	}
+	for _, c := range st.Classes {
+		if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+			t.Fatalf("class %s identity violated at quiescence: %+v", c.Name, c)
+		}
+		if c.Arrivals == 0 {
+			t.Fatalf("class %s saw no traffic — the test exercised nothing", c.Name)
+		}
+	}
+}
+
 func waitCond(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

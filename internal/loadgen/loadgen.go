@@ -54,8 +54,15 @@ func (m Mode) String() string {
 
 // Config parameterizes one load-generation run.
 type Config struct {
-	// URL is the server base URL, e.g. "http://127.0.0.1:8344"; required.
+	// URL is the server base URL, e.g. "http://127.0.0.1:8344"; required
+	// unless URLs is set.
 	URL string
+	// URLs, when non-empty, spreads the load over several targets (a
+	// proxy plus its backends, or the backends directly): open-loop
+	// arrivals rotate round-robin per request, closed-loop clients are
+	// pinned to targets round-robin by client index. Takes precedence
+	// over URL.
+	URLs []string
 	// Mode selects open- or closed-loop traffic (default Open).
 	Mode Mode
 	// Rate is the open-loop arrival rate in requests/second as a function
@@ -235,13 +242,63 @@ func (c *collector) report(mode Mode, dur time.Duration) Report {
 	return r
 }
 
+// targets spreads requests over one or more base URLs: next() rotates
+// round-robin (open-loop arrivals), pin() fixes a client to one target
+// (closed-loop terminals keep their connections warm on one host).
+type targets struct {
+	urls []string
+	n    atomic.Uint64
+}
+
+func newTargets(urls []string) (*targets, error) {
+	out := make([]string, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		out = append(out, strings.TrimRight(u, "/"))
+	}
+	if len(out) == 0 {
+		return nil, errors.New("loadgen: at least one target URL is required")
+	}
+	return &targets{urls: out}, nil
+}
+
+func (t *targets) next() string {
+	return t.urls[int((t.n.Add(1)-1)%uint64(len(t.urls)))]
+}
+
+func (t *targets) pin(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	return t.urls[i%len(t.urls)]
+}
+
+// targetList resolves Config.URLs/URL into the target set.
+func (c Config) targetList() ([]string, error) {
+	if len(c.URLs) > 0 {
+		return c.URLs, nil
+	}
+	if c.URL != "" {
+		return []string{c.URL}, nil
+	}
+	return nil, errors.New("loadgen: Config.URL or Config.URLs is required")
+}
+
 // Run drives the server until Duration elapses or ctx ends, then returns
 // the client-side report. The error is non-nil only for configuration
 // problems; transport failures are counted, not fatal.
 func Run(ctx context.Context, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
-	if cfg.URL == "" {
-		return Report{}, errors.New("loadgen: Config.URL is required")
+	urls, err := cfg.targetList()
+	if err != nil {
+		return Report{}, err
+	}
+	tg, err := newTargets(urls)
+	if err != nil {
+		return Report{}, err
 	}
 	if cfg.Mode == Open && cfg.Rate == nil {
 		return Report{}, errors.New("loadgen: open-loop mode needs Config.Rate")
@@ -256,9 +313,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 
 	switch cfg.Mode {
 	case Open:
-		runOpen(runCtx, cfg, col, start, &wg)
+		runOpen(runCtx, cfg, tg, col, start, &wg)
 	case Closed:
-		runClosed(runCtx, cfg, col, start, &wg)
+		runClosed(runCtx, cfg, tg, col, start, &wg)
 	default:
 		return Report{}, fmt.Errorf("loadgen: unknown mode %d", cfg.Mode)
 	}
@@ -270,7 +327,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 // runOpen paces a non-homogeneous Poisson process: inter-arrival gaps are
 // exponential at the instantaneous rate Rate(t). Each arrival fires in its
 // own goroutine so slow responses never throttle the arrival process.
-func runOpen(ctx context.Context, cfg Config, col *collector, start time.Time, wg *sync.WaitGroup) {
+func runOpen(ctx context.Context, cfg Config, tg *targets, col *collector, start time.Time, wg *sync.WaitGroup) {
 	pacer := sim.Stream(cfg.Seed, 1)
 	mixer := sim.Stream(cfg.Seed, 2)
 	sem := make(chan struct{}, cfg.MaxInFlight)
@@ -300,22 +357,25 @@ func runOpen(ctx context.Context, cfg Config, col *collector, start time.Time, w
 			col.shed.Add(1)
 			continue
 		}
+		base := tg.next()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			doRequest(ctx, cfg, col, class, k)
+			doRequest(ctx, cfg, base, col, class, k)
 		}()
 	}
 }
 
 // runClosed runs the terminal model: Clients goroutines looping
-// think → request → response until the run ends.
-func runClosed(ctx context.Context, cfg Config, col *collector, start time.Time, wg *sync.WaitGroup) {
+// think → request → response until the run ends. Each client is pinned to
+// one target, spreading the population round-robin over the target set.
+func runClosed(ctx context.Context, cfg Config, tg *targets, col *collector, start time.Time, wg *sync.WaitGroup) {
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			base := tg.pin(id)
 			rng := sim.Stream(cfg.Seed, 100+uint64(id))
 			for {
 				think := time.Duration(cfg.Think.Sample(rng) * float64(time.Second))
@@ -325,7 +385,7 @@ func runClosed(ctx context.Context, cfg Config, col *collector, start time.Time,
 				case <-time.After(think):
 				}
 				class, k := sampleTxn(rng, cfg.Mix, time.Since(start).Seconds())
-				doRequest(ctx, cfg, col, class, k)
+				doRequest(ctx, cfg, base, col, class, k)
 			}
 		}(i)
 	}
@@ -380,8 +440,8 @@ func (p txnParams) url(base string) string {
 }
 
 // doRequest performs one POST /txn round trip and records the outcome.
-func doRequest(ctx context.Context, cfg Config, col *collector, class string, k int) {
-	issueRequest(ctx, cfg.Client, cfg.URL, col, txnParams{Class: class, K: k})
+func doRequest(ctx context.Context, cfg Config, base string, col *collector, class string, k int) {
+	issueRequest(ctx, cfg.Client, base, col, txnParams{Class: class, K: k})
 }
 
 // issueRequest is the shared request primitive under both the schedule

@@ -204,6 +204,49 @@ type StreamConfig struct {
 	StallMS float64 `json:"stall_ms,omitempty"`
 }
 
+// ClusterEvent is one timed backend fault inside a scenario's cluster
+// stanza: kill (abrupt stop), restart (bring the backend back), drain
+// (graceful shutdown — stop accepting, finish in-flight work), or slow
+// (multiply the backend's service time by Factor; Factor 1 restores
+// full speed).
+type ClusterEvent struct {
+	// AtSeconds is the event time on the scenario clock.
+	AtSeconds float64 `json:"at_seconds"`
+	// Action is "kill", "restart", "drain", or "slow".
+	Action string `json:"action"`
+	// Backend indexes the backend the event targets (actuator-defined
+	// numbering; the integration harness and cmd front-ends number them
+	// in configuration order).
+	Backend int `json:"backend"`
+	// Factor is the service-time multiplier for "slow" (default 1 = full
+	// speed); ignored by the other actions.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+func (e ClusterEvent) String() string {
+	if e.Action == "slow" {
+		return fmt.Sprintf("t=%gs %s backend %d x%g", e.AtSeconds, e.Action, e.Backend, e.Factor)
+	}
+	return fmt.Sprintf("t=%gs %s backend %d", e.AtSeconds, e.Action, e.Backend)
+}
+
+// ClusterConfig is the scenario's cluster stanza: backend faults injected
+// on the scenario clock while the traffic streams run. Executing the
+// events needs a ClusterActuator (the scenario file only *describes* the
+// faults; only the harness running the backends can inflict them), so
+// RunScenarioOpts rejects a cluster scenario without one.
+type ClusterConfig struct {
+	Events []ClusterEvent `json:"events"`
+}
+
+// ClusterActuator applies one cluster event to the backend fleet. The
+// multi-backend integration harness implements it over in-process
+// servers; an external harness can implement it with signals or a
+// container runtime.
+type ClusterActuator interface {
+	Apply(ctx context.Context, ev ClusterEvent) error
+}
+
 // Scenario is the top-level scenario file.
 type Scenario struct {
 	Name  string `json:"name"`
@@ -217,6 +260,8 @@ type Scenario struct {
 	Items int `json:"items,omitempty"`
 	// Streams run concurrently for the duration of the scenario.
 	Streams []StreamConfig `json:"streams"`
+	// Cluster optionally injects backend faults during the run.
+	Cluster *ClusterConfig `json:"cluster,omitempty"`
 }
 
 // ParseScenario decodes and validates a scenario file. Unknown fields are
@@ -332,6 +377,30 @@ func (sc *Scenario) Validate() error {
 			}
 		}
 	}
+	if sc.Cluster != nil {
+		for i := range sc.Cluster.Events {
+			ev := &sc.Cluster.Events[i]
+			prefix := fmt.Sprintf("scenario: cluster event %d: ", i)
+			if ev.AtSeconds < 0 || math.IsNaN(ev.AtSeconds) {
+				return fmt.Errorf(prefix+"at_seconds %g invalid", ev.AtSeconds)
+			}
+			if ev.Backend < 0 {
+				return fmt.Errorf(prefix+"backend %d invalid", ev.Backend)
+			}
+			switch ev.Action {
+			case "kill", "restart", "drain":
+			case "slow":
+				if ev.Factor < 0 || math.IsNaN(ev.Factor) {
+					return fmt.Errorf(prefix+"factor %g invalid", ev.Factor)
+				}
+				if ev.Factor == 0 {
+					ev.Factor = 1
+				}
+			default:
+				return fmt.Errorf(prefix+"unknown action %q (want kill, restart, drain, slow)", ev.Action)
+			}
+		}
+	}
 	return nil
 }
 
@@ -350,12 +419,18 @@ type ScenarioReport struct {
 	Duration float64        `json:"duration_seconds"`
 	Streams  []StreamReport `json:"streams"`
 	Total    Report         `json:"total"`
+	// Cluster logs the injected backend faults in execution order
+	// ("t=3s kill backend 2", with any actuator error appended).
+	Cluster []string `json:"cluster,omitempty"`
 }
 
 // String renders the report as a human-readable block.
 func (r ScenarioReport) String() string {
 	var b []byte
 	b = fmt.Appendf(b, "scenario %q (%.1fs):\n", r.Scenario, r.Duration)
+	for _, ev := range r.Cluster {
+		b = fmt.Appendf(b, "  cluster: %s\n", ev)
+	}
 	for _, s := range r.Streams {
 		b = fmt.Appendf(b, "  [%s] %s\n", s.Name, indent(s.Report.String()))
 	}
@@ -369,17 +444,42 @@ func indent(s string) string {
 	return string(bytes.ReplaceAll([]byte(s), []byte("\n"), []byte("\n    ")))
 }
 
+// ScenarioOptions parameterizes RunScenarioOpts.
+type ScenarioOptions struct {
+	// URLs are the target base URLs (one = the classic single-server
+	// run; several = spread over a proxy and/or backends, open-loop
+	// arrivals rotating and closed-loop clients pinned round-robin).
+	// At least one is required.
+	URLs []string
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Actuator executes the scenario's cluster stanza; required when the
+	// scenario has cluster events.
+	Actuator ClusterActuator
+}
+
 // RunScenario drives the server with every stream of the scenario until
 // its duration elapses or ctx ends. client may be nil (a default client
 // with a 30s timeout is used). The error is non-nil only for
 // configuration problems; transport failures are counted per stream.
 func RunScenario(ctx context.Context, url string, sc *Scenario, client *http.Client) (ScenarioReport, error) {
-	if url == "" {
-		return ScenarioReport{}, errors.New("loadgen: scenario needs a server URL")
+	return RunScenarioOpts(ctx, sc, ScenarioOptions{URLs: []string{url}, Client: client})
+}
+
+// RunScenarioOpts is RunScenario with multi-target spreading and cluster
+// fault injection.
+func RunScenarioOpts(ctx context.Context, sc *Scenario, opts ScenarioOptions) (ScenarioReport, error) {
+	tg, err := newTargets(opts.URLs)
+	if err != nil {
+		return ScenarioReport{}, errors.New("loadgen: scenario needs at least one server URL")
 	}
 	if err := sc.Validate(); err != nil {
 		return ScenarioReport{}, err
 	}
+	if sc.Cluster != nil && len(sc.Cluster.Events) > 0 && opts.Actuator == nil {
+		return ScenarioReport{}, errors.New("loadgen: scenario has cluster events but no ClusterActuator to execute them")
+	}
+	client := opts.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -391,6 +491,35 @@ func RunScenario(ctx context.Context, url string, sc *Scenario, client *http.Cli
 	runCtx, cancel := context.WithTimeout(ctx, time.Duration(sc.DurationSeconds*float64(time.Second)))
 	defer cancel()
 	start := time.Now()
+
+	var clusterLog []string
+	var clusterWG sync.WaitGroup
+	if sc.Cluster != nil && len(sc.Cluster.Events) > 0 {
+		events := append([]ClusterEvent(nil), sc.Cluster.Events...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].AtSeconds < events[j].AtSeconds })
+		clusterWG.Add(1)
+		go func() {
+			defer clusterWG.Done()
+			for _, ev := range events {
+				wait := time.Duration(ev.AtSeconds*float64(time.Second)) - time.Since(start)
+				if wait > 0 {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(wait):
+					}
+				}
+				line := ev.String()
+				// The actuator gets the parent ctx: a fault landing at the
+				// very end of the run should still be applied, not lost to
+				// the run-timeout race.
+				if err := opts.Actuator.Apply(ctx, ev); err != nil {
+					line += " error: " + err.Error()
+				}
+				clusterLog = append(clusterLog, line)
+			}
+		}()
+	}
 
 	cols := make([]*collector, len(sc.Streams))
 	timeout := 30 * time.Second
@@ -406,7 +535,7 @@ func RunScenario(ctx context.Context, url string, sc *Scenario, client *http.Cli
 			cfg:      st,
 			col:      cols[i],
 			client:   client,
-			url:      url,
+			targets:  tg,
 			start:    start,
 			seed:     seed,
 			id:       uint64(i),
@@ -418,8 +547,9 @@ func RunScenario(ctx context.Context, url string, sc *Scenario, client *http.Cli
 		}()
 	}
 	wg.Wait()
+	clusterWG.Wait()
 
-	rep := ScenarioReport{Scenario: sc.Name, Duration: time.Since(start).Seconds()}
+	rep := ScenarioReport{Scenario: sc.Name, Duration: time.Since(start).Seconds(), Cluster: clusterLog}
 	var totalHist *histMerge
 	for i, st := range sc.Streams {
 		r := cols[i].report(modeOf(st.Mode), time.Since(start))
@@ -467,7 +597,7 @@ type streamRunner struct {
 	cfg      *StreamConfig
 	col      *collector
 	client   *http.Client
-	url      string
+	targets  *targets
 	start    time.Time
 	seed     int64
 	id       uint64
@@ -544,11 +674,12 @@ func (r *streamRunner) runOpen(ctx context.Context) {
 			continue
 		}
 		p := r.params(mixer, time.Since(r.start).Seconds())
+		base := r.targets.next()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r.request(ctx, p)
+			r.request(ctx, base, p)
 		}()
 	}
 }
@@ -560,6 +691,7 @@ func (r *streamRunner) runClosed(ctx context.Context) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			base := r.targets.pin(int(r.id)*1000 + id)
 			rng := sim.Stream(r.seed, 10000+r.id*1000+uint64(id))
 			for {
 				gap := time.Duration(rng.Exp(think) * float64(time.Second))
@@ -579,7 +711,7 @@ func (r *streamRunner) runClosed(ctx context.Context) {
 					}
 					continue
 				}
-				r.request(ctx, r.params(rng, t))
+				r.request(ctx, base, r.params(rng, t))
 			}
 		}(i)
 	}
@@ -632,7 +764,7 @@ func clamp01(v float64) float64 {
 
 // request performs one logical transaction: the initial attempt plus any
 // configured client-side retries of shed outcomes.
-func (r *streamRunner) request(ctx context.Context, p txnParams) {
+func (r *streamRunner) request(ctx context.Context, base string, p txnParams) {
 	retryOn := map[int]bool(nil)
 	max := 0
 	var backoff time.Duration
@@ -642,7 +774,7 @@ func (r *streamRunner) request(ctx context.Context, p txnParams) {
 		backoff = time.Duration(r.cfg.Retry.BackoffMS * float64(time.Millisecond))
 	}
 	for attempt := 0; ; attempt++ {
-		status := issueRequest(ctx, r.client, r.url, r.col, p)
+		status := issueRequest(ctx, r.client, base, r.col, p)
 		if attempt >= max || !retryOn[status] {
 			break
 		}

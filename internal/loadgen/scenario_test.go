@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -207,5 +208,151 @@ func TestRunScenarioWindow(t *testing.T) {
 	}
 	if late.Load() == 0 {
 		t.Fatal("no requests arrived inside the window")
+	}
+}
+
+func TestClusterStanzaValidation(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name:            "c",
+			DurationSeconds: 1,
+			Streams: []StreamConfig{{
+				Mode: "open", Rate: &ScheduleJSON{Kind: "const", Value: 10},
+			}},
+		}
+	}
+	cases := []struct {
+		name string
+		ev   ClusterEvent
+	}{
+		{"unknown action", ClusterEvent{Action: "explode", AtSeconds: 1}},
+		{"negative time", ClusterEvent{Action: "kill", AtSeconds: -1}},
+		{"negative backend", ClusterEvent{Action: "kill", Backend: -1}},
+		{"negative factor", ClusterEvent{Action: "slow", Factor: -2}},
+	}
+	for _, tc := range cases {
+		sc := base()
+		sc.Cluster = &ClusterConfig{Events: []ClusterEvent{tc.ev}}
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	// A slow event with no factor defaults to 1 (restore full speed).
+	sc := base()
+	sc.Cluster = &ClusterConfig{Events: []ClusterEvent{{Action: "slow", AtSeconds: 0.5}}}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Cluster.Events[0].Factor; got != 1 {
+		t.Fatalf("slow factor default = %g, want 1", got)
+	}
+}
+
+func TestRunScenarioClusterNeedsActuator(t *testing.T) {
+	sc := &Scenario{
+		Name:            "faulty",
+		DurationSeconds: 0.2,
+		Streams: []StreamConfig{{
+			Mode: "open", Rate: &ScheduleJSON{Kind: "const", Value: 10},
+		}},
+		Cluster: &ClusterConfig{Events: []ClusterEvent{{Action: "kill", AtSeconds: 0.1}}},
+	}
+	_, err := RunScenarioOpts(context.Background(), sc, ScenarioOptions{URLs: []string{"http://127.0.0.1:1"}})
+	if err == nil {
+		t.Fatal("cluster events without an actuator: want error, got nil")
+	}
+}
+
+// recordingActuator books applied events with their wall-clock offsets.
+type recordingActuator struct {
+	mu     sync.Mutex
+	events []ClusterEvent
+	at     []time.Duration
+	start  time.Time
+}
+
+func (a *recordingActuator) Apply(_ context.Context, ev ClusterEvent) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events = append(a.events, ev)
+	a.at = append(a.at, time.Since(a.start))
+	return nil
+}
+
+func TestRunScenarioClusterEventsApplied(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"committed"}`))
+	}))
+	defer srv.Close()
+
+	sc := &Scenario{
+		Name:            "faults",
+		DurationSeconds: 0.6,
+		Streams: []StreamConfig{{
+			Mode: "open", Rate: &ScheduleJSON{Kind: "const", Value: 50},
+		}},
+		Cluster: &ClusterConfig{Events: []ClusterEvent{
+			// Deliberately out of order in the file; execution sorts.
+			{Action: "restart", Backend: 1, AtSeconds: 0.3},
+			{Action: "kill", Backend: 1, AtSeconds: 0.1},
+			{Action: "slow", Backend: 0, AtSeconds: 0.2, Factor: 4},
+		}},
+	}
+	act := &recordingActuator{start: time.Now()}
+	rep, err := RunScenarioOpts(context.Background(), sc, ScenarioOptions{
+		URLs: []string{srv.URL}, Actuator: act,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act.mu.Lock()
+	defer act.mu.Unlock()
+	if len(act.events) != 3 {
+		t.Fatalf("applied %d events, want 3 (%v)", len(act.events), act.events)
+	}
+	wantOrder := []string{"kill", "slow", "restart"}
+	for i, ev := range act.events {
+		if ev.Action != wantOrder[i] {
+			t.Fatalf("event %d = %s, want %s (events sorted by time)", i, ev.Action, wantOrder[i])
+		}
+		if act.at[i] < time.Duration(ev.AtSeconds*float64(time.Second))-10*time.Millisecond {
+			t.Fatalf("event %d fired at %s, before its scheduled %gs", i, act.at[i], ev.AtSeconds)
+		}
+	}
+	if len(rep.Cluster) != 3 {
+		t.Fatalf("report cluster log has %d lines, want 3: %v", len(rep.Cluster), rep.Cluster)
+	}
+	if !strings.Contains(rep.Cluster[0], "kill backend 1") {
+		t.Fatalf("cluster log line 0 = %q", rep.Cluster[0])
+	}
+}
+
+func TestScenarioSpreadsOverTargets(t *testing.T) {
+	var hits [2]atomic.Uint64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			hits[i].Add(1)
+			_, _ = w.Write([]byte(`{"status":"committed"}`))
+		}))
+	}
+	s0, s1 := mk(0), mk(1)
+	defer s0.Close()
+	defer s1.Close()
+
+	sc := &Scenario{
+		Name:            "spread",
+		DurationSeconds: 0.5,
+		Streams: []StreamConfig{
+			{Mode: "open", Rate: &ScheduleJSON{Kind: "const", Value: 200}},
+			{Mode: "closed", Clients: 8, ThinkMS: 5},
+		},
+	}
+	if _, err := RunScenarioOpts(context.Background(), sc, ScenarioOptions{
+		URLs: []string{s0.URL, s1.URL},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Load() == 0 || hits[1].Load() == 0 {
+		t.Fatalf("load not spread: %d / %d", hits[0].Load(), hits[1].Load())
 	}
 }

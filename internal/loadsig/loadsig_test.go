@@ -1,0 +1,96 @@
+package loadsig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	cases := []Signal{
+		{Status: StatusOK, Limit: 24, Active: 20, Queued: 5, Util: 0.8333},
+		{Status: StatusDraining, Limit: 8, Active: 8, Queued: 12, Util: 1,
+			Shedding: []string{"batch", "readonly"}},
+		{Status: StatusOK, Limit: math.Inf(1), Active: 3},
+		{}, // zero value: status defaults to ok on encode
+	}
+	for _, want := range cases {
+		got, err := Parse(want.Encode())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", want.Encode(), err)
+		}
+		if want.Status == "" {
+			want.Status = StatusOK
+		}
+		if got.Status != want.Status || got.Active != want.Active || got.Queued != want.Queued {
+			t.Fatalf("round trip %q: got %+v, want %+v", want.Encode(), got, want)
+		}
+		if math.IsInf(want.Limit, 1) != math.IsInf(got.Limit, 1) {
+			t.Fatalf("round trip lost infinity: got %v, want %v", got.Limit, want.Limit)
+		}
+		if !math.IsInf(want.Limit, 1) && math.Abs(got.Limit-want.Limit) > 1e-9 {
+			t.Fatalf("limit: got %v, want %v", got.Limit, want.Limit)
+		}
+		if math.Abs(got.Util-want.Util) > 1e-3 {
+			t.Fatalf("util: got %v, want %v", got.Util, want.Util)
+		}
+		if len(got.Shedding) != len(want.Shedding) {
+			t.Fatalf("shedding: got %v, want %v", got.Shedding, want.Shedding)
+		}
+		for i := range want.Shedding {
+			if got.Shedding[i] != want.Shedding[i] {
+				t.Fatalf("shedding[%d]: got %v, want %v", i, got.Shedding, want.Shedding)
+			}
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"status",    // no '='
+		"limit=abc", // unparseable number
+		"active=-1", // negative count
+		"queued=x",  // unparseable count
+		"util=-0.5", // negative utilization
+		"util=NaN",  // NaN
+		"status=",   // empty status
+		"limit=NaN", // NaN limit
+	}
+	for _, h := range bad {
+		if _, err := Parse(h); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", h)
+		}
+	}
+}
+
+func TestParseSkipsUnknownKeysAndBlanks(t *testing.T) {
+	s, err := Parse("status=ok;future_key=7;;limit=4;active=2;queued=0;util=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Limit != 4 || s.Active != 2 || s.Util != 0.5 {
+		t.Fatalf("unexpected signal %+v", s)
+	}
+}
+
+func TestShedAndDraining(t *testing.T) {
+	s := &Signal{Status: StatusDraining, Shedding: []string{"batch"}}
+	if !s.Draining() {
+		t.Fatal("Draining() = false")
+	}
+	if !s.Shed("batch") || s.Shed("interactive") {
+		t.Fatalf("Shed lookup wrong: %+v", s)
+	}
+}
+
+func TestUtilOf(t *testing.T) {
+	if got := UtilOf(5, 10); got != 0.5 {
+		t.Fatalf("UtilOf(5,10) = %v", got)
+	}
+	if got := UtilOf(5, math.Inf(1)); got != 0 {
+		t.Fatalf("UtilOf inf = %v", got)
+	}
+	if got := UtilOf(5, 0); got != 0 {
+		t.Fatalf("UtilOf zero limit = %v", got)
+	}
+}

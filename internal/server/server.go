@@ -23,7 +23,13 @@
 //	GET  /metrics    Prometheus-style text; ?format=json for a JSON snapshot
 //	GET  /controller controller inspection; POST switches controllers live
 //	                 (scope: pool, perclass, or a single class)
-//	GET  /healthz    liveness probe
+//	GET  /healthz    machine-readable load signal (JSON); 503 while
+//	                 draining — the cluster tier's active health check
+//
+// Every /txn and /healthz response also carries the X-Loadctl-Load header
+// (see internal/loadsig): limit, active, queued, utilization and the
+// classes that shed load in the last closed interval, so a routing tier
+// ingests backend saturation passively from forwarded traffic.
 //
 // The /metrics format contract: the default (no format parameter) is
 // Prometheus text. format=json selects the JSON snapshot. history=1
@@ -61,6 +67,7 @@ import (
 	"github.com/tpctl/loadctl/internal/core"
 	"github.com/tpctl/loadctl/internal/gate"
 	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/loadsig"
 	"github.com/tpctl/loadctl/internal/sim"
 	"github.com/tpctl/loadctl/internal/workload"
 )
@@ -346,6 +353,16 @@ type Server struct {
 
 	seq atomic.Uint64 // per-request stream ids; also selects the stripe
 
+	// Load-signal state for the cluster routing tier. draining flips once
+	// on BeginDrain; shedMask holds one bit per class that shed load
+	// (timeouts or rejections) during the last closed interval; the
+	// rendered signal is cached and refreshed at most every signalTTL so
+	// attaching it to every response stays off the gate's mutex.
+	draining atomic.Bool
+	shedMask atomic.Uint64
+	sigCache atomic.Pointer[cachedSignal]
+	sigStamp atomic.Int64 // nanos since start of the last refresh
+
 	// cells holds the striped hot-path counters: class ci's stripes are
 	// cells[ci*stripes : (ci+1)*stripes].
 	cells      []counterCell
@@ -436,12 +453,85 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/txn", s.handleTxn)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/controller", s.handleController)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	go s.loop()
 	return s, nil
+}
+
+// cachedSignal is one rendered load signal; the header string is the
+// encoded form attached to every response.
+type cachedSignal struct {
+	sig    loadsig.Signal
+	header string
+}
+
+// signalTTL bounds how stale the cached load signal may get. 50ms is well
+// below any realistic health-check interval while keeping the refresh —
+// one gate Stats() call — off the per-request path.
+const signalTTL = 50 * time.Millisecond
+
+// loadSignal returns the current (possibly up to signalTTL stale) load
+// signal. The first caller past the TTL wins a CAS and rebuilds; everyone
+// else keeps the previous value, so concurrent requests never stack up on
+// the gate's mutex just to report load.
+func (s *Server) loadSignal() *cachedSignal {
+	now := time.Since(s.start).Nanoseconds()
+	stamp := s.sigStamp.Load()
+	if c := s.sigCache.Load(); c != nil && now-stamp < signalTTL.Nanoseconds() {
+		return c
+	}
+	if !s.sigStamp.CompareAndSwap(stamp, now) {
+		if c := s.sigCache.Load(); c != nil {
+			return c
+		}
+	}
+	st := s.multi.Stats()
+	sig := loadsig.Signal{
+		Status:  loadsig.StatusOK,
+		Limit:   s.multi.Limit(),
+		Active:  st.Active,
+		Queued:  st.Queued,
+		Default: s.classes[0].Name,
+	}
+	sig.Util = loadsig.UtilOf(sig.Active, sig.Limit)
+	if s.draining.Load() {
+		sig.Status = loadsig.StatusDraining
+	}
+	mask := s.shedMask.Load()
+	for ci, cc := range s.classes {
+		if ci < 64 && mask&(1<<uint(ci)) != 0 {
+			sig.Shedding = append(sig.Shedding, cc.Name)
+		}
+	}
+	c := &cachedSignal{sig: sig, header: sig.Encode()}
+	s.sigCache.Store(c)
+	return c
+}
+
+// BeginDrain marks the server as draining: /healthz answers 503 with
+// status "draining" and the load signal tells routing tiers to stop
+// sending new work, while in-flight transactions keep running. Used by
+// graceful shutdown so a proxy can distinguish a drain from a crash.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.sigStamp.Store(-signalTTL.Nanoseconds() * 2) // force the next refresh
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleHealthz serves the machine-readable load signal: 200 + JSON while
+// serving, 503 + the same JSON while draining (so a plain HTTP checker
+// sees a draining backend as out of rotation). The signal also rides the
+// response header, same as on /txn.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c := s.loadSignal()
+	w.Header().Set(loadsig.Header, c.header)
+	code := http.StatusOK
+	if c.sig.Draining() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, c.sig)
 }
 
 // enterPerClassLocked builds one controller per class by name within the
@@ -646,6 +736,13 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Every /txn answer carries the load signal so a routing tier learns
+	// backend saturation passively from the traffic it forwards. The
+	// header is rendered at response time, not arrival: a request that
+	// queued for admission must not ship saturation state that is a full
+	// QueueTimeout old as if it were fresh.
+	setSignal := func() { w.Header().Set(loadsig.Header, s.loadSignal().header) }
+
 	now := s.elapsed()
 	seq := s.seq.Add(1)
 	// All of this request's counter traffic goes to one stripe of its
@@ -688,6 +785,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Reject {
 		if !s.multi.TryAcquire(ci) {
 			cell.rejected.Add(1)
+			setSignal()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
 			return
@@ -698,6 +796,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cancel()
 		if err != nil {
 			cell.timeouts.Add(1)
+			setSignal()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
 			return
@@ -721,6 +820,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 
 	s.multi.Release(ci)
 	s.noteExit(cell)
+	setSignal()
 
 	lat := time.Since(t0)
 	switch {
@@ -853,8 +953,16 @@ func (s *Server) tick() {
 	t := s.elapsed()
 
 	var agg, prevAgg foldTotals
+	var shed uint64
 	for ci := range folds {
 		iv, sample := intervalFrom(t, folds[ci], s.prevFold[ci], nowNanos, dtNanos)
+		// A class that timed out or rejected arrivals this interval is
+		// shedding: the bit feeds the load signal's per-class shed state,
+		// which routing tiers use for overload propagation.
+		if ci < 64 && (folds[ci].timeouts-s.prevFold[ci].timeouts)+
+			(folds[ci].rejected-s.prevFold[ci].rejected) > 0 {
+			shed |= 1 << uint(ci)
+		}
 		agg.add(folds[ci])
 		prevAgg.add(s.prevFold[ci])
 		s.prevFold[ci] = folds[ci]
@@ -893,6 +1001,7 @@ func (s *Server) tick() {
 		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
 	}
 	s.mu.Unlock()
+	s.shedMask.Store(shed)
 }
 
 // relTerm bounds a reconstructed Σ(T1−t_i) term to its possible span

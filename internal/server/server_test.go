@@ -13,6 +13,7 @@ import (
 
 	"github.com/tpctl/loadctl/internal/core"
 	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/loadsig"
 )
 
 // newTestServer builds a server over a fresh store with a static
@@ -431,4 +432,113 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Controller: core.NewStatic(1), Engine: NewOCC(store)}); err == nil {
 		t.Fatal("zero items accepted")
 	}
+}
+
+func TestHealthzLoadSignal(t *testing.T) {
+	s, ts := newTestServer(t, 4, nil)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var sig loadsig.Signal
+	if err := json.NewDecoder(resp.Body).Decode(&sig); err != nil {
+		t.Fatal(err)
+	}
+	if sig.Status != loadsig.StatusOK || sig.Limit != 4 {
+		t.Fatalf("signal = %+v", sig)
+	}
+	// The same signal rides the response header, parseable.
+	hdr := resp.Header.Get(loadsig.Header)
+	if hdr == "" {
+		t.Fatal("no load-signal header on /healthz")
+	}
+	if _, err := loadsig.Parse(hdr); err != nil {
+		t.Fatalf("header %q does not parse: %v", hdr, err)
+	}
+
+	// /txn answers carry it too.
+	txnResp, err := http.Post(ts.URL+"/txn", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, txnResp.Body)
+	txnResp.Body.Close()
+	got, err := loadsig.Parse(txnResp.Header.Get(loadsig.Header))
+	if err != nil {
+		t.Fatalf("/txn signal header: %v", err)
+	}
+	if got.Limit != 4 {
+		t.Fatalf("/txn signal = %+v", got)
+	}
+
+	// Draining flips /healthz to 503 with status "draining".
+	s.BeginDrain()
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp2.StatusCode)
+	}
+	var dsig loadsig.Signal
+	if err := json.NewDecoder(resp2.Body).Decode(&dsig); err != nil {
+		t.Fatal(err)
+	}
+	if !dsig.Draining() {
+		t.Fatalf("draining signal = %+v", dsig)
+	}
+	// Draining does not stop transaction execution: in-flight work (and
+	// stragglers on open connections) still commits during the drain.
+	if code, _ := postTxn(t, ts.URL, "?shape=query&k=1"); code != http.StatusOK {
+		t.Fatalf("txn during drain = %d, want 200", code)
+	}
+}
+
+func TestLoadSignalShedState(t *testing.T) {
+	s, ts := newTestServer(t, 1, func(cfg *Config) {
+		cfg.Interval = 50 * time.Millisecond
+		cfg.Reject = true
+		cfg.Engine = slowEngine{inner: cfg.Engine, delay: 400 * time.Millisecond}
+		cfg.Classes = []ClassConfig{
+			{Name: "interactive", Weight: 3, Priority: 0},
+			{Name: "batch", Weight: 1, Priority: 2},
+		}
+	})
+
+	// Occupy the single slot for 400ms, then shed a batch arrival against
+	// the full gate (reject mode answers 429 immediately).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postTxn(t, ts.URL, "?class=interactive&k=1")
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slot be taken
+	if code, _ := postTxn(t, ts.URL, "?class=batch&k=1"); code != http.StatusTooManyRequests {
+		t.Fatalf("batch at a full gate = %d, want 429", code)
+	}
+
+	// After the next tick the signal must list batch — and only batch —
+	// as shedding.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		sig := s.loadSignal().sig
+		if sig.Shed("batch") {
+			if sig.Shed("interactive") {
+				t.Fatalf("interactive wrongly marked shedding: %+v", sig)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never marked shedding; signal %+v", sig)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
 }

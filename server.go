@@ -69,6 +69,13 @@ type ServerConfig struct {
 	// Reject makes admission non-blocking: a full gate answers 429
 	// immediately instead of queueing.
 	Reject bool
+	// DrainTimeout bounds the graceful shutdown drain: when Serve's
+	// context ends, the server stops accepting, flips /healthz (and the
+	// load signal) to "draining" so routing tiers take it out of rotation,
+	// and waits up to DrainTimeout for in-flight transactions to finish
+	// before closing their connections (default 10s; keep it above
+	// QueueTimeout so queued admissions resolve rather than being cut).
+	DrainTimeout time.Duration
 	// Seed derives access-set sampling streams (0 = deterministic default).
 	Seed int64
 }
@@ -126,16 +133,30 @@ func (s *Server) Limit() float64 { return s.inner.Limit() }
 // Close stops the measurement loop.
 func (s *Server) Close() { s.inner.Close() }
 
+// BeginDrain marks the server as draining: /healthz answers 503 and the
+// X-Loadctl-Load signal tells routing tiers to stop sending new work
+// while in-flight transactions keep running. Serve calls this
+// automatically when its context ends; embedders doing their own listener
+// management call it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.inner.BeginDrain() }
+
 // Serve runs the transaction front-end on cfg.Addr until ctx is
-// cancelled, then shuts down gracefully. It supplies a PA controller when
-// cfg.Controller is nil, making loadctl.Serve(ctx, loadctl.ServerConfig{})
-// a complete adaptive transaction server.
+// cancelled, then shuts down gracefully: it stops accepting, advertises
+// "draining" on /healthz and the load signal, drains in-flight
+// transactions for up to cfg.DrainTimeout, and returns nil on a clean
+// drain — so a SIGTERM'd loadctld exits 0 and a fronting proxy can tell
+// the drain from a crash. It supplies a PA controller when cfg.Controller
+// is nil, making loadctl.Serve(ctx, loadctl.ServerConfig{}) a complete
+// adaptive transaction server.
 func Serve(ctx context.Context, cfg ServerConfig) error {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8344"
 	}
 	if cfg.Controller == nil {
 		cfg.Controller = core.NewPA(core.DefaultPAConfig())
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
 	}
 	s, err := NewServer(cfg)
 	if err != nil {
@@ -152,7 +173,26 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain, don't drop. First a lame-duck window: keep accepting
+		// while /healthz answers 503 "draining", so routing tiers observe
+		// the drain and take this backend out of rotation — closing the
+		// listener immediately would make a graceful drain look exactly
+		// like a crash (connection refused) to their health checks.
+		s.BeginDrain()
+		announce := cfg.DrainTimeout / 4
+		if announce > time.Second {
+			announce = time.Second
+		}
+		select {
+		case <-time.After(announce):
+		case err := <-errc:
+			return err
+		}
+		// Then stop accepting; queued and in-flight requests get the rest
+		// of DrainTimeout to resolve (admission waits included — they
+		// answer within QueueTimeout), and only then are the stragglers'
+		// connections closed.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout-announce)
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
 	case err := <-errc:

@@ -1,7 +1,10 @@
 package loadctl_test
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -82,5 +85,71 @@ func TestPublicServerAPI(t *testing.T) {
 		Controller: loadctl.NewStatic(4), KVShards: -1,
 	}); err == nil {
 		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestServeGracefulDrain runs the full Serve lifecycle: a transaction is
+// in flight when the context is cancelled (the SIGTERM path); the server
+// must advertise "draining", finish the in-flight work, and return nil —
+// the exit-0 contract the cluster tier's kill/restart scenarios rely on.
+func TestServeGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // Serve re-binds; the tiny race window is fine in tests
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- loadctl.Serve(ctx, loadctl.ServerConfig{
+			Addr:         addr,
+			Controller:   loadctl.NewStatic(8),
+			Items:        64,
+			DrainTimeout: 5 * time.Second,
+		})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A large transaction in flight across the cancellation: k touches
+	// every item several times over to stretch execution a little.
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/txn?shape=update&k=64", "application/json", nil)
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	if code := <-inflight; code != http.StatusOK && code != -1 {
+		// -1 (connection error) can only happen if the request raced the
+		// listener teardown before being accepted; an accepted request
+		// must complete.
+		t.Fatalf("in-flight txn during drain = %d", code)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("Serve did not return after drain")
 	}
 }
