@@ -12,10 +12,12 @@
 //	# custom classes: name:weight:priority[:shape[:k]]
 //	go run ./cmd/loadctld -classes 'web:4:0,analytics:1:2:query:64'
 //
-// Then drive it with cmd/loadgen and watch /metrics:
+// Then drive it with cmd/loadgen and watch /metrics and the controller's
+// decision trace:
 //
 //	go run ./cmd/loadgen -url http://127.0.0.1:8344 -scenario retry-storm
 //	curl -s 'http://127.0.0.1:8344/metrics?format=json'
+//	curl -s 'http://127.0.0.1:8344/controller?trace=1'
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 5*time.Second, "max admission wait before shedding (503)")
 		reject       = flag.Bool("reject", false, "non-blocking admission: full gate answers 429")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: max wait for in-flight transactions after SIGTERM")
+		traceLen     = flag.Int("trace-len", 0, "controller decision-trace ring size for /controller?trace=1 (0 = default)")
 		seed         = flag.Int64("seed", 1, "access-set sampling seed")
 	)
 	flag.Parse()
@@ -86,6 +89,7 @@ func main() {
 		QueueTimeout:    *queueTimeout,
 		Reject:          *reject,
 		DrainTimeout:    *drainTimeout,
+		TraceLen:        *traceLen,
 		Seed:            *seed,
 	})
 	if err != nil {

@@ -12,10 +12,12 @@
 //	    -backends 127.0.0.1:8344,127.0.0.1:8345,127.0.0.1:8346 \
 //	    -policy threshold
 //
-// Then drive the proxy exactly like a single loadctld:
+// Then drive the proxy exactly like a single loadctld, and inspect the
+// routing tier's own control loop (the threshold policy's θ decisions):
 //
 //	go run ./cmd/loadgen -url http://127.0.0.1:8080 -scenario flash-crowd
 //	curl -s 'http://127.0.0.1:8080/metrics?format=json'
+//	curl -s 'http://127.0.0.1:8080/controller?trace=1'
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		backends  = flag.String("backends", "", "comma-separated backend base URLs (host:port accepted); required")
 		policy    = flag.String("policy", "threshold", "routing policy: round-robin, least-inflight, threshold")
 		healthInt = flag.Duration("health-interval", 500*time.Millisecond, "active health-check period")
+		tuneInt   = flag.Duration("tune-interval", 0, "control-loop period for policy self-tuning and the decision trace (0 = health-interval)")
 		deadAfter = flag.Int("dead-after", 2, "consecutive failed health checks before a backend is marked dead")
 	)
 	flag.Parse()
@@ -57,6 +60,7 @@ func main() {
 		Backends:       urls,
 		Policy:         *policy,
 		HealthInterval: *healthInt,
+		TuneInterval:   *tuneInt,
 		DeadAfter:      *deadAfter,
 	})
 	if err != nil {

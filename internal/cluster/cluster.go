@@ -38,13 +38,14 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/telemetry"
 )
 
 // BackendHeader names the response header the proxy adds with the index
@@ -64,6 +65,12 @@ type Config struct {
 	// HealthTimeout bounds one health probe (default: HealthInterval,
 	// capped at 2s).
 	HealthTimeout time.Duration
+	// TuneInterval is the period of the proxy's control loop: the
+	// threshold policy's θ self-tuning folds its observed fallback /
+	// non-discrimination events and moves θ once per TuneInterval, and
+	// every loop tick records a decision in the trace exported by
+	// GET /controller?trace=1 (default: HealthInterval).
+	TuneInterval time.Duration
 	// DeadAfter is how many consecutive failed health checks mark a
 	// backend dead (default 2). Refused/reset connections on the data
 	// path mark it dead immediately regardless.
@@ -93,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 2
+	}
+	if c.TuneInterval <= 0 {
+		c.TuneInterval = c.HealthInterval
 	}
 	if c.SignalStale <= 0 {
 		c.SignalStale = 3 * c.HealthInterval
@@ -174,40 +184,8 @@ func (b *backend) revive() {
 	b.dead.Store(false)
 }
 
-// proxyCell is one stripe of the proxy's hot-path counters, cache-line
-// padded like the server's. All monotone; folds never lose events.
-type proxyCell struct {
-	requests    atomic.Uint64
-	relayed     atomic.Uint64
-	shedOverl   atomic.Uint64 // fast-rejects: cluster-wide class overload
-	shedNoBack  atomic.Uint64 // fast-rejects: no routable backend
-	failed      atomic.Uint64 // 502: non-retriable backend failure, or all backends failed
-	disconnects atomic.Uint64 // client gone mid-proxy
-	retries     atomic.Uint64 // forward attempts beyond the first
-	respNanos   atomic.Uint64 // summed relay latencies
-	respN       atomic.Uint64
-	_           [7]uint64
-}
-
-// Totals are the proxy's monotone counters since start. The identity
-//
-//	Requests == Relayed + FastRejectedOverload + FastRejectedNoBackend
-//	          + Failed + Disconnects
-//
-// holds exactly at quiescence: every request that enters handleTxn leaves
-// through exactly one of those doors.
-type Totals struct {
-	Requests              uint64 `json:"requests"`
-	Relayed               uint64 `json:"relayed"`
-	FastRejectedOverload  uint64 `json:"fast_rejected_overload"`
-	FastRejectedNoBackend uint64 `json:"fast_rejected_no_backend"`
-	Failed                uint64 `json:"failed"`
-	Disconnects           uint64 `json:"disconnects"`
-	Retries               uint64 `json:"retries"`
-}
-
 // Proxy is the routing tier. Create with New, serve Handler, Close to
-// stop the health loop.
+// stop the health and control loops.
 type Proxy struct {
 	cfg      Config
 	backends []*backend
@@ -216,16 +194,16 @@ type Proxy struct {
 	mux      *http.ServeMux
 	start    time.Time
 
-	seq        atomic.Uint64
-	cells      []proxyCell
-	stripes    int
-	stripeMask uint64
+	seq atomic.Uint64
+	tel *telemetry.Counters // striped hot-path counters (one group)
+
+	loop *ctl.Loop // θ self-tuning + decision trace
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// New validates cfg and starts the health loop.
+// New validates cfg and starts the health and control loops.
 func New(cfg Config) (*Proxy, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Backends) == 0 {
@@ -258,35 +236,32 @@ func New(cfg Config) (*Proxy, error) {
 		seen[u] = true
 		p.backends = append(p.backends, &backend{url: u})
 	}
-	p.stripes = numCells()
-	p.stripeMask = uint64(p.stripes - 1)
-	p.cells = make([]proxyCell, p.stripes)
+	p.tel = telemetry.NewCounters(1, counterSchema...)
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/txn", p.handleTxn)
-	p.mux.HandleFunc("/metrics", p.handleMetrics)
+	p.mux.Handle("/metrics", telemetry.MetricsEndpoint{
+		Snapshot: func(bool) any { return p.SnapshotNow() },
+		Prom:     func() *telemetry.PromText { return renderProm(p.SnapshotNow()) },
+	})
+	p.mux.HandleFunc("/controller", p.handleController)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	go p.healthLoop()
+	p.loop = ctl.Start(ctl.Config{
+		Interval: p.cfg.TuneInterval,
+		Tick:     p.tuneTick,
+	})
 	return p, nil
-}
-
-// numCells picks the stripe count: next power of two ≥ GOMAXPROCS, ≤ 64.
-func numCells() int {
-	procs := runtime.GOMAXPROCS(0)
-	n := 1
-	for n < procs && n < 64 {
-		n <<= 1
-	}
-	return n
 }
 
 // Handler returns the HTTP handler serving all proxy endpoints.
 func (p *Proxy) Handler() http.Handler { return p.mux }
 
-// Close stops the health loop; the handler keeps routing on last-known
-// backend state.
+// Close stops the health and control loops; the handler keeps routing on
+// last-known backend state.
 func (p *Proxy) Close() {
 	close(p.stop)
 	<-p.done
+	p.loop.Close()
 }
 
 // Policy returns the active routing policy's name.
@@ -342,8 +317,10 @@ func (p *Proxy) clusterShedding(routable []int, class string) bool {
 	return true
 }
 
+// fastReject answers 503 with a jittered Retry-After: a shed burst with a
+// fixed retry delay would re-arrive in lockstep one period later.
 func fastReject(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", loadsig.RetryAfter())
 	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
@@ -352,8 +329,8 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	cell := &p.cells[p.seq.Add(1)&p.stripeMask]
-	cell.requests.Add(1)
+	cell := p.tel.Cell(0, p.seq.Add(1))
+	cell.Inc(cRequests)
 
 	// Buffer the body once so a failed forward can be retried verbatim on
 	// another backend.
@@ -362,14 +339,14 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		var err error
 		body, err = io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxBodyBytes+1))
 		if err != nil {
-			cell.disconnects.Add(1)
+			cell.Inc(cDisconnects)
 			return
 		}
 		if int64(len(body)) > p.cfg.MaxBodyBytes {
 			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 			// Count it as served: it left through an HTTP answer the
 			// client saw, not through a routing door.
-			cell.relayed.Add(1)
+			cell.Inc(cRelayed)
 			return
 		}
 	}
@@ -381,10 +358,10 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		routable := p.routable(tried)
 		if len(routable) == 0 {
 			if attempt == 0 {
-				cell.shedNoBack.Add(1)
+				cell.Inc(cShedNoBackend)
 				fastReject(w, "no backend available")
 			} else {
-				cell.failed.Add(1)
+				cell.Inc(cFailed)
 				http.Error(w, "all backends failed", http.StatusBadGateway)
 			}
 			return
@@ -393,27 +370,27 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// Overload propagation: every live backend shed this class
 			// last interval. Queueing here would only delay the 503 the
 			// cluster is already giving; reject fast so clients back off.
-			cell.shedOverl.Add(1)
+			cell.Inc(cShedOverload)
 			fastReject(w, fmt.Sprintf("cluster shedding class %q", class))
 			return
 		}
 		i := p.pick(routable)
 		tried |= 1 << uint(i)
 		if attempt > 0 {
-			cell.retries.Add(1)
+			cell.Inc(cRetries)
 		}
 		done, err := p.forward(w, r, i, body)
 		if done {
-			cell.relayed.Add(1)
+			cell.Inc(cRelayed)
 			lat := time.Since(t0)
-			cell.respNanos.Add(uint64(lat.Nanoseconds()))
-			cell.respN.Add(1)
+			cell.Add(cRespNanos, uint64(lat.Nanoseconds()))
+			cell.Inc(cRespN)
 			return
 		}
 		if r.Context().Err() != nil {
 			// The client went away; nothing to answer and no blame on the
 			// backend.
-			cell.disconnects.Add(1)
+			cell.Inc(cDisconnects)
 			return
 		}
 		// Transport failure: the backend is unreachable. Mark it dead now
@@ -426,7 +403,7 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// it twice. Surface the failure instead and let the client
 			// decide — only dial-level failures, where the request
 			// provably never left the proxy, fail over transparently.
-			cell.failed.Add(1)
+			cell.Inc(cFailed)
 			http.Error(w, "backend failed mid-request", http.StatusBadGateway)
 			return
 		}

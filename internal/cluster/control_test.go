@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/ctl"
+)
+
+// TestProxyControllerTrace checks the routing tier's /controller
+// endpoint: the threshold policy's θ is visible, and ?trace=1 returns a
+// non-empty decision trace whose entries carry the policy's name and the
+// learned threshold.
+func TestProxyControllerTrace(t *testing.T) {
+	b := newStub(t, okSignal())
+	p := newTestProxy(t, Config{
+		Backends:     []string{b.ts.URL},
+		Policy:       "threshold",
+		TuneInterval: 10 * time.Millisecond,
+	})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// Some routed traffic so the tuner has events to fold.
+	for i := 0; i < 5; i++ {
+		postTxn(t, ts, "")
+	}
+
+	var view struct {
+		Policy string         `json:"policy"`
+		Theta  float64        `json:"theta"`
+		Trace  []ctl.Decision `json:"trace"`
+	}
+	waitFor(t, "a non-empty decision trace", func() bool {
+		resp, err := http.Get(ts.URL + "/controller?trace=1")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return false
+		}
+		return len(view.Trace) > 0
+	})
+	if view.Policy != "threshold" {
+		t.Fatalf("policy = %q", view.Policy)
+	}
+	if view.Theta <= 0 {
+		t.Fatalf("theta = %v, want > 0", view.Theta)
+	}
+	for _, d := range view.Trace {
+		if d.Scope != "theta" || d.Controller != "threshold" {
+			t.Fatalf("decision = %+v, want scope theta / controller threshold", d)
+		}
+		if d.Limit <= 0 {
+			t.Fatalf("decision carries no θ: %+v", d)
+		}
+	}
+
+	// POST is not supported on the proxy's controller endpoint.
+	resp, err := http.Post(ts.URL+"/controller", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /controller = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestProxyGoldenExportsAgree is the proxy half of the golden dual-export
+// test: the Prometheus text and the JSON snapshot are renderings of one
+// Snapshot and must agree value-for-value.
+func TestProxyGoldenExportsAgree(t *testing.T) {
+	b0 := newStub(t, okSignal())
+	b1 := newStub(t, okSignal())
+	p := newTestProxy(t, Config{Backends: []string{b0.ts.URL, b1.ts.URL}})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 10; i++ {
+		postTxn(t, ts, "")
+	}
+	assertProxyExportsAgree(t, p)
+}

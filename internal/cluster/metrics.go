@@ -1,15 +1,37 @@
 package cluster
 
 import (
-	"encoding/json"
-	"fmt"
-	"math"
-	"net/http"
 	"strconv"
-	"strings"
+
+	"net/http"
 
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/telemetry"
 )
+
+// This file is the proxy's "sense" wiring: the striped counter schema and
+// the snapshot/export assembly. The striped cells, fold machinery and the
+// Prometheus+JSON dual exporter are the shared internal/telemetry layer —
+// the same primitives the transaction server measures itself with.
+
+// Striped proxy counter schema (fold index order). All monotone; folds
+// never lose events.
+const (
+	cRequests = iota
+	cRelayed
+	cShedOverload  // fast-rejects: cluster-wide class overload
+	cShedNoBackend // fast-rejects: no routable backend
+	cFailed        // 502: non-retriable backend failure, or all backends failed
+	cDisconnects   // client gone mid-proxy
+	cRetries       // forward attempts beyond a request's first
+	cRespN
+	cRespNanos // summed relay latencies
+)
+
+var counterSchema = []string{
+	"requests", "relayed", "shed_overload", "shed_nobackend",
+	"failed", "disconnects", "retries", "resp_n", "resp_nanos",
+}
 
 // Backend states as exposed in metrics.
 const (
@@ -62,23 +84,36 @@ type Snapshot struct {
 	Backends              []BackendSnapshot `json:"backends"`
 }
 
+// Totals are the proxy's monotone counters since start. The identity
+//
+//	Requests == Relayed + FastRejectedOverload + FastRejectedNoBackend
+//	          + Failed + Disconnects
+//
+// holds exactly at quiescence: every request that enters handleTxn leaves
+// through exactly one of those doors.
+type Totals struct {
+	Requests              uint64 `json:"requests"`
+	Relayed               uint64 `json:"relayed"`
+	FastRejectedOverload  uint64 `json:"fast_rejected_overload"`
+	FastRejectedNoBackend uint64 `json:"fast_rejected_no_backend"`
+	Failed                uint64 `json:"failed"`
+	Disconnects           uint64 `json:"disconnects"`
+	Retries               uint64 `json:"retries"`
+}
+
 // foldCells sums the proxy's counter stripes.
 func (p *Proxy) foldCells() (Totals, uint64, uint64) {
-	var t Totals
-	var respNanos, respN uint64
-	for i := range p.cells {
-		c := &p.cells[i]
-		t.Requests += c.requests.Load()
-		t.Relayed += c.relayed.Load()
-		t.FastRejectedOverload += c.shedOverl.Load()
-		t.FastRejectedNoBackend += c.shedNoBack.Load()
-		t.Failed += c.failed.Load()
-		t.Disconnects += c.disconnects.Load()
-		t.Retries += c.retries.Load()
-		respNanos += c.respNanos.Load()
-		respN += c.respN.Load()
+	f := p.tel.Fold(0)
+	t := Totals{
+		Requests:              f[cRequests],
+		Relayed:               f[cRelayed],
+		FastRejectedOverload:  f[cShedOverload],
+		FastRejectedNoBackend: f[cShedNoBackend],
+		Failed:                f[cFailed],
+		Disconnects:           f[cDisconnects],
+		Retries:               f[cRetries],
 	}
-	return t, respNanos, respN
+	return t, f[cRespNanos], f[cRespN]
 }
 
 // SnapshotNow assembles the current proxy state.
@@ -136,62 +171,39 @@ func (p *Proxy) SnapshotNow() Snapshot {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	telemetry.WriteJSON(w, code, v)
 }
 
-// handleMetrics serves the proxy metrics in the same dual-format contract
-// as loadctld: Prometheus text by default, ?format=json for the snapshot,
-// anything else a 400.
-func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	switch f := r.URL.Query().Get("format"); f {
-	case "json":
-		writeJSON(w, http.StatusOK, p.SnapshotNow())
-		return
-	case "":
-	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (want json, or omit for Prometheus text)", f), http.StatusBadRequest)
-		return
-	}
-	snap := p.SnapshotNow()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+// renderProm renders one snapshot in the Prometheus text form; the format
+// negotiation lives in telemetry.MetricsEndpoint, the same contract as
+// loadctld.
+func renderProm(snap Snapshot) *telemetry.PromText {
+	var p telemetry.PromText
+	p.Counter("loadctlproxy_requests_total", "requests accepted at the proxy", snap.Totals.Requests)
+	p.Counter("loadctlproxy_relayed_total", "backend responses relayed to clients", snap.Totals.Relayed)
+	p.Counter("loadctlproxy_fast_rejected_overload_total", "fast rejects: every live backend shedding the class", snap.Totals.FastRejectedOverload)
+	p.Counter("loadctlproxy_fast_rejected_no_backend_total", "fast rejects: no routable backend", snap.Totals.FastRejectedNoBackend)
+	p.Counter("loadctlproxy_failed_total", "requests answered 502: a backend failed mid-request (not replayed) or every routable backend failed", snap.Totals.Failed)
+	p.Counter("loadctlproxy_disconnects_total", "clients gone before a response could be relayed", snap.Totals.Disconnects)
+	p.Counter("loadctlproxy_retries_total", "forward attempts beyond a request's first", snap.Totals.Retries)
+	p.Gauge("loadctlproxy_alive_backends", "backends not marked dead", float64(snap.Alive))
+	p.Gauge("loadctlproxy_mean_latency_seconds", "mean relay latency since start", snap.MeanLatencySeconds)
+	if snap.Threshold > 0 {
+		p.Gauge("loadctlproxy_threshold", "threshold policy's learned load threshold", snap.Threshold)
 	}
 	gaugeVec := func(name, help string, get func(BackendSnapshot) float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for _, bs := range snap.Backends {
-			fmt.Fprintf(&b, "%s{backend=\"%d\"} %s\n", name, bs.Index, promFloat(get(bs)))
-		}
+		p.GaugeVec(name, help, "backend", func(sample func(string, float64)) {
+			for _, bs := range snap.Backends {
+				sample(strconv.Itoa(bs.Index), get(bs))
+			}
+		})
 	}
 	counterVec := func(name, help string, get func(BackendSnapshot) uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, bs := range snap.Backends {
-			fmt.Fprintf(&b, "%s{backend=\"%d\"} %d\n", name, bs.Index, get(bs))
-		}
-	}
-	counter("loadctlproxy_requests_total", "requests accepted at the proxy", snap.Totals.Requests)
-	counter("loadctlproxy_relayed_total", "backend responses relayed to clients", snap.Totals.Relayed)
-	counter("loadctlproxy_fast_rejected_overload_total", "fast rejects: every live backend shedding the class", snap.Totals.FastRejectedOverload)
-	counter("loadctlproxy_fast_rejected_no_backend_total", "fast rejects: no routable backend", snap.Totals.FastRejectedNoBackend)
-	counter("loadctlproxy_failed_total", "requests answered 502: a backend failed mid-request (not replayed) or every routable backend failed", snap.Totals.Failed)
-	counter("loadctlproxy_disconnects_total", "clients gone before a response could be relayed", snap.Totals.Disconnects)
-	counter("loadctlproxy_retries_total", "forward attempts beyond a request's first", snap.Totals.Retries)
-	gauge("loadctlproxy_alive_backends", "backends not marked dead", float64(snap.Alive))
-	gauge("loadctlproxy_mean_latency_seconds", "mean relay latency since start", snap.MeanLatencySeconds)
-	if snap.Threshold > 0 {
-		gauge("loadctlproxy_threshold", "threshold policy's learned load threshold", snap.Threshold)
+		p.CounterVec(name, help, "backend", func(sample func(string, uint64)) {
+			for _, bs := range snap.Backends {
+				sample(strconv.Itoa(bs.Index), get(bs))
+			}
+		})
 	}
 	counterVec("loadctlproxy_backend_forwarded_total", "forward attempts per backend",
 		func(bs BackendSnapshot) uint64 { return bs.Forwarded })
@@ -212,14 +224,7 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	gaugeVec("loadctlproxy_backend_ewma_latency_seconds", "smoothed relay latency per backend",
 		func(bs BackendSnapshot) float64 { return bs.EWMALatencySeconds })
-	_, _ = w.Write([]byte(b.String()))
-}
-
-func promFloat(v float64) string {
-	if math.IsInf(v, 1) {
-		return "+Inf"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return &p
 }
 
 // handleHealthz reports the proxy's own health: ok with every backend

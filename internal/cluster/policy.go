@@ -84,13 +84,26 @@ func (p *leastInflight) Pick(cands []Candidate) int {
 // join-shortest-queue — and fall back to power-of-two-choices on the
 // score when no backend is below θ. θ self-tunes to sit just above the
 // cluster's typical load level: every fallback (θ too tight for the
-// current load) nudges it up, and every decision where *all* backends
+// current load) pushes it up, and every decision where *all* backends
 // were below θ (θ too loose to discriminate) decays it down. The
 // asymmetric steps make θ rise quickly under a load surge and relax
 // slowly afterwards.
+//
+// The tuning is a sense→decide→actuate loop like every other controller
+// in the stack: Pick only *records* the two event kinds (it runs on the
+// request hot path), and the proxy's ctl.Loop periodically calls Retune,
+// which folds the event deltas into one θ move and traces the decision.
 type threshold struct {
 	theta atomic.Uint64 // math.Float64bits of θ
 	n     atomic.Uint64 // round-robin cursor and p2c hash seed
+
+	// Event counters the control loop folds; monotone, written by Pick.
+	picks     atomic.Uint64 // routing decisions made
+	fallbacks atomic.Uint64 // no backend below θ: p2c fallback taken
+	allBelow  atomic.Uint64 // every backend below θ: θ not discriminating
+
+	// Previous fold, touched only by the single Retune caller.
+	prevPicks, prevFallbacks, prevAllBelow uint64
 }
 
 const (
@@ -112,10 +125,17 @@ func (p *threshold) Name() string { return "threshold" }
 // Theta exposes the current learned threshold (metrics only).
 func (p *threshold) Theta() float64 { return math.Float64frombits(p.theta.Load()) }
 
-// bump moves θ by delta with clamping; a racy read-modify-write is fine —
-// lost updates only slow the tuning, never corrupt it.
-func (p *threshold) bump(delta float64) {
-	th := math.Float64frombits(p.theta.Load()) + delta
+// Retune implements selfTuning: fold the events Pick recorded since the
+// last call into one clamped θ move. Called from a single goroutine (the
+// proxy's control loop, or a test driving the loop by hand).
+func (p *threshold) Retune() (float64, uint64, uint64, uint64) {
+	picks, fallbacks, allBelow := p.picks.Load(), p.fallbacks.Load(), p.allBelow.Load()
+	dPicks := picks - p.prevPicks
+	dFall := fallbacks - p.prevFallbacks
+	dBelow := allBelow - p.prevAllBelow
+	p.prevPicks, p.prevFallbacks, p.prevAllBelow = picks, fallbacks, allBelow
+
+	th := math.Float64frombits(p.theta.Load()) + thetaUp*float64(dFall) - thetaDown*float64(dBelow)
 	if th < thetaMin {
 		th = thetaMin
 	}
@@ -123,11 +143,13 @@ func (p *threshold) bump(delta float64) {
 		th = thetaMax
 	}
 	p.theta.Store(math.Float64bits(th))
+	return th, dFall, dBelow, dPicks
 }
 
 func (p *threshold) Pick(cands []Candidate) int {
 	th := math.Float64frombits(p.theta.Load())
 	r := p.n.Add(1)
+	p.picks.Add(1)
 
 	below := 0
 	pick := -1
@@ -150,14 +172,15 @@ func (p *threshold) Pick(cands []Candidate) int {
 			}
 		}
 		if below == len(cands) && len(cands) > 1 {
-			p.bump(-thetaDown) // θ no longer discriminates: tighten
+			p.allBelow.Add(1) // θ no longer discriminates: Retune tightens
 		}
 		return pick
 	}
 
 	// Everyone is at or above θ: the cluster is hotter than the learned
-	// level. Raise θ and fall back to power-of-two-choices on the score.
-	p.bump(+thetaUp)
+	// level. Record the miss (Retune raises θ) and fall back to
+	// power-of-two-choices on the score.
+	p.fallbacks.Add(1)
 	h := splitmix64(r)
 	i := int(h % uint64(len(cands)))
 	j := i

@@ -68,7 +68,8 @@ func TestThresholdFallsBackToPowerOfTwoChoices(t *testing.T) {
 	p := newThreshold()
 	before := p.Theta()
 	// Everyone above θ: with two candidates p2c always compares both, so
-	// the lower score must win every time, and θ must rise.
+	// the lower score must win every time, and the retune (the control
+	// loop's decide step) must raise θ from the recorded fallbacks.
 	cands := []Candidate{
 		{Index: 0, Score: 1.5},
 		{Index: 1, Score: 3.0},
@@ -78,8 +79,12 @@ func TestThresholdFallsBackToPowerOfTwoChoices(t *testing.T) {
 			t.Fatalf("p2c fallback picked the higher-loaded backend %d", got)
 		}
 	}
-	if p.Theta() <= before {
-		t.Fatalf("θ did not rise under sustained fallback: %v -> %v", before, p.Theta())
+	th, fallbacks, _, picks := p.Retune()
+	if picks != 30 || fallbacks != 30 {
+		t.Fatalf("retune folded %d picks / %d fallbacks, want 30/30", picks, fallbacks)
+	}
+	if th <= before || p.Theta() != th {
+		t.Fatalf("θ did not rise under sustained fallback: %v -> %v", before, th)
 	}
 }
 
@@ -97,6 +102,9 @@ func TestThresholdSelfTunesDown(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		counts[p.Pick(cands)]++
 	}
+	if _, _, allBelow, _ := p.Retune(); allBelow != 300 {
+		t.Fatalf("retune folded %d non-discriminating picks, want 300", allBelow)
+	}
 	if p.Theta() >= before {
 		t.Fatalf("θ did not decay on an idle cluster: %v -> %v", before, p.Theta())
 	}
@@ -112,14 +120,22 @@ func TestThresholdClamps(t *testing.T) {
 	hot := []Candidate{{Index: 0, Score: 99}, {Index: 1, Score: 98}}
 	for i := 0; i < 10000; i++ {
 		p.Pick(hot)
+		if i%100 == 0 {
+			p.Retune()
+		}
 	}
+	p.Retune()
 	if th := p.Theta(); th > thetaMax {
 		t.Fatalf("θ escaped its upper clamp: %v", th)
 	}
 	cold := []Candidate{{Index: 0, Score: 0}, {Index: 1, Score: 0}}
 	for i := 0; i < 100000; i++ {
 		p.Pick(cold)
+		if i%100 == 0 {
+			p.Retune()
+		}
 	}
+	p.Retune()
 	if th := p.Theta(); th < thetaMin {
 		t.Fatalf("θ escaped its lower clamp: %v", th)
 	}

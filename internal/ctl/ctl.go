@@ -1,0 +1,175 @@
+// Package ctl is the shared "decide" layer: one Loop abstraction for
+// every control loop in the stack. A loop closes a measurement interval
+// on a fixed period, senses (folds telemetry into samples), decides
+// (feeds the samples to a controller), and actuates (installs the new
+// limit) — the paper's sense→decide→actuate cycle factored out of the
+// tiers that run it. The transaction server's pool and per-class tick
+// loops and the cluster proxy's threshold self-tuning are all Loop
+// instances.
+//
+// Every decision a tick produces is recorded in a bounded ring buffer
+// (Trace), exported live via GET /controller?trace=1 on both loadctld and
+// loadctlproxy, so controller behavior is inspectable on a running system
+// and replayable offline: Replay feeds a recorded trace's samples through
+// a fresh core.Controller and must reproduce the recorded limits exactly.
+package ctl
+
+import (
+	"sync"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+)
+
+// Decision is one recorded sense→decide→actuate step: the sample the
+// controller saw and the limit it answered with.
+type Decision struct {
+	// Seq numbers decisions in recording order (monotone per trace).
+	Seq uint64 `json:"seq"`
+	// Scope names what the decision steered: "pool", an admission class
+	// name, or "theta" for the routing threshold.
+	Scope string `json:"scope"`
+	// Controller is the deciding controller's name.
+	Controller string `json:"controller"`
+	// Sample is the measurement the controller consumed.
+	Sample core.Sample `json:"sample"`
+	// Limit is the new bound the controller answered.
+	Limit float64 `json:"limit"`
+}
+
+// Trace is a bounded ring buffer of decisions: cheap enough to record
+// every tick forever, small enough to export whole.
+type Trace struct {
+	mu  sync.Mutex
+	buf []Decision
+	n   int    // decisions currently buffered
+	w   int    // next write position
+	seq uint64 // decisions ever recorded
+}
+
+// DefaultTraceLen is the ring capacity when a Loop's config leaves it 0:
+// at a 1s interval about 4 minutes of pool decisions.
+const DefaultTraceLen = 256
+
+// NewTrace returns a trace holding the last capacity decisions.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = DefaultTraceLen
+	}
+	return &Trace{buf: make([]Decision, capacity)}
+}
+
+// Record appends one decision, stamping its Seq; the oldest decision is
+// dropped once the ring is full.
+func (t *Trace) Record(d Decision) {
+	t.mu.Lock()
+	t.seq++
+	d.Seq = t.seq
+	t.buf[t.w] = d
+	t.w = (t.w + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered decisions, oldest first.
+func (t *Trace) Snapshot() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, 0, t.n)
+	start := (t.w - t.n + len(t.buf)) % len(t.buf)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Len returns how many decisions are buffered.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Config parameterizes a Loop.
+type Config struct {
+	// Interval is the measurement period; required (> 0).
+	Interval time.Duration
+	// Tick closes one interval: sense, decide, actuate. The decisions it
+	// returns are recorded in the loop's trace. Called from the loop
+	// goroutine only.
+	Tick func(now time.Time) []Decision
+	// TraceLen bounds the decision ring (0 = DefaultTraceLen).
+	TraceLen int
+}
+
+// Loop drives one control loop: Tick every Interval until Close. Create
+// with Start.
+type Loop struct {
+	cfg   Config
+	trace *Trace
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// Start validates cfg and begins ticking.
+func Start(cfg Config) *Loop {
+	if cfg.Interval <= 0 {
+		panic("ctl: Loop interval must be positive")
+	}
+	if cfg.Tick == nil {
+		panic("ctl: Loop needs a Tick")
+	}
+	l := &Loop{
+		cfg:   cfg,
+		trace: NewTrace(cfg.TraceLen),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+func (l *Loop) run() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			// Read the clock at tick entry, not the ticker's generation
+			// stamp: under CPU saturation (or a previous tick blocking on
+			// a lock) the channel value can be a full interval stale, and
+			// interval math dividing fresh counter folds by a stale window
+			// would inflate samples exactly when accuracy matters most.
+			for _, d := range l.cfg.Tick(time.Now()) {
+				l.trace.Record(d)
+			}
+		}
+	}
+}
+
+// Trace returns the recorded decisions, oldest first.
+func (l *Loop) Trace() []Decision { return l.trace.Snapshot() }
+
+// Close stops the loop and waits for the in-flight tick, if any.
+func (l *Loop) Close() {
+	close(l.stop)
+	<-l.done
+}
+
+// Replay feeds the trace's samples through ctrl in recording order and
+// returns the limit decided after each one — the offline reproduction of
+// a recorded loop. A controller constructed like the recorded one must
+// reproduce the recorded limits exactly: controllers are deterministic
+// functions of their sample history.
+func Replay(ctrl core.Controller, trace []Decision) []float64 {
+	limits := make([]float64, len(trace))
+	for i, d := range trace {
+		limits[i] = ctrl.Update(d.Sample)
+	}
+	return limits
+}

@@ -1,0 +1,102 @@
+package ctl
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+)
+
+func TestTraceRingBounds(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(Decision{Limit: float64(i)})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d decisions, want 4", len(got))
+	}
+	// Oldest first, and the oldest six were dropped.
+	for i, d := range got {
+		if want := float64(7 + i); d.Limit != want {
+			t.Fatalf("slot %d limit = %v, want %v", i, d.Limit, want)
+		}
+		if want := uint64(7 + i); d.Seq != want {
+			t.Fatalf("slot %d seq = %d, want %d", i, d.Seq, want)
+		}
+	}
+}
+
+func TestTraceDefaultCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	for i := 0; i < DefaultTraceLen+10; i++ {
+		tr.Record(Decision{})
+	}
+	if tr.Len() != DefaultTraceLen {
+		t.Fatalf("default trace len = %d, want %d", tr.Len(), DefaultTraceLen)
+	}
+}
+
+func TestLoopTicksAndRecords(t *testing.T) {
+	var mu sync.Mutex
+	ticks := 0
+	l := Start(Config{
+		Interval: time.Millisecond,
+		Tick: func(now time.Time) []Decision {
+			mu.Lock()
+			ticks++
+			n := ticks
+			mu.Unlock()
+			return []Decision{{Scope: "pool", Limit: float64(n)}}
+		},
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for len(l.Trace()) < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+	trace := l.Trace()
+	if len(trace) < 5 {
+		t.Fatalf("loop recorded only %d decisions", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Seq != trace[i-1].Seq+1 {
+			t.Fatalf("trace seq not contiguous: %d after %d", trace[i].Seq, trace[i-1].Seq)
+		}
+	}
+}
+
+// TestReplayReproducesPALoop is the offline-replay contract: a loop
+// drives a PA controller over synthetic samples, and replaying the
+// recorded trace through an identically configured fresh controller
+// yields the identical limit sequence.
+func TestReplayReproducesPALoop(t *testing.T) {
+	cfg := core.DefaultPAConfig()
+	live := core.NewPA(cfg)
+	tr := NewTrace(128)
+
+	// A synthetic hump: throughput rises to a peak at load 12 and falls.
+	for i := 0; i < 60; i++ {
+		load := float64(1 + i%24)
+		s := core.Sample{
+			Time:       float64(i),
+			Load:       load,
+			Throughput: 40*load - 1.7*load*load,
+			Perf:       40*load - 1.7*load*load,
+		}
+		limit := live.Update(s)
+		tr.Record(Decision{Scope: "pool", Controller: live.Name(), Sample: s, Limit: limit})
+	}
+
+	trace := tr.Snapshot()
+	replayed := Replay(core.NewPA(cfg), trace)
+	if len(replayed) != len(trace) {
+		t.Fatalf("replay returned %d limits for %d decisions", len(replayed), len(trace))
+	}
+	for i, d := range trace {
+		if replayed[i] != d.Limit {
+			t.Fatalf("decision %d: replayed limit %v != recorded %v", i, replayed[i], d.Limit)
+		}
+	}
+}

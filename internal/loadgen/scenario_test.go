@@ -167,6 +167,10 @@ func TestRunScenarioSmoke(t *testing.T) {
 	if rep.Total.Sent != total {
 		t.Fatalf("total sent %d != Σ streams %d", rep.Total.Sent, total)
 	}
+	// Close the server first: it waits for in-flight handlers, so no late
+	// request can race the channel close below (an open-loop stream may
+	// have abandoned requests still executing when RunScenario returns).
+	srv.Close()
 	seen := map[string]bool{}
 	close(classes)
 	for c := range classes {

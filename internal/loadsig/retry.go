@@ -1,0 +1,24 @@
+package loadsig
+
+import (
+	"math/rand/v2"
+	"strconv"
+)
+
+// Retry-After bounds for shed responses (503 admission timeouts and
+// cluster fast-rejects, 429 non-blocking rejections), in whole seconds —
+// the HTTP header's granularity.
+const (
+	RetryAfterMin = 1
+	RetryAfterMax = 3
+)
+
+// RetryAfter returns a Retry-After header value drawn uniformly from
+// [RetryAfterMin, RetryAfterMax] seconds. The jitter de-synchronizes
+// client retries: a burst shed in one instant with a fixed Retry-After
+// re-arrives as the same burst one period later, defeating the point of
+// shedding, while jittered waves spread over the window and are absorbed
+// by the gate incrementally.
+func RetryAfter() string {
+	return strconv.Itoa(RetryAfterMin + rand.IntN(RetryAfterMax-RetryAfterMin+1))
+}

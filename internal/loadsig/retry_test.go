@@ -1,0 +1,29 @@
+package loadsig
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRetryAfterBounds draws many jittered Retry-After values and checks
+// every one is an integer in [RetryAfterMin, RetryAfterMax], and that the
+// jitter actually spreads (every value in the range appears — with 3
+// values and 1000 draws a miss is ~2e-177).
+func TestRetryAfterBounds(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v, err := strconv.Atoi(RetryAfter())
+		if err != nil {
+			t.Fatalf("RetryAfter returned a non-integer: %v", err)
+		}
+		if v < RetryAfterMin || v > RetryAfterMax {
+			t.Fatalf("RetryAfter %d outside [%d, %d]", v, RetryAfterMin, RetryAfterMax)
+		}
+		seen[v] = true
+	}
+	for v := RetryAfterMin; v <= RetryAfterMax; v++ {
+		if !seen[v] {
+			t.Fatalf("jitter never produced %d: not spreading", v)
+		}
+	}
+}

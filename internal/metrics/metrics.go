@@ -1,119 +1,34 @@
-// Package metrics provides the measurement machinery the controllers feed
-// on: streaming mean/variance (Welford), time-weighted averages of
-// piecewise-constant signals (the active concurrency level n(t)), interval
-// accumulators that produce one (load, performance) sample per measurement
-// interval, time series containers, histograms, and the measurement-length
-// rule of §5 (estimate throughput to a target accuracy at a confidence
-// level, after Heiss 1988).
+// Package metrics is the simulation-facing measurement façade: the
+// streaming accumulators themselves (Welford, TimeWeighted, the fixed-
+// width histogram) live in internal/telemetry — the repository's single
+// shared "sense" layer — and are re-exported here under their historical
+// names, alongside the machinery only the simulator and experiment
+// harness need: time series containers and the measurement-length rule of
+// §5 (estimate throughput to a target accuracy at a confidence level,
+// after Heiss 1988).
 package metrics
 
 import (
-	"fmt"
 	"math"
 	"sort"
+
+	"github.com/tpctl/loadctl/internal/telemetry"
 )
 
 // Welford accumulates streaming mean and variance without storing samples.
-type Welford struct {
-	n    uint64
-	mean float64
-	m2   float64
-}
+type Welford = telemetry.Welford
 
-// Add incorporates one observation.
-func (w *Welford) Add(x float64) {
-	w.n++
-	d := x - w.mean
-	w.mean += d / float64(w.n)
-	w.m2 += d * (x - w.mean)
-}
+// TimeWeighted tracks the time average of a piecewise-constant signal,
+// such as the active concurrency level n(t).
+type TimeWeighted = telemetry.TimeWeighted
 
-// Count returns the number of observations.
-func (w *Welford) Count() uint64 { return w.n }
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); out-of-range
+// observations clamp into the edge buckets.
+type Histogram = telemetry.FixedHistogram
 
-// Mean returns the running mean (0 when empty).
-func (w *Welford) Mean() float64 { return w.mean }
-
-// Var returns the unbiased sample variance (0 with fewer than 2 samples).
-func (w *Welford) Var() float64 {
-	if w.n < 2 {
-		return 0
-	}
-	return w.m2 / float64(w.n-1)
-}
-
-// Std returns the sample standard deviation.
-func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
-
-// CV returns the coefficient of variation (std/mean); 0 when mean is 0.
-func (w *Welford) CV() float64 {
-	if w.mean == 0 {
-		return 0
-	}
-	return w.Std() / math.Abs(w.mean)
-}
-
-// CI returns the half-width of the confidence interval for the mean at the
-// given z quantile (e.g. 1.96 for 95%).
-func (w *Welford) CI(z float64) float64 {
-	if w.n < 2 {
-		return math.Inf(1)
-	}
-	return z * w.Std() / math.Sqrt(float64(w.n))
-}
-
-// Reset clears the accumulator.
-func (w *Welford) Reset() { *w = Welford{} }
-
-// TimeWeighted tracks the time average of a piecewise-constant signal, such
-// as the number of active transactions n(t).
-type TimeWeighted struct {
-	lastT   float64
-	lastV   float64
-	area    float64
-	started bool
-	startT  float64
-	max     float64
-}
-
-// Set records that the signal changed to v at time t. Calls must have
-// non-decreasing t.
-func (tw *TimeWeighted) Set(t, v float64) {
-	if !tw.started {
-		tw.started = true
-		tw.startT = t
-	} else {
-		if t < tw.lastT {
-			panic(fmt.Sprintf("metrics: time went backwards %v < %v", t, tw.lastT))
-		}
-		tw.area += tw.lastV * (t - tw.lastT)
-	}
-	tw.lastT, tw.lastV = t, v
-	if v > tw.max {
-		tw.max = v
-	}
-}
-
-// Mean returns the time average over [start, t].
-func (tw *TimeWeighted) Mean(t float64) float64 {
-	if !tw.started || t <= tw.startT {
-		return tw.lastV
-	}
-	return (tw.area + tw.lastV*(t-tw.lastT)) / (t - tw.startT)
-}
-
-// Value returns the current value of the signal.
-func (tw *TimeWeighted) Value() float64 { return tw.lastV }
-
-// Max returns the maximum value seen.
-func (tw *TimeWeighted) Max() float64 { return tw.max }
-
-// ResetAt restarts the averaging window at time t, keeping the current
-// value (used at measurement-interval boundaries).
-func (tw *TimeWeighted) ResetAt(t float64) {
-	v := tw.lastV
-	*tw = TimeWeighted{}
-	tw.Set(t, v)
+// NewHistogram returns a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	return telemetry.NewFixedHistogram(lo, hi, n)
 }
 
 // Point is one (time, value) observation.
@@ -183,65 +98,6 @@ func (s *Series) Quantile(q float64) float64 {
 	}
 	frac := idx - float64(lo)
 	return vals[lo]*(1-frac) + vals[hi]*frac
-}
-
-// Histogram is a fixed-width bucket histogram over [Lo, Hi); out-of-range
-// observations clamp into the edge buckets.
-type Histogram struct {
-	Lo, Hi  float64
-	Buckets []uint64
-	count   uint64
-	sum     float64
-}
-
-// NewHistogram returns a histogram with n buckets spanning [lo, hi).
-func NewHistogram(lo, hi float64, n int) *Histogram {
-	if n < 1 || hi <= lo {
-		panic("metrics: invalid histogram shape")
-	}
-	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
-}
-
-// Add records an observation.
-func (h *Histogram) Add(v float64) {
-	h.count++
-	h.sum += v
-	idx := int(float64(len(h.Buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(h.Buckets) {
-		idx = len(h.Buckets) - 1
-	}
-	h.Buckets[idx]++
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
-
-// Mean returns the observation mean.
-func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / float64(h.count)
-}
-
-// Quantile returns an approximate q-quantile from the buckets.
-func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(q * float64(h.count))
-	var cum uint64
-	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
-	for i, c := range h.Buckets {
-		cum += c
-		if cum >= target {
-			return h.Lo + width*(float64(i)+0.5)
-		}
-	}
-	return h.Hi
 }
 
 // Autocorr1 returns the lag-1 autocorrelation of xs (0 when undefined).

@@ -3,7 +3,6 @@ package server
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"github.com/tpctl/loadctl/internal/gate"
 )
@@ -70,56 +69,4 @@ func gateSpecs(classes []ClassConfig) []gate.ClassSpec {
 		specs[i] = gate.ClassSpec{Name: c.Name, Weight: c.Weight, Priority: c.Priority}
 	}
 	return specs
-}
-
-// latHist is a lock-free log-bucketed latency histogram: bucket i spans a
-// quarter power of two starting at latHistBase, so quantiles are accurate
-// to about ±10% — plenty for the p95 the per-class metrics expose, with a
-// single atomic add on the commit path.
-type latHist struct {
-	buckets [latHistBuckets]atomic.Uint64
-	count   atomic.Uint64
-}
-
-const (
-	latHistBuckets = 64
-	latHistBase    = 50e-6 // 50µs; 64 quarter-log2 buckets reach ~3276s
-)
-
-func (h *latHist) add(seconds float64) {
-	idx := 0
-	if seconds > latHistBase {
-		idx = int(4 * math.Log2(seconds/latHistBase))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= latHistBuckets {
-			idx = latHistBuckets - 1
-		}
-	}
-	h.buckets[idx].Add(1)
-	h.count.Add(1)
-}
-
-// quantile returns the geometric midpoint of the bucket holding the
-// q-quantile (0 when empty). Reads race benignly with writers: a sample
-// can land in a bucket after count was read, skewing the answer by at
-// most one bucket.
-func (h *latHist) quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(q * float64(total))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i := 0; i < latHistBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= target {
-			return latHistBase * math.Pow(2, (float64(i)+0.5)/4)
-		}
-	}
-	return latHistBase * math.Pow(2, float64(latHistBuckets)/4)
 }

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// This file is the server's "decide" wiring: the ctl.Loop tick that
+// closes measurement intervals and drives the controllers, the per-class
+// controller management, and the /controller inspection/switch endpoint.
+
+// tick closes one measurement interval: fold the stripes, turn the deltas
+// into per-class and aggregate samples, feed the controllers, install the
+// new limits, and hand the decisions to the ctl.Loop's trace.
+func (s *Server) tick(now time.Time) []ctl.Decision {
+	nowNanos := now.Sub(s.start).Nanoseconds()
+	folds := s.tel.FoldAll()
+	var decisions []ctl.Decision
+
+	s.mu.Lock()
+	// Use the actually elapsed window, not the configured interval: under
+	// CPU saturation the ticker fires late, and dividing by the nominal Δt
+	// would inflate load and throughput exactly when the controller most
+	// needs accurate samples.
+	dtNanos := now.Sub(s.lastTick).Nanoseconds()
+	s.lastTick = now
+	if dtNanos <= 0 {
+		dtNanos = s.cfg.Interval.Nanoseconds()
+	}
+	t := s.elapsed()
+
+	agg := make(telemetry.Fold, len(counterSchema))
+	prevAgg := make(telemetry.Fold, len(counterSchema))
+	var shed uint64
+	for ci := range folds {
+		iv, sample := telemetry.CloseInterval(t, accumOf(folds[ci]), accumOf(s.prevFold[ci]), nowNanos, dtNanos)
+		// A class that timed out or rejected arrivals this interval is
+		// shedding: the bit feeds the load signal's per-class shed state,
+		// which routing tiers use for overload propagation.
+		if ci < 64 && (folds[ci][cTimeouts]-s.prevFold[ci][cTimeouts])+
+			(folds[ci][cRejected]-s.prevFold[ci][cRejected]) > 0 {
+			shed |= 1 << uint(ci)
+		}
+		agg.Add(folds[ci])
+		prevAgg.Add(s.prevFold[ci])
+		s.prevFold[ci] = folds[ci]
+		s.lastClassSmp[ci] = sample
+		if s.perClass && s.classCtrls[ci] != nil {
+			limit := s.classCtrls[ci].Update(sample)
+			s.classUpdates[ci]++
+			iv.Limit = limit
+			s.multi.SetClassLimit(ci, limit)
+			decisions = append(decisions, ctl.Decision{
+				Scope:      s.classes[ci].Name,
+				Controller: s.classCtrls[ci].Name(),
+				Sample:     sample,
+				Limit:      limit,
+			})
+		}
+		s.lastClass[ci] = iv
+	}
+
+	iv, sample := telemetry.CloseInterval(t, accumOf(agg), accumOf(prevAgg), nowNanos, dtNanos)
+	if !s.perClass {
+		// Pool control: the aggregate sample steers the shared limit.
+		limit := s.ctrl.Update(sample)
+		s.updates++
+		iv.Limit = limit
+		// Install while still holding mu so a concurrent controller
+		// switch cannot be overwritten by a limit computed from the old
+		// controller.
+		s.multi.SetPoolLimit(limit)
+		decisions = append(decisions, ctl.Decision{
+			Scope:      "pool",
+			Controller: s.ctrl.Name(),
+			Sample:     sample,
+			Limit:      limit,
+		})
+		// Per-class rows report the effective slice of the new pool.
+		st := s.multi.Stats()
+		for ci := range s.lastClass {
+			s.lastClass[ci].Limit = st.Classes[ci].Share
+		}
+	} else {
+		iv.Limit = s.multi.Limit()
+	}
+	s.lastSamp = sample
+	s.last = iv
+	s.history = append(s.history, iv)
+	if len(s.history) > s.cfg.HistoryLen {
+		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
+	}
+	s.mu.Unlock()
+	s.shedMask.Store(shed)
+	return decisions
+}
+
+// enterPerClassLocked builds one controller per class by name within the
+// given bounds and flips the gate to per-class mode. Each controller is
+// seeded at the class's weighted slice of total when total > 0, else at
+// the class's current effective slice — so the switch is capacity-neutral
+// by default. The caller holds mu (or is still constructing the server).
+func (s *Server) enterPerClassLocked(name string, bounds core.Bounds, total float64) error {
+	st := s.multi.Stats()
+	var sumW float64
+	for _, c := range st.Classes {
+		sumW += c.Weight
+	}
+	for ci := range s.classes {
+		seed := st.Classes[ci].Share
+		if s.perClass {
+			seed = st.Classes[ci].Limit
+		}
+		if total > 0 && sumW > 0 {
+			seed = total * st.Classes[ci].Weight / sumW
+		}
+		ctrl, err := makeController(name, seed, bounds)
+		if err != nil {
+			return err
+		}
+		s.classCtrls[ci] = ctrl
+		s.classUpdates[ci] = 0
+		s.multi.SetClassLimit(ci, ctrl.Bound())
+	}
+	s.perClass = true
+	s.multi.SetPerClass(true)
+	return nil
+}
+
+// modeLocked names the control mode; the caller holds mu.
+func (s *Server) modeLocked() string {
+	if s.perClass {
+		return "perclass"
+	}
+	return "pool"
+}
+
+// classCtrlView is one class's row in the GET /controller document.
+type classCtrlView struct {
+	Class      string      `json:"class"`
+	Controller string      `json:"controller"`
+	Limit      float64     `json:"limit"`
+	Updates    uint64      `json:"updates"`
+	LastSample core.Sample `json:"last_sample"`
+}
+
+// controllerView is the GET /controller document.
+type controllerView struct {
+	Controller      string  `json:"controller"`
+	Mode            string  `json:"mode"`
+	Limit           float64 `json:"limit"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Updates         uint64  `json:"updates"`
+	// LastSample is the most recent aggregate measurement.
+	LastSample core.Sample `json:"last_sample"`
+	// Classes lists the per-class controllers (populated in perclass
+	// mode).
+	Classes []classCtrlView `json:"classes,omitempty"`
+	// Trace is the recorded decision trace, oldest first (populated with
+	// ?trace=1): one entry per controller update, carrying the sample the
+	// controller saw and the limit it decided — replayable offline
+	// through ctl.Replay.
+	Trace []ctl.Decision `json:"trace,omitempty"`
+}
+
+// controllerSwitch is the POST /controller body.
+type controllerSwitch struct {
+	// Controller is "pa", "is", "static", or "none".
+	Controller string `json:"controller"`
+	// Scope selects what the new controller steers: "pool" (default) —
+	// one controller for the shared limit; "perclass" — one controller
+	// per class; "class" — replace a single class's controller (implies
+	// perclass mode), named by Class.
+	Scope string `json:"scope"`
+	Class string `json:"class"`
+	// Initial optionally sets the new controller's starting bound (for
+	// scope perclass: the new total, split over classes by weight);
+	// default carries the currently installed limit over.
+	Initial float64 `json:"initial"`
+	// Lo/Hi optionally override the static clamp (both must be set).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		view := controllerView{
+			Controller:      s.ctrl.Name(),
+			Mode:            s.modeLocked(),
+			IntervalSeconds: s.cfg.Interval.Seconds(),
+			Updates:         s.updates,
+			LastSample:      s.lastSamp,
+		}
+		if s.perClass {
+			for ci, cc := range s.classes {
+				name := "(pool)"
+				if s.classCtrls[ci] != nil {
+					name = s.classCtrls[ci].Name()
+				}
+				view.Classes = append(view.Classes, classCtrlView{
+					Class:      cc.Name,
+					Controller: name,
+					Limit:      s.multi.ClassLimit(ci),
+					Updates:    s.classUpdates[ci],
+					LastSample: s.lastClassSmp[ci],
+				})
+			}
+		}
+		s.mu.Unlock()
+		view.Limit = s.multi.Limit()
+		if r.URL.Query().Get("trace") == "1" {
+			view.Trace = s.loop.Trace()
+		}
+		writeJSON(w, http.StatusOK, view)
+	case http.MethodPost:
+		var req controllerSwitch
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		bounds := core.DefaultBounds()
+		if req.Lo != 0 || req.Hi != 0 {
+			bounds = core.Bounds{Lo: req.Lo, Hi: req.Hi}
+			if err := bounds.Validate(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		switch req.Scope {
+		case "", "pool":
+			initial := req.Initial
+			if initial <= 0 {
+				initial = s.multi.Limit()
+			}
+			ctrl, err := makeController(req.Controller, initial, bounds)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			s.ctrl = ctrl
+			s.updates = 0
+			s.perClass = false
+			s.multi.SetPerClass(false)
+			// Under mu for the same reason as in tick(): swap and install
+			// are one atomic step relative to the measurement loop.
+			s.multi.SetPoolLimit(ctrl.Bound())
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": ctrl.Name(),
+				"mode":       "pool",
+				"limit":      ctrl.Bound(),
+			})
+		case "perclass":
+			// Validate the name before mutating anything.
+			if _, err := makeController(req.Controller, 1, bounds); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			// Initial > 0 is the new total to split by weight; 0 keeps
+			// the current slices.
+			err := s.enterPerClassLocked(req.Controller, bounds, req.Initial)
+			limits := make(map[string]float64, len(s.classes))
+			for ci, cc := range s.classes {
+				limits[cc.Name] = s.multi.ClassLimit(ci)
+			}
+			s.mu.Unlock()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": req.Controller,
+				"mode":       "perclass",
+				"limits":     limits,
+			})
+		case "class":
+			ci, ok := s.multi.ClassIndex(req.Class)
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown class %q (have %s)", req.Class, strings.Join(s.multi.ClassNames(), ", ")), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			if !s.perClass {
+				// Entering per-class mode: seed the untargeted classes
+				// with static controllers at their current share so only
+				// the addressed class changes behavior.
+				st := s.multi.Stats()
+				for i := range s.classes {
+					s.classCtrls[i] = core.NewStatic(st.Classes[i].Share)
+					s.classUpdates[i] = 0
+					s.multi.SetClassLimit(i, st.Classes[i].Share)
+				}
+				s.perClass = true
+				s.multi.SetPerClass(true)
+			}
+			initial := req.Initial
+			if initial <= 0 {
+				initial = s.multi.ClassLimit(ci)
+			}
+			ctrl, err := makeController(req.Controller, initial, bounds)
+			if err != nil {
+				s.mu.Unlock()
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.classCtrls[ci] = ctrl
+			s.classUpdates[ci] = 0
+			s.multi.SetClassLimit(ci, ctrl.Bound())
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": ctrl.Name(),
+				"mode":       "perclass",
+				"class":      req.Class,
+				"limit":      ctrl.Bound(),
+			})
+		default:
+			http.Error(w, fmt.Sprintf("unknown scope %q (want pool, perclass or class)", req.Scope), http.StatusBadRequest)
+		}
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// makeController builds a controller by name with the given starting bound,
+// used by the live-switch endpoint and the cmd front-ends.
+func makeController(name string, initial float64, bounds core.Bounds) (core.Controller, error) {
+	if math.IsInf(initial, 1) {
+		initial = bounds.Hi
+	}
+	initial = bounds.Clamp(initial)
+	switch name {
+	case "pa":
+		cfg := core.DefaultPAConfig()
+		cfg.Bounds = bounds
+		cfg.Initial = initial
+		return core.NewPA(cfg), nil
+	case "is":
+		cfg := core.DefaultISConfig()
+		cfg.Bounds = bounds
+		cfg.Initial = initial
+		return core.NewIS(cfg), nil
+	case "static":
+		return core.NewStatic(initial), nil
+	case "none":
+		return core.NoControl(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown controller %q (want pa, is, static, none)", name)
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// TestPromAndJSONExportsAgree is the golden dual-export test: both
+// /metrics forms are renderings of one Snapshot, so every value the
+// Prometheus text exposes must equal the corresponding JSON field
+// exactly. Rendering from a single captured snapshot (not two racing
+// endpoint calls) is what the contract guarantees.
+func TestPromAndJSONExportsAgree(t *testing.T) {
+	store := kv.NewStore(256)
+	s, err := New(Config{
+		Controller: core.NewStatic(16),
+		Engine:     NewOCC(store),
+		Items:      store.Size(),
+		Interval:   20 * time.Millisecond,
+		Classes:    DefaultClasses(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	for i := 0; i < 30; i++ {
+		postTxn(t, ts.URL, fmt.Sprintf("?class=%s&k=2", DefaultClasses()[i%3].Name))
+	}
+	time.Sleep(50 * time.Millisecond) // let at least one interval close
+
+	snap := s.SnapshotNow(false)
+	vals := telemetry.ParsePromText(renderProm(snap).String())
+
+	check := func(key string, want float64) {
+		t.Helper()
+		got, ok := vals[key]
+		if !ok {
+			t.Fatalf("Prometheus text is missing %s", key)
+		}
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("%s: prom %v != json %v", key, got, want)
+		}
+	}
+	check("loadctl_limit", snap.Limit)
+	check("loadctl_active", float64(snap.Active))
+	check("loadctl_queued", float64(snap.Queued))
+	check("loadctl_interval_load", snap.Interval.Load)
+	check("loadctl_interval_throughput", snap.Interval.Throughput)
+	check("loadctl_interval_resp_seconds", snap.Interval.RespTime)
+	check("loadctl_interval_abort_rate", snap.Interval.AbortRate)
+	check("loadctl_requests_total", float64(snap.Totals.Requests))
+	check("loadctl_commits_total", float64(snap.Totals.Commits))
+	check("loadctl_aborts_total", float64(snap.Totals.Aborts))
+	check("loadctl_rejected_total", float64(snap.Totals.Rejected))
+	check("loadctl_admission_timeouts_total", float64(snap.Totals.Timeouts))
+	check("loadctl_disconnects_total", float64(snap.Totals.Disconnects))
+	check("loadctl_gate_arrivals_total", float64(snap.Gate.Arrivals))
+	check("loadctl_gate_admitted_total", float64(snap.Gate.Admitted))
+	check("loadctl_gate_rejected_total", float64(snap.Gate.Rejected))
+	check("loadctl_gate_queue_max", float64(snap.Gate.QueueMax))
+	for _, c := range snap.Classes {
+		label := func(name string) string { return fmt.Sprintf("%s{class=%q}", name, c.Name) }
+		check(label("loadctl_class_limit"), c.Limit)
+		check(label("loadctl_class_active"), float64(c.Active))
+		check(label("loadctl_class_queued"), float64(c.Queued))
+		check(label("loadctl_class_load"), c.Interval.Load)
+		check(label("loadctl_class_throughput"), c.Interval.Throughput)
+		check(label("loadctl_class_resp_seconds"), c.Interval.RespTime)
+		check(label("loadctl_class_resp_p95_seconds"), c.RespP95)
+		check(label("loadctl_class_abort_rate"), c.Interval.AbortRate)
+		check(label("loadctl_class_requests_total"), float64(c.Totals.Requests))
+		check(label("loadctl_class_commits_total"), float64(c.Totals.Commits))
+		check(label("loadctl_class_aborts_total"), float64(c.Totals.Aborts))
+		check(label("loadctl_class_rejected_total"), float64(c.Totals.Rejected))
+		check(label("loadctl_class_timeouts_total"), float64(c.Totals.Timeouts))
+	}
+	if snap.Totals.Requests != 30 {
+		t.Fatalf("drove 30 requests, snapshot says %d", snap.Totals.Requests)
+	}
+}

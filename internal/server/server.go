@@ -21,54 +21,40 @@
 //	POST /txn        execute one transaction (class/shape/k/base/span via
 //	                 query or JSON body)
 //	GET  /metrics    Prometheus-style text; ?format=json for a JSON snapshot
-//	GET  /controller controller inspection; POST switches controllers live
+//	GET  /controller controller inspection; ?trace=1 adds the recorded
+//	                 decision trace; POST switches controllers live
 //	                 (scope: pool, perclass, or a single class)
 //	GET  /healthz    machine-readable load signal (JSON); 503 while
 //	                 draining — the cluster tier's active health check
 //
-// Every /txn and /healthz response also carries the X-Loadctl-Load header
-// (see internal/loadsig): limit, active, queued, utilization and the
-// classes that shed load in the last closed interval, so a routing tier
-// ingests backend saturation passively from forwarded traffic.
-//
-// The /metrics format contract: the default (no format parameter) is
-// Prometheus text. format=json selects the JSON snapshot. history=1
-// additionally includes the retained closed measurement intervals and is
-// only meaningful for JSON — the Prometheus text form has no history
-// representation, so history=1 without format=json is answered with 400
-// rather than silently switching the content type. Unknown format values
-// are 400 as well.
+// The package is deliberately thin: it wires the shared layers together.
+// internal/telemetry owns the striped hot-path counters, latency
+// histograms, load integrator and the Prometheus+JSON dual exporter
+// (measure.go); internal/ctl owns the sense→decide→actuate loop and its
+// decision trace (control.go); transport.go holds the HTTP handlers; this
+// file holds configuration and lifecycle.
 //
 // The request hot path never takes the server-wide mutex: every
-// per-request counter (request/commit/abort/reject/timeout/disconnect
-// totals, the response-time accumulators, the per-class latency histogram
-// and the load integrator feeding the controller's n(t) signal) lives in
-// striped, cache-line-padded atomic cells selected per request within the
-// request's class. The measurement tick and /metrics fold the stripes; the
-// server-wide mutex guards only controller state and interval history. The
-// remaining per-request shared state is the request-sequence atomic and
-// the admission gate's own mutex.
+// per-request counter lives in striped, cache-line-padded atomic cells
+// selected per request within the request's class. The measurement tick
+// and /metrics fold the stripes; the server-wide mutex guards only
+// controller state and interval history. The remaining per-request shared
+// state is the request-sequence atomic and the admission gate's own mutex.
 package server
 
 import (
-	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
-	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/gate"
 	"github.com/tpctl/loadctl/internal/kv"
-	"github.com/tpctl/loadctl/internal/loadsig"
-	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/telemetry"
 	"github.com/tpctl/loadctl/internal/workload"
 )
 
@@ -113,6 +99,9 @@ type Config struct {
 	// HistoryLen is how many closed measurement intervals /metrics keeps
 	// (default 300).
 	HistoryLen int
+	// TraceLen bounds the controller decision trace exported by
+	// GET /controller?trace=1 (default ctl.DefaultTraceLen).
+	TraceLen int
 	// Seed derives the per-request access-set sampling streams.
 	Seed int64
 }
@@ -147,201 +136,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// IntervalStats is one closed measurement interval as exposed by /metrics.
-type IntervalStats struct {
-	// T is the interval end in seconds since server start.
-	T float64 `json:"t"`
-	// Load is the time-averaged number of in-flight transactions.
-	Load float64 `json:"load"`
-	// Throughput is commits per second.
-	Throughput float64 `json:"throughput"`
-	// RespTime is the mean response time in seconds of requests that
-	// completed in the interval (queueing + execution + retries).
-	RespTime float64 `json:"resp_time"`
-	// AbortRate is CC aborts per commit. When no commit landed in the
-	// interval it is aborts per attempt, which is 1.0 whenever any
-	// attempt ran (every attempt aborted) and 0 for an idle interval.
-	AbortRate float64 `json:"abort_rate"`
-	// Limit is the bound installed at the interval end: the shared pool
-	// (aggregate rows) or the class's effective slice (per-class rows).
-	Limit float64 `json:"limit"`
-	// Commits and Aborts are raw event counts in the interval.
-	Commits uint64 `json:"commits"`
-	Aborts  uint64 `json:"aborts"`
-}
-
-// Totals are monotone counters since server start. Disconnects counts
-// transactions abandoned because the client's request context was
-// canceled mid-execution — distinct from engine errors.
-type Totals struct {
-	Requests    uint64 `json:"requests"`
-	Commits     uint64 `json:"commits"`
-	Aborts      uint64 `json:"aborts"`
-	Rejected    uint64 `json:"rejected"`
-	Timeouts    uint64 `json:"timeouts"`
-	Disconnects uint64 `json:"disconnects"`
-}
-
-func (t *Totals) add(o Totals) {
-	t.Requests += o.Requests
-	t.Commits += o.Commits
-	t.Aborts += o.Aborts
-	t.Rejected += o.Rejected
-	t.Timeouts += o.Timeouts
-	t.Disconnects += o.Disconnects
-}
-
-// ClassSnapshot is one admission class's slice of the metrics snapshot.
-type ClassSnapshot struct {
-	Name     string  `json:"name"`
-	Weight   float64 `json:"weight"`
-	Priority int     `json:"priority"`
-	// Limit is the class's effective concurrency slice: its guaranteed
-	// share of the pool in pool control, its own controller-steered limit
-	// in per-class control.
-	Limit  float64 `json:"limit"`
-	Active int     `json:"active"`
-	Queued int     `json:"queued"`
-	Totals Totals  `json:"totals"`
-	// Interval is the class's most recently closed measurement interval.
-	Interval IntervalStats `json:"interval"`
-	// RespP50/P95/P99 are response-time quantiles in seconds over all
-	// commits since server start (log-bucketed, ±~10%).
-	RespP50 float64 `json:"resp_p50"`
-	RespP95 float64 `json:"resp_p95"`
-	RespP99 float64 `json:"resp_p99"`
-	// Gate is the class's admission-gate snapshot (queue depth, shed
-	// counts, share).
-	Gate gate.ClassStats `json:"gate"`
-}
-
-// Snapshot is the JSON document served by /metrics?format=json.
-type Snapshot struct {
-	Now        float64 `json:"now"`
-	Engine     string  `json:"engine"`
-	Controller string  `json:"controller"`
-	// Mode is "pool" or "perclass" — what the controllers steer.
-	Mode   string         `json:"mode"`
-	Limit  float64        `json:"limit"`
-	Active int            `json:"active"`
-	Queued int            `json:"queued"`
-	Gate   gate.LiveStats `json:"gate"`
-	Totals Totals         `json:"totals"`
-	// Interval is the most recently closed measurement interval (zero
-	// value until the first interval closes).
-	Interval IntervalStats `json:"interval"`
-	// Classes holds the per-class breakdown in configuration order.
-	Classes []ClassSnapshot `json:"classes"`
-	// History holds the retained closed aggregate intervals, oldest first
-	// (only populated with ?history=1).
-	History []IntervalStats `json:"history,omitempty"`
-}
-
-// counterCell is one stripe of the hot-path counters. All fields are
-// monotone, so folds need no reset and a fold racing a request can skew a
-// value between two adjacent intervals but never lose or double-count it.
-// entryNanos/exitNanos accumulate admission entry/exit timestamps (nanos
-// since server start): the tick reconstructs the load integral
-// ∫ n(t) dt from them without any serializing lastT/area pair (see fold
-// and tick). Sums wrap around uint64 on long runs; interval deltas stay
-// exact under modular arithmetic. The pad spreads cells over distinct
-// cache lines.
-type counterCell struct {
-	requests    atomic.Uint64
-	commits     atomic.Uint64
-	aborts      atomic.Uint64
-	rejected    atomic.Uint64
-	timeouts    atomic.Uint64
-	disconnects atomic.Uint64
-	respNanos   atomic.Uint64 // summed commit latencies
-	respN       atomic.Uint64
-	entryNanos  atomic.Uint64 // summed admission timestamps
-	entries     atomic.Uint64
-	exitNanos   atomic.Uint64 // summed release timestamps
-	exits       atomic.Uint64
-	_           [4]uint64
-}
-
-// foldTotals is one aggregation of a class's cells.
-type foldTotals struct {
-	requests, commits, aborts, rejected, timeouts, disconnects uint64
-	respNanos, respN                                           uint64
-	entryNanos, entries                                        uint64
-	exitNanos, exits                                           uint64
-}
-
-func (f *foldTotals) add(o foldTotals) {
-	f.requests += o.requests
-	f.commits += o.commits
-	f.aborts += o.aborts
-	f.rejected += o.rejected
-	f.timeouts += o.timeouts
-	f.disconnects += o.disconnects
-	f.respNanos += o.respNanos
-	f.respN += o.respN
-	f.entryNanos += o.entryNanos
-	f.entries += o.entries
-	f.exitNanos += o.exitNanos
-	f.exits += o.exits
-}
-
-// numCells picks the stripe count: the next power of two at or above
-// GOMAXPROCS, at most 64.
-func numCells() int {
-	p := runtime.GOMAXPROCS(0)
-	n := 1
-	for n < p && n < 64 {
-		n <<= 1
-	}
-	return n
-}
-
-// foldClass sums one class's stripes. Within each cell, exit counters are
-// read before entry counters so a request racing the fold can only appear
-// as entered-but-not-yet-exited (never a negative active population), and
-// each count is read before its timestamp sum so a racing event can only
-// land in the sum without its count — the direction tick clamps away.
-func (s *Server) foldClass(class int) foldTotals {
-	var f foldTotals
-	base := class * s.stripes
-	for i := 0; i < s.stripes; i++ {
-		c := &s.cells[base+i]
-		f.exits += c.exits.Load()
-		f.exitNanos += c.exitNanos.Load()
-		f.entries += c.entries.Load()
-		f.entryNanos += c.entryNanos.Load()
-		f.requests += c.requests.Load()
-		f.commits += c.commits.Load()
-		f.aborts += c.aborts.Load()
-		f.rejected += c.rejected.Load()
-		f.timeouts += c.timeouts.Load()
-		f.respN += c.respN.Load()
-		f.respNanos += c.respNanos.Load()
-		f.disconnects += c.disconnects.Load()
-	}
-	return f
-}
-
-// foldAll folds every class.
-func (s *Server) foldAll() []foldTotals {
-	folds := make([]foldTotals, len(s.classes))
-	for ci := range s.classes {
-		folds[ci] = s.foldClass(ci)
-	}
-	return folds
-}
-
-func (f foldTotals) totals() Totals {
-	return Totals{
-		Requests:    f.requests,
-		Commits:     f.commits,
-		Aborts:      f.aborts,
-		Rejected:    f.rejected,
-		Timeouts:    f.timeouts,
-		Disconnects: f.disconnects,
-	}
-}
-
 // Server is the transaction front-end. Create with New, serve its
 // Handler, and Close it to stop the measurement loop.
 type Server struct {
@@ -363,12 +157,10 @@ type Server struct {
 	sigCache atomic.Pointer[cachedSignal]
 	sigStamp atomic.Int64 // nanos since start of the last refresh
 
-	// cells holds the striped hot-path counters: class ci's stripes are
-	// cells[ci*stripes : (ci+1)*stripes].
-	cells      []counterCell
-	stripes    int
-	stripeMask uint64
-	hists      []latHist // per-class commit latency histograms
+	// tel holds the striped hot-path counters, one group per class;
+	// hists the per-class commit latency histograms.
+	tel   *telemetry.Counters
+	hists []telemetry.Histogram
 
 	mu           sync.Mutex
 	ctrl         core.Controller   // steers the shared pool in pool mode
@@ -377,15 +169,14 @@ type Server struct {
 	updates      uint64    // pool controller Update calls
 	classUpdates []uint64  // per-class controller Update calls
 	lastTick     time.Time // previous interval boundary (for the true Δt)
-	prevFold     []foldTotals
+	prevFold     []telemetry.Fold
 	last         IntervalStats
 	lastClass    []IntervalStats
 	history      []IntervalStats
 	lastSamp     core.Sample
 	lastClassSmp []core.Sample
 
-	stop chan struct{}
-	done chan struct{}
+	loop *ctl.Loop // the sense→decide→actuate cycle; owns the trace
 }
 
 // New validates cfg, starts the measurement loop and returns the server.
@@ -424,24 +215,22 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	stripes := numCells()
 	s := &Server{
 		cfg:          cfg,
 		classes:      cfg.Classes,
 		multi:        multi,
 		ctrl:         cfg.Controller,
 		start:        time.Now(),
-		cells:        make([]counterCell, len(cfg.Classes)*stripes),
-		stripes:      stripes,
-		stripeMask:   uint64(stripes - 1),
-		hists:        make([]latHist, len(cfg.Classes)),
+		tel:          telemetry.NewCounters(len(cfg.Classes), counterSchema...),
+		hists:        make([]telemetry.Histogram, len(cfg.Classes)),
 		classCtrls:   make([]core.Controller, len(cfg.Classes)),
 		classUpdates: make([]uint64, len(cfg.Classes)),
-		prevFold:     make([]foldTotals, len(cfg.Classes)),
+		prevFold:     make([]telemetry.Fold, len(cfg.Classes)),
 		lastClass:    make([]IntervalStats, len(cfg.Classes)),
 		lastClassSmp: make([]core.Sample, len(cfg.Classes)),
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
+	}
+	for ci := range s.prevFold {
+		s.prevFold[ci] = make(telemetry.Fold, len(counterSchema))
 	}
 	if cfg.ClassControl == "perclass" {
 		if err := s.enterPerClassLocked(cfg.ClassController, core.DefaultBounds(), 0); err != nil {
@@ -451,62 +240,35 @@ func New(cfg Config) (*Server, error) {
 	s.lastTick = s.start
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/txn", s.handleTxn)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/metrics", telemetry.MetricsEndpoint{
+		Snapshot:  func(withHistory bool) any { return s.SnapshotNow(withHistory) },
+		Prom:      func() *telemetry.PromText { return renderProm(s.SnapshotNow(false)) },
+		HistoryOK: true,
+	})
 	s.mux.HandleFunc("/controller", s.handleController)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	go s.loop()
+	s.loop = ctl.Start(ctl.Config{
+		Interval: cfg.Interval,
+		Tick:     s.tick,
+		TraceLen: cfg.TraceLen,
+	})
 	return s, nil
 }
 
-// cachedSignal is one rendered load signal; the header string is the
-// encoded form attached to every response.
-type cachedSignal struct {
-	sig    loadsig.Signal
-	header string
-}
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
 
-// signalTTL bounds how stale the cached load signal may get. 50ms is well
-// below any realistic health-check interval while keeping the refresh —
-// one gate Stats() call — off the per-request path.
-const signalTTL = 50 * time.Millisecond
+// Close stops the measurement loop; the handler keeps working with the
+// last installed limit.
+func (s *Server) Close() { s.loop.Close() }
 
-// loadSignal returns the current (possibly up to signalTTL stale) load
-// signal. The first caller past the TTL wins a CAS and rebuilds; everyone
-// else keeps the previous value, so concurrent requests never stack up on
-// the gate's mutex just to report load.
-func (s *Server) loadSignal() *cachedSignal {
-	now := time.Since(s.start).Nanoseconds()
-	stamp := s.sigStamp.Load()
-	if c := s.sigCache.Load(); c != nil && now-stamp < signalTTL.Nanoseconds() {
-		return c
-	}
-	if !s.sigStamp.CompareAndSwap(stamp, now) {
-		if c := s.sigCache.Load(); c != nil {
-			return c
-		}
-	}
-	st := s.multi.Stats()
-	sig := loadsig.Signal{
-		Status:  loadsig.StatusOK,
-		Limit:   s.multi.Limit(),
-		Active:  st.Active,
-		Queued:  st.Queued,
-		Default: s.classes[0].Name,
-	}
-	sig.Util = loadsig.UtilOf(sig.Active, sig.Limit)
-	if s.draining.Load() {
-		sig.Status = loadsig.StatusDraining
-	}
-	mask := s.shedMask.Load()
-	for ci, cc := range s.classes {
-		if ci < 64 && mask&(1<<uint(ci)) != 0 {
-			sig.Shedding = append(sig.Shedding, cc.Name)
-		}
-	}
-	c := &cachedSignal{sig: sig, header: sig.Encode()}
-	s.sigCache.Store(c)
-	return c
-}
+// Limit returns the currently installed total concurrency bound: the
+// shared pool in pool mode, the sum of class limits in per-class mode.
+func (s *Server) Limit() float64 { return s.multi.Limit() }
+
+// elapsed is seconds since server start — the time axis workload schedules
+// and interval stats share.
+func (s *Server) elapsed() float64 { return time.Since(s.start).Seconds() }
 
 // BeginDrain marks the server as draining: /healthz answers 503 with
 // status "draining" and the load signal tells routing tiers to stop
@@ -519,874 +281,3 @@ func (s *Server) BeginDrain() {
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
-
-// handleHealthz serves the machine-readable load signal: 200 + JSON while
-// serving, 503 + the same JSON while draining (so a plain HTTP checker
-// sees a draining backend as out of rotation). The signal also rides the
-// response header, same as on /txn.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	c := s.loadSignal()
-	w.Header().Set(loadsig.Header, c.header)
-	code := http.StatusOK
-	if c.sig.Draining() {
-		code = http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, c.sig)
-}
-
-// enterPerClassLocked builds one controller per class by name within the
-// given bounds and flips the gate to per-class mode. Each controller is
-// seeded at the class's weighted slice of total when total > 0, else at
-// the class's current effective slice — so the switch is capacity-neutral
-// by default. The caller holds mu (or is still constructing the server).
-func (s *Server) enterPerClassLocked(name string, bounds core.Bounds, total float64) error {
-	st := s.multi.Stats()
-	var sumW float64
-	for _, c := range st.Classes {
-		sumW += c.Weight
-	}
-	for ci := range s.classes {
-		seed := st.Classes[ci].Share
-		if s.perClass {
-			seed = st.Classes[ci].Limit
-		}
-		if total > 0 && sumW > 0 {
-			seed = total * st.Classes[ci].Weight / sumW
-		}
-		ctrl, err := makeController(name, seed, bounds)
-		if err != nil {
-			return err
-		}
-		s.classCtrls[ci] = ctrl
-		s.classUpdates[ci] = 0
-		s.multi.SetClassLimit(ci, ctrl.Bound())
-	}
-	s.perClass = true
-	s.multi.SetPerClass(true)
-	return nil
-}
-
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
-
-// Close stops the measurement loop; the handler keeps working with the
-// last installed limit.
-func (s *Server) Close() {
-	close(s.stop)
-	<-s.done
-}
-
-// Limit returns the currently installed total concurrency bound: the
-// shared pool in pool mode, the sum of class limits in per-class mode.
-func (s *Server) Limit() float64 { return s.multi.Limit() }
-
-// elapsed is seconds since server start — the time axis workload schedules
-// and interval stats share.
-func (s *Server) elapsed() float64 { return time.Since(s.start).Seconds() }
-
-// txnRequest is the optional JSON body of POST /txn; query parameters of
-// the same names take precedence.
-type txnRequest struct {
-	// Class is the admission class name. The legacy values "query" and
-	// "update" (when no class of that name is configured) are shape
-	// aliases routed to the default class. Empty selects the default
-	// class.
-	Class string `json:"class"`
-	// Shape overrides the transaction shape: "query" (read-only) or
-	// "update"; "" falls back to the class default, then the mix.
-	Shape string `json:"shape"`
-	// K overrides the number of items accessed (0 = class default, then
-	// the mix).
-	K int `json:"k"`
-	// Base/Span restrict the access set to the key range
-	// [Base, Base+Span) mod Items — the hotspot knob adversarial
-	// scenarios shift over time. Span 0 means the full store.
-	Base int `json:"base"`
-	Span int `json:"span"`
-}
-
-// txnResponse is the JSON answer of POST /txn. Class is the transaction
-// shape ("query"/"update" — the field predates multi-class admission);
-// AdmissionClass is the admission class the request was gated under.
-type txnResponse struct {
-	Status         string  `json:"status"`
-	Class          string  `json:"class,omitempty"`
-	AdmissionClass string  `json:"admission_class,omitempty"`
-	Attempts       int     `json:"attempts,omitempty"`
-	LatencyMS      float64 `json:"latency_ms"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// buildSpec samples one transaction's access set: k distinct items from
-// the key range [base, base+span) mod Items (span<=0 = the whole store),
-// write intent per position for updaters.
-func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64, base, span int) TxnSpec {
-	domain := s.cfg.Items
-	if span > 0 && span < domain {
-		domain = span
-	}
-	if k < 1 {
-		k = 1
-	}
-	if k > domain {
-		k = domain
-	}
-	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)}
-	rng.SampleDistinct(spec.Keys, domain)
-	if base > 0 {
-		for i := range spec.Keys {
-			spec.Keys[i] = (spec.Keys[i] + base) % s.cfg.Items
-		}
-	}
-	if query {
-		return spec
-	}
-	wrote := false
-	for i := range spec.Write {
-		if rng.Bernoulli(writeFrac) {
-			spec.Write[i] = true
-			wrote = true
-		}
-	}
-	if !wrote {
-		// An updater writes at least one item, as in the simulation model.
-		spec.Write[rng.Intn(k)] = true
-	}
-	return spec
-}
-
-// resolveClass maps a request's class/shape fields to (class index, shape)
-// or an error message for a 400. Shape "" means "sample from the mix".
-func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg string) {
-	name, shape := req.Class, req.Shape
-	if shape == "" && (name == "query" || name == "update") {
-		if _, isClass := s.multi.ClassIndex(name); !isClass {
-			// Legacy single-gate API: ?class=query meant the shape.
-			name, shape = "", name
-		}
-	}
-	if name != "" {
-		idx, ok := s.multi.ClassIndex(name)
-		if !ok {
-			return 0, "", fmt.Sprintf("unknown class %q (have %s)", name, strings.Join(s.multi.ClassNames(), ", "))
-		}
-		ci = idx
-	}
-	if shape == "" {
-		shape = s.classes[ci].Shape
-	}
-	switch shape {
-	case "", "query", "update":
-	default:
-		return 0, "", fmt.Sprintf("bad shape %q (want query or update)", shape)
-	}
-	return ci, shape, ""
-}
-
-func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req txnRequest
-	if r.Body != nil && r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-	}
-	q := r.URL.Query()
-	if v := q.Get("class"); v != "" {
-		req.Class = v
-	}
-	if v := q.Get("shape"); v != "" {
-		req.Shape = v
-	}
-	for _, p := range []struct {
-		name string
-		dst  *int
-		min  int
-	}{{"k", &req.K, 1}, {"base", &req.Base, 0}, {"span", &req.Span, 0}} {
-		v := q.Get(p.name)
-		if v == "" {
-			continue
-		}
-		n, err := strconv.Atoi(v)
-		if err != nil || n < p.min {
-			http.Error(w, "bad "+p.name, http.StatusBadRequest)
-			return
-		}
-		*p.dst = n
-	}
-	if req.K < 0 || req.Base < 0 || req.Span < 0 {
-		http.Error(w, "k, base and span must not be negative", http.StatusBadRequest)
-		return
-	}
-
-	ci, shape, errMsg := s.resolveClass(req)
-	if errMsg != "" {
-		http.Error(w, errMsg, http.StatusBadRequest)
-		return
-	}
-
-	// Every /txn answer carries the load signal so a routing tier learns
-	// backend saturation passively from the traffic it forwards. The
-	// header is rendered at response time, not arrival: a request that
-	// queued for admission must not ship saturation state that is a full
-	// QueueTimeout old as if it were fresh.
-	setSignal := func() { w.Header().Set(loadsig.Header, s.loadSignal().header) }
-
-	now := s.elapsed()
-	seq := s.seq.Add(1)
-	// All of this request's counter traffic goes to one stripe of its
-	// class; requests spread round-robin over stripes, so concurrent
-	// requests rarely share a counter cache line and never take s.mu.
-	// (The seq atomic itself and the gate's internal mutex remain the
-	// shared touch points.)
-	cell := &s.cells[ci*s.stripes+int(seq&s.stripeMask)]
-	rng := sim.Stream(s.cfg.Seed, seq)
-	var query bool
-	switch shape {
-	case "query":
-		query = true
-	case "update":
-		query = false
-	default:
-		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
-	}
-	k := req.K
-	if k == 0 {
-		k = s.classes[ci].K
-	}
-	if k == 0 {
-		k = s.cfg.Mix.KAt(now)
-	}
-	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now), req.Base, req.Span)
-	spec.Class = ci
-	class := "update"
-	if query {
-		class = "query"
-	}
-	className := s.classes[ci].Name
-
-	cell.requests.Add(1)
-
-	t0 := time.Now()
-
-	// Admission: the adaptive gate is the paper's §4.3 load control in
-	// front of real network traffic, per class.
-	if s.cfg.Reject {
-		if !s.multi.TryAcquire(ci) {
-			cell.rejected.Add(1)
-			setSignal()
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
-			return
-		}
-	} else {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-		err := s.multi.Acquire(ctx, ci)
-		cancel()
-		if err != nil {
-			cell.timeouts.Add(1)
-			setSignal()
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
-			return
-		}
-	}
-	s.noteEnter(cell)
-
-	attempts := 0
-	var execErr error
-	for {
-		attempts++
-		execErr = s.cfg.Engine.Exec(r.Context(), spec)
-		if !errors.Is(execErr, ErrAborted) {
-			break
-		}
-		cell.aborts.Add(1)
-		if attempts > s.cfg.MaxRetry {
-			break
-		}
-	}
-
-	s.multi.Release(ci)
-	s.noteExit(cell)
-	setSignal()
-
-	lat := time.Since(t0)
-	switch {
-	case execErr == nil:
-		cell.respNanos.Add(uint64(lat.Nanoseconds()))
-		cell.respN.Add(1)
-		cell.commits.Add(1)
-		s.hists[ci].add(lat.Seconds())
-		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
-	case errors.Is(execErr, ErrAborted):
-		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
-	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
-		// The client went away (or its deadline passed) mid-transaction:
-		// not an engine failure. Count it separately and skip the write —
-		// nobody is left to read a response.
-		cell.disconnects.Add(1)
-	default:
-		// A genuine engine failure.
-		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
-	}
-}
-
-func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
-
-// noteEnter/noteExit feed the load integrator (the n(t) signal of the
-// paper's measurement loop) without any shared state: each records the
-// event's timestamp sum before its count, matching fold's read order, so
-// the tick can reconstruct ∫ n(t) dt from per-stripe monotone counters.
-func (s *Server) noteEnter(cell *counterCell) {
-	cell.entryNanos.Add(uint64(time.Since(s.start).Nanoseconds()))
-	cell.entries.Add(1)
-}
-
-func (s *Server) noteExit(cell *counterCell) {
-	cell.exitNanos.Add(uint64(time.Since(s.start).Nanoseconds()))
-	cell.exits.Add(1)
-}
-
-// loop closes measurement intervals and drives the controller, mirroring
-// the simulator's measurement component against wall-clock traffic.
-func (s *Server) loop() {
-	defer close(s.done)
-	ticker := time.NewTicker(s.cfg.Interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-ticker.C:
-			s.tick()
-		}
-	}
-}
-
-// intervalFrom turns one class's (or the aggregate's) fold delta into the
-// closed-interval statistics and the controller sample.
-func intervalFrom(t float64, f, p foldTotals, nowNanos, dtNanos int64) (IntervalStats, core.Sample) {
-	dt := float64(dtNanos) / 1e9
-	commits := f.commits - p.commits
-	aborts := f.aborts - p.aborts
-	respN := f.respN - p.respN
-	respNanos := f.respNanos - p.respNanos
-
-	// Load integral over the closed interval: with admission entry times
-	// e_i and exit times x_j (nanos since start),
-	//
-	//	∫_{T0}^{T1} n(t) dt = n(T0)·Δt + Σ_{e_i∈(T0,T1]} (T1−e_i)
-	//	                               − Σ_{x_j∈(T0,T1]} (T1−x_j).
-	//
-	// Both Σ terms fall out of the monotone per-stripe counts and
-	// timestamp sums via modular uint64 arithmetic — exact even after the
-	// sums wrap. A fold racing a request can catch a timestamp without
-	// its count (or vice versa), throwing a term off by the absolute
-	// timestamp scale; relTerm detects that and degrades gracefully.
-	dE := f.entries - p.entries
-	dX := f.exits - p.exits
-	relE := relTerm(int64(dE*uint64(nowNanos)-(f.entryNanos-p.entryNanos)), int64(dE), dtNanos)
-	relX := relTerm(int64(dX*uint64(nowNanos)-(f.exitNanos-p.exitNanos)), int64(dX), dtNanos)
-	activeStart := int64(p.entries - p.exits)
-	load := (float64(activeStart)*float64(dtNanos) + float64(relE) - float64(relX)) / float64(dtNanos)
-	if load < 0 {
-		load = 0
-	}
-
-	sample := core.Sample{
-		Time:        t,
-		Load:        load,
-		Throughput:  float64(commits) / dt,
-		Completions: commits,
-	}
-	sample.Perf = sample.Throughput
-	if respN > 0 {
-		sample.RespTime = float64(respNanos) / 1e9 / float64(respN)
-	}
-	switch {
-	case commits > 0:
-		sample.ConflictRate = float64(aborts) / float64(commits)
-	case aborts > 0:
-		// No commit landed, so attempts == aborts and the documented
-		// aborts-per-attempt fallback is exactly 1.
-		sample.ConflictRate = 1
-	}
-	iv := IntervalStats{
-		T:          sample.Time,
-		Load:       sample.Load,
-		Throughput: sample.Throughput,
-		RespTime:   sample.RespTime,
-		AbortRate:  sample.ConflictRate,
-		Commits:    commits,
-		Aborts:     aborts,
-	}
-	return iv, sample
-}
-
-func (s *Server) tick() {
-	now := time.Now()
-	nowNanos := now.Sub(s.start).Nanoseconds()
-	folds := s.foldAll()
-
-	s.mu.Lock()
-	// Use the actually elapsed window, not the configured interval: under
-	// CPU saturation the ticker fires late, and dividing by the nominal Δt
-	// would inflate load and throughput exactly when the controller most
-	// needs accurate samples.
-	dtNanos := now.Sub(s.lastTick).Nanoseconds()
-	s.lastTick = now
-	if dtNanos <= 0 {
-		dtNanos = s.cfg.Interval.Nanoseconds()
-	}
-	t := s.elapsed()
-
-	var agg, prevAgg foldTotals
-	var shed uint64
-	for ci := range folds {
-		iv, sample := intervalFrom(t, folds[ci], s.prevFold[ci], nowNanos, dtNanos)
-		// A class that timed out or rejected arrivals this interval is
-		// shedding: the bit feeds the load signal's per-class shed state,
-		// which routing tiers use for overload propagation.
-		if ci < 64 && (folds[ci].timeouts-s.prevFold[ci].timeouts)+
-			(folds[ci].rejected-s.prevFold[ci].rejected) > 0 {
-			shed |= 1 << uint(ci)
-		}
-		agg.add(folds[ci])
-		prevAgg.add(s.prevFold[ci])
-		s.prevFold[ci] = folds[ci]
-		s.lastClassSmp[ci] = sample
-		if s.perClass && s.classCtrls[ci] != nil {
-			limit := s.classCtrls[ci].Update(sample)
-			s.classUpdates[ci]++
-			iv.Limit = limit
-			s.multi.SetClassLimit(ci, limit)
-		}
-		s.lastClass[ci] = iv
-	}
-
-	iv, sample := intervalFrom(t, agg, prevAgg, nowNanos, dtNanos)
-	if !s.perClass {
-		// Pool control: the aggregate sample steers the shared limit.
-		limit := s.ctrl.Update(sample)
-		s.updates++
-		iv.Limit = limit
-		// Install while still holding mu so a concurrent controller
-		// switch cannot be overwritten by a limit computed from the old
-		// controller.
-		s.multi.SetPoolLimit(limit)
-		// Per-class rows report the effective slice of the new pool.
-		st := s.multi.Stats()
-		for ci := range s.lastClass {
-			s.lastClass[ci].Limit = st.Classes[ci].Share
-		}
-	} else {
-		iv.Limit = s.multi.Limit()
-	}
-	s.lastSamp = sample
-	s.last = iv
-	s.history = append(s.history, iv)
-	if len(s.history) > s.cfg.HistoryLen {
-		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
-	}
-	s.mu.Unlock()
-	s.shedMask.Store(shed)
-}
-
-// relTerm bounds a reconstructed Σ(T1−t_i) term to its possible span
-// [0, count·Δt] (all the interval's events at the boundary either way).
-// An out-of-range value means a fold raced a writer and leaked a
-// timestamp into the delta-sum without its count (or the reverse): the
-// leak is on the order of nanos-since-start, so the term is unusable,
-// not merely imprecise. Substituting the uniform-arrivals midpoint
-// count·Δt/2 bounds the damage of such a race to half an interval's
-// span instead of collapsing the whole term to an extreme.
-func relTerm(v, count, dtNanos int64) int64 {
-	max := count * dtNanos
-	if v < 0 || v > max {
-		return max / 2
-	}
-	return v
-}
-
-// SnapshotNow assembles the current metrics snapshot.
-func (s *Server) SnapshotNow(withHistory bool) Snapshot {
-	folds := s.foldAll()
-	gateStats := s.multi.Stats()
-
-	var totals Totals
-	classTotals := make([]Totals, len(folds))
-	for ci, f := range folds {
-		classTotals[ci] = f.totals()
-		totals.add(classTotals[ci])
-	}
-
-	s.mu.Lock()
-	snap := Snapshot{
-		Now:        s.elapsed(),
-		Engine:     s.cfg.Engine.Name(),
-		Controller: s.ctrl.Name(),
-		Mode:       s.modeLocked(),
-		Totals:     totals,
-		Interval:   s.last,
-	}
-	for ci, cc := range s.classes {
-		g := gateStats.Classes[ci]
-		limit := g.Share
-		if s.perClass {
-			limit = g.Limit
-		}
-		snap.Classes = append(snap.Classes, ClassSnapshot{
-			Name:     cc.Name,
-			Weight:   g.Weight,
-			Priority: cc.Priority,
-			Limit:    limit,
-			Active:   g.Active,
-			Queued:   g.Queued,
-			Totals:   classTotals[ci],
-			Interval: s.lastClass[ci],
-			RespP50:  s.hists[ci].quantile(0.50),
-			RespP95:  s.hists[ci].quantile(0.95),
-			RespP99:  s.hists[ci].quantile(0.99),
-			Gate:     g,
-		})
-	}
-	if withHistory {
-		snap.History = append([]IntervalStats(nil), s.history...)
-	}
-	s.mu.Unlock()
-	snap.Limit = s.multi.Limit()
-	snap.Active = gateStats.Active
-	snap.Queued = gateStats.Queued
-	snap.Gate = s.multi.AggregateStats()
-	return snap
-}
-
-// modeLocked names the control mode; the caller holds mu.
-func (s *Server) modeLocked() string {
-	if s.perClass {
-		return "perclass"
-	}
-	return "pool"
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	q := r.URL.Query()
-	withHistory := q.Get("history") == "1"
-	switch q.Get("format") {
-	case "json":
-		writeJSON(w, http.StatusOK, s.SnapshotNow(withHistory))
-		return
-	case "":
-		// Prometheus text, below.
-	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (want json, or omit for Prometheus text)", q.Get("format")), http.StatusBadRequest)
-		return
-	}
-	if withHistory {
-		// The text form has no history representation; refuse instead of
-		// silently switching the content type to JSON.
-		http.Error(w, "history=1 requires format=json", http.StatusBadRequest)
-		return
-	}
-	snap := s.SnapshotNow(false)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	// Labeled families: one HELP/TYPE header, one sample per class.
-	gaugeVec := func(name, help string, get func(ClassSnapshot) float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for _, c := range snap.Classes {
-			fmt.Fprintf(&b, "%s{class=%q} %s\n", name, c.Name, promFloat(get(c)))
-		}
-	}
-	counterVec := func(name, help string, get func(ClassSnapshot) uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, c := range snap.Classes {
-			fmt.Fprintf(&b, "%s{class=%q} %d\n", name, c.Name, get(c))
-		}
-	}
-	gauge("loadctl_limit", "current total adaptive concurrency limit n*", snap.Limit)
-	gauge("loadctl_active", "transactions currently holding an admission slot", float64(snap.Active))
-	gauge("loadctl_queued", "requests waiting for admission", float64(snap.Queued))
-	gauge("loadctl_interval_load", "time-averaged in-flight transactions over the last interval", snap.Interval.Load)
-	gauge("loadctl_interval_throughput", "commits per second over the last interval", snap.Interval.Throughput)
-	gauge("loadctl_interval_resp_seconds", "mean response time over the last interval", snap.Interval.RespTime)
-	gauge("loadctl_interval_abort_rate", "CC aborts per commit over the last interval", snap.Interval.AbortRate)
-	counter("loadctl_requests_total", "transaction requests received", snap.Totals.Requests)
-	counter("loadctl_commits_total", "transactions committed", snap.Totals.Commits)
-	counter("loadctl_aborts_total", "transaction attempts aborted by concurrency control", snap.Totals.Aborts)
-	counter("loadctl_rejected_total", "requests shed at a full gate (non-blocking admission)", snap.Totals.Rejected)
-	counter("loadctl_admission_timeouts_total", "requests that gave up waiting for admission", snap.Totals.Timeouts)
-	counter("loadctl_disconnects_total", "transactions abandoned by client disconnect mid-execution", snap.Totals.Disconnects)
-	counter("loadctl_gate_arrivals_total", "admission attempts at the gate", snap.Gate.Arrivals)
-	counter("loadctl_gate_admitted_total", "admissions granted by the gate", snap.Gate.Admitted)
-	counter("loadctl_gate_rejected_total", "non-blocking admissions refused by the gate", snap.Gate.Rejected)
-	gauge("loadctl_gate_queue_max", "high-water mark of the admission queue", float64(snap.Gate.QueueMax))
-
-	gaugeVec("loadctl_class_limit", "effective per-class concurrency slice (share of the pool, or the class's own limit)",
-		func(c ClassSnapshot) float64 { return c.Limit })
-	gaugeVec("loadctl_class_active", "transactions of the class holding an admission slot",
-		func(c ClassSnapshot) float64 { return float64(c.Active) })
-	gaugeVec("loadctl_class_queued", "requests of the class waiting for admission",
-		func(c ClassSnapshot) float64 { return float64(c.Queued) })
-	gaugeVec("loadctl_class_load", "time-averaged in-flight transactions of the class over the last interval",
-		func(c ClassSnapshot) float64 { return c.Interval.Load })
-	gaugeVec("loadctl_class_throughput", "class commits per second over the last interval",
-		func(c ClassSnapshot) float64 { return c.Interval.Throughput })
-	gaugeVec("loadctl_class_resp_seconds", "class mean response time over the last interval",
-		func(c ClassSnapshot) float64 { return c.Interval.RespTime })
-	gaugeVec("loadctl_class_resp_p95_seconds", "class p95 response time since start (log-bucketed)",
-		func(c ClassSnapshot) float64 { return c.RespP95 })
-	gaugeVec("loadctl_class_abort_rate", "class CC aborts per commit over the last interval",
-		func(c ClassSnapshot) float64 { return c.Interval.AbortRate })
-	counterVec("loadctl_class_requests_total", "transaction requests received per class",
-		func(c ClassSnapshot) uint64 { return c.Totals.Requests })
-	counterVec("loadctl_class_commits_total", "transactions committed per class",
-		func(c ClassSnapshot) uint64 { return c.Totals.Commits })
-	counterVec("loadctl_class_aborts_total", "transaction attempts aborted per class",
-		func(c ClassSnapshot) uint64 { return c.Totals.Aborts })
-	counterVec("loadctl_class_rejected_total", "class requests shed at a full gate",
-		func(c ClassSnapshot) uint64 { return c.Totals.Rejected })
-	counterVec("loadctl_class_timeouts_total", "class requests that gave up waiting for admission",
-		func(c ClassSnapshot) uint64 { return c.Totals.Timeouts })
-	_, _ = w.Write([]byte(b.String()))
-}
-
-// promFloat renders a float in Prometheus text format (+Inf for an
-// uncontrolled gate).
-func promFloat(v float64) string {
-	if math.IsInf(v, 1) {
-		return "+Inf"
-	}
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// classCtrlView is one class's row in the GET /controller document.
-type classCtrlView struct {
-	Class      string      `json:"class"`
-	Controller string      `json:"controller"`
-	Limit      float64     `json:"limit"`
-	Updates    uint64      `json:"updates"`
-	LastSample core.Sample `json:"last_sample"`
-}
-
-// controllerView is the GET /controller document.
-type controllerView struct {
-	Controller      string  `json:"controller"`
-	Mode            string  `json:"mode"`
-	Limit           float64 `json:"limit"`
-	IntervalSeconds float64 `json:"interval_seconds"`
-	Updates         uint64  `json:"updates"`
-	// LastSample is the most recent aggregate measurement.
-	LastSample core.Sample `json:"last_sample"`
-	// Classes lists the per-class controllers (populated in perclass
-	// mode).
-	Classes []classCtrlView `json:"classes,omitempty"`
-}
-
-// controllerSwitch is the POST /controller body.
-type controllerSwitch struct {
-	// Controller is "pa", "is", "static", or "none".
-	Controller string `json:"controller"`
-	// Scope selects what the new controller steers: "pool" (default) —
-	// one controller for the shared limit; "perclass" — one controller
-	// per class; "class" — replace a single class's controller (implies
-	// perclass mode), named by Class.
-	Scope string `json:"scope"`
-	Class string `json:"class"`
-	// Initial optionally sets the new controller's starting bound (for
-	// scope perclass: the new total, split over classes by weight);
-	// default carries the currently installed limit over.
-	Initial float64 `json:"initial"`
-	// Lo/Hi optionally override the static clamp (both must be set).
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
-}
-
-func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		s.mu.Lock()
-		view := controllerView{
-			Controller:      s.ctrl.Name(),
-			Mode:            s.modeLocked(),
-			IntervalSeconds: s.cfg.Interval.Seconds(),
-			Updates:         s.updates,
-			LastSample:      s.lastSamp,
-		}
-		if s.perClass {
-			for ci, cc := range s.classes {
-				name := "(pool)"
-				if s.classCtrls[ci] != nil {
-					name = s.classCtrls[ci].Name()
-				}
-				view.Classes = append(view.Classes, classCtrlView{
-					Class:      cc.Name,
-					Controller: name,
-					Limit:      s.multi.ClassLimit(ci),
-					Updates:    s.classUpdates[ci],
-					LastSample: s.lastClassSmp[ci],
-				})
-			}
-		}
-		s.mu.Unlock()
-		view.Limit = s.multi.Limit()
-		writeJSON(w, http.StatusOK, view)
-	case http.MethodPost:
-		var req controllerSwitch
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		bounds := core.DefaultBounds()
-		if req.Lo != 0 || req.Hi != 0 {
-			bounds = core.Bounds{Lo: req.Lo, Hi: req.Hi}
-			if err := bounds.Validate(); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-		}
-		switch req.Scope {
-		case "", "pool":
-			initial := req.Initial
-			if initial <= 0 {
-				initial = s.multi.Limit()
-			}
-			ctrl, err := makeController(req.Controller, initial, bounds)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			s.mu.Lock()
-			s.ctrl = ctrl
-			s.updates = 0
-			s.perClass = false
-			s.multi.SetPerClass(false)
-			// Under mu for the same reason as in tick(): swap and install
-			// are one atomic step relative to the measurement loop.
-			s.multi.SetPoolLimit(ctrl.Bound())
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, map[string]any{
-				"controller": ctrl.Name(),
-				"mode":       "pool",
-				"limit":      ctrl.Bound(),
-			})
-		case "perclass":
-			// Validate the name before mutating anything.
-			if _, err := makeController(req.Controller, 1, bounds); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			s.mu.Lock()
-			// Initial > 0 is the new total to split by weight; 0 keeps
-			// the current slices.
-			err := s.enterPerClassLocked(req.Controller, bounds, req.Initial)
-			limits := make(map[string]float64, len(s.classes))
-			for ci, cc := range s.classes {
-				limits[cc.Name] = s.multi.ClassLimit(ci)
-			}
-			s.mu.Unlock()
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{
-				"controller": req.Controller,
-				"mode":       "perclass",
-				"limits":     limits,
-			})
-		case "class":
-			ci, ok := s.multi.ClassIndex(req.Class)
-			if !ok {
-				http.Error(w, fmt.Sprintf("unknown class %q (have %s)", req.Class, strings.Join(s.multi.ClassNames(), ", ")), http.StatusBadRequest)
-				return
-			}
-			s.mu.Lock()
-			if !s.perClass {
-				// Entering per-class mode: seed the untargeted classes
-				// with static controllers at their current share so only
-				// the addressed class changes behavior.
-				st := s.multi.Stats()
-				for i := range s.classes {
-					s.classCtrls[i] = core.NewStatic(st.Classes[i].Share)
-					s.classUpdates[i] = 0
-					s.multi.SetClassLimit(i, st.Classes[i].Share)
-				}
-				s.perClass = true
-				s.multi.SetPerClass(true)
-			}
-			initial := req.Initial
-			if initial <= 0 {
-				initial = s.multi.ClassLimit(ci)
-			}
-			ctrl, err := makeController(req.Controller, initial, bounds)
-			if err != nil {
-				s.mu.Unlock()
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			s.classCtrls[ci] = ctrl
-			s.classUpdates[ci] = 0
-			s.multi.SetClassLimit(ci, ctrl.Bound())
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, map[string]any{
-				"controller": ctrl.Name(),
-				"mode":       "perclass",
-				"class":      req.Class,
-				"limit":      ctrl.Bound(),
-			})
-		default:
-			http.Error(w, fmt.Sprintf("unknown scope %q (want pool, perclass or class)", req.Scope), http.StatusBadRequest)
-		}
-	default:
-		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
-	}
-}
-
-// makeController builds a controller by name with the given starting bound,
-// used by the live-switch endpoint and the cmd front-ends.
-func makeController(name string, initial float64, bounds core.Bounds) (core.Controller, error) {
-	if math.IsInf(initial, 1) {
-		initial = bounds.Hi
-	}
-	initial = bounds.Clamp(initial)
-	switch name {
-	case "pa":
-		cfg := core.DefaultPAConfig()
-		cfg.Bounds = bounds
-		cfg.Initial = initial
-		return core.NewPA(cfg), nil
-	case "is":
-		cfg := core.DefaultISConfig()
-		cfg.Bounds = bounds
-		cfg.Initial = initial
-		return core.NewIS(cfg), nil
-	case "static":
-		return core.NewStatic(initial), nil
-	case "none":
-		return core.NoControl(), nil
-	default:
-		return nil, fmt.Errorf("server: unknown controller %q (want pa, is, static, none)", name)
-	}
-}

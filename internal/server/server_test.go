@@ -218,7 +218,7 @@ func TestAbortRateAllAbortedInterval(t *testing.T) {
 			t.Fatalf("got %d, want 409", code)
 		}
 	}
-	s.tick() // close the measurement interval deterministically
+	s.tick(time.Now()) // close the measurement interval deterministically
 	snap := getSnapshot(t, ts.URL)
 	if snap.Interval.Commits != 0 || snap.Interval.Aborts != 5 {
 		t.Fatalf("interval counts = %d/%d, want 0 commits, 5 aborts", snap.Interval.Commits, snap.Interval.Aborts)
@@ -227,7 +227,7 @@ func TestAbortRateAllAbortedInterval(t *testing.T) {
 		t.Fatalf("AbortRate = %v, want 1.0 (aborts per attempt with no commit)", snap.Interval.AbortRate)
 	}
 	// And an idle interval reports 0, not NaN or a stale value.
-	s.tick()
+	s.tick(time.Now())
 	if snap = getSnapshot(t, ts.URL); snap.Interval.AbortRate != 0 {
 		t.Fatalf("idle interval AbortRate = %v, want 0", snap.Interval.AbortRate)
 	}

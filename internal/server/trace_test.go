@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/kv"
+)
+
+// TestControllerTraceExportAndReplay drives live traffic through a server
+// whose pool is steered by a PA controller, fetches the decision trace
+// from GET /controller?trace=1, and replays the recorded samples through
+// a freshly built identical controller: the offline limits must match the
+// recorded ones decision-for-decision. This is the end-to-end version of
+// ctl.Replay's contract — controller behavior on a live server is fully
+// reconstructible from its trace.
+func TestControllerTraceExportAndReplay(t *testing.T) {
+	paCfg := core.DefaultPAConfig()
+	store := kv.NewStore(256)
+	s, err := New(Config{
+		Controller: core.NewPA(paCfg),
+		Engine:     NewOCC(store),
+		Items:      store.Size(),
+		Interval:   10 * time.Millisecond,
+		TraceLen:   4096, // must not wrap: the replay starts from genesis
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	trace := fetchTrace(t, ts.URL)
+	for len(trace) < 5 && time.Now().Before(deadline) {
+		postTxn(t, ts.URL, "?k=2")
+		time.Sleep(5 * time.Millisecond)
+		trace = fetchTrace(t, ts.URL)
+	}
+	if len(trace) < 5 {
+		t.Fatalf("trace has only %d decisions after 3s of ticks", len(trace))
+	}
+	for _, d := range trace {
+		if d.Scope != "pool" {
+			t.Fatalf("pool-mode decision has scope %q", d.Scope)
+		}
+		if d.Controller != core.NewPA(paCfg).Name() {
+			t.Fatalf("decision controller = %q", d.Controller)
+		}
+	}
+
+	// The ring kept every decision since start (no wraparound at this
+	// length), so a fresh identical controller replays to identical
+	// limits.
+	if trace[0].Seq != 1 {
+		t.Fatalf("trace lost its head (first seq %d): cannot replay from genesis", trace[0].Seq)
+	}
+	replayed := ctl.Replay(core.NewPA(paCfg), trace)
+	for i, d := range trace {
+		if replayed[i] != d.Limit {
+			t.Fatalf("decision %d (t=%.3f): replayed limit %v != recorded %v", i, d.Sample.Time, replayed[i], d.Limit)
+		}
+	}
+
+	// And without trace=1 the document stays lean.
+	var bare struct {
+		Trace []ctl.Decision `json:"trace"`
+	}
+	getJSON(t, ts.URL+"/controller", &bare)
+	if len(bare.Trace) != 0 {
+		t.Fatalf("trace leaked into the default /controller view (%d entries)", len(bare.Trace))
+	}
+}
+
+func fetchTrace(t *testing.T, base string) []ctl.Decision {
+	t.Helper()
+	var view struct {
+		Trace []ctl.Decision `json:"trace"`
+	}
+	getJSON(t, base+"/controller?trace=1", &view)
+	return view.Trace
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+// TestPerClassTraceScopes checks that per-class control records one
+// decision per class per tick, scoped by class name.
+func TestPerClassTraceScopes(t *testing.T) {
+	store := kv.NewStore(256)
+	s, err := New(Config{
+		Controller:      core.NewStatic(12),
+		Engine:          NewOCC(store),
+		Items:           store.Size(),
+		Interval:        10 * time.Millisecond,
+		Classes:         DefaultClasses(),
+		ClassControl:    "perclass",
+		ClassController: "static",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(s.loop.Trace()) < 6 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	trace := s.loop.Trace()
+	if len(trace) < 6 {
+		t.Fatalf("per-class trace has only %d decisions", len(trace))
+	}
+	seen := map[string]bool{}
+	for _, d := range trace {
+		seen[d.Scope] = true
+	}
+	for _, cc := range DefaultClasses() {
+		if !seen[cc.Name] {
+			t.Fatalf("no decision recorded for class %q (saw %v)", cc.Name, seen)
+		}
+	}
+	if seen["pool"] {
+		t.Fatal("pool decision recorded in perclass mode")
+	}
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/sim"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// This file is the server's transport layer: the /txn data path, the
+// /metrics Prometheus rendering (the JSON form and the format contract
+// live in telemetry.MetricsEndpoint), and /healthz.
+
+// txnRequest is the optional JSON body of POST /txn; query parameters of
+// the same names take precedence.
+type txnRequest struct {
+	// Class is the admission class name. The legacy values "query" and
+	// "update" (when no class of that name is configured) are shape
+	// aliases routed to the default class. Empty selects the default
+	// class.
+	Class string `json:"class"`
+	// Shape overrides the transaction shape: "query" (read-only) or
+	// "update"; "" falls back to the class default, then the mix.
+	Shape string `json:"shape"`
+	// K overrides the number of items accessed (0 = class default, then
+	// the mix).
+	K int `json:"k"`
+	// Base/Span restrict the access set to the key range
+	// [Base, Base+Span) mod Items — the hotspot knob adversarial
+	// scenarios shift over time. Span 0 means the full store.
+	Base int `json:"base"`
+	Span int `json:"span"`
+}
+
+// txnResponse is the JSON answer of POST /txn. Class is the transaction
+// shape ("query"/"update" — the field predates multi-class admission);
+// AdmissionClass is the admission class the request was gated under.
+type txnResponse struct {
+	Status         string  `json:"status"`
+	Class          string  `json:"class,omitempty"`
+	AdmissionClass string  `json:"admission_class,omitempty"`
+	Attempts       int     `json:"attempts,omitempty"`
+	LatencyMS      float64 `json:"latency_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	telemetry.WriteJSON(w, code, v)
+}
+
+// buildSpec samples one transaction's access set: k distinct items from
+// the key range [base, base+span) mod Items (span<=0 = the whole store),
+// write intent per position for updaters.
+func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64, base, span int) TxnSpec {
+	domain := s.cfg.Items
+	if span > 0 && span < domain {
+		domain = span
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > domain {
+		k = domain
+	}
+	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)}
+	rng.SampleDistinct(spec.Keys, domain)
+	if base > 0 {
+		for i := range spec.Keys {
+			spec.Keys[i] = (spec.Keys[i] + base) % s.cfg.Items
+		}
+	}
+	if query {
+		return spec
+	}
+	wrote := false
+	for i := range spec.Write {
+		if rng.Bernoulli(writeFrac) {
+			spec.Write[i] = true
+			wrote = true
+		}
+	}
+	if !wrote {
+		// An updater writes at least one item, as in the simulation model.
+		spec.Write[rng.Intn(k)] = true
+	}
+	return spec
+}
+
+// resolveClass maps a request's class/shape fields to (class index, shape)
+// or an error message for a 400. Shape "" means "sample from the mix".
+func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg string) {
+	name, shape := req.Class, req.Shape
+	if shape == "" && (name == "query" || name == "update") {
+		if _, isClass := s.multi.ClassIndex(name); !isClass {
+			// Legacy single-gate API: ?class=query meant the shape.
+			name, shape = "", name
+		}
+	}
+	if name != "" {
+		idx, ok := s.multi.ClassIndex(name)
+		if !ok {
+			return 0, "", fmt.Sprintf("unknown class %q (have %s)", name, strings.Join(s.multi.ClassNames(), ", "))
+		}
+		ci = idx
+	}
+	if shape == "" {
+		shape = s.classes[ci].Shape
+	}
+	switch shape {
+	case "", "query", "update":
+	default:
+		return 0, "", fmt.Sprintf("bad shape %q (want query or update)", shape)
+	}
+	return ci, shape, ""
+}
+
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req txnRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	q := r.URL.Query()
+	if v := q.Get("class"); v != "" {
+		req.Class = v
+	}
+	if v := q.Get("shape"); v != "" {
+		req.Shape = v
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+		min  int
+	}{{"k", &req.K, 1}, {"base", &req.Base, 0}, {"span", &req.Span, 0}} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < p.min {
+			http.Error(w, "bad "+p.name, http.StatusBadRequest)
+			return
+		}
+		*p.dst = n
+	}
+	if req.K < 0 || req.Base < 0 || req.Span < 0 {
+		http.Error(w, "k, base and span must not be negative", http.StatusBadRequest)
+		return
+	}
+
+	ci, shape, errMsg := s.resolveClass(req)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
+	}
+
+	// Every /txn answer carries the load signal so a routing tier learns
+	// backend saturation passively from the traffic it forwards. The
+	// header is rendered at response time, not arrival: a request that
+	// queued for admission must not ship saturation state that is a full
+	// QueueTimeout old as if it were fresh.
+	setSignal := func() { w.Header().Set(loadsig.Header, s.loadSignal().header) }
+
+	now := s.elapsed()
+	seq := s.seq.Add(1)
+	// All of this request's counter traffic goes to one stripe of its
+	// class; requests spread round-robin over stripes, so concurrent
+	// requests rarely share a counter cache line and never take s.mu.
+	// (The seq atomic itself and the gate's internal mutex remain the
+	// shared touch points.)
+	cell := s.tel.Cell(ci, seq)
+	rng := sim.Stream(s.cfg.Seed, seq)
+	var query bool
+	switch shape {
+	case "query":
+		query = true
+	case "update":
+		query = false
+	default:
+		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
+	}
+	k := req.K
+	if k == 0 {
+		k = s.classes[ci].K
+	}
+	if k == 0 {
+		k = s.cfg.Mix.KAt(now)
+	}
+	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now), req.Base, req.Span)
+	spec.Class = ci
+	class := "update"
+	if query {
+		class = "query"
+	}
+	className := s.classes[ci].Name
+
+	cell.Inc(cRequests)
+
+	t0 := time.Now()
+
+	// Admission: the adaptive gate is the paper's §4.3 load control in
+	// front of real network traffic, per class.
+	if s.cfg.Reject {
+		if !s.multi.TryAcquire(ci) {
+			cell.Inc(cRejected)
+			setSignal()
+			w.Header().Set("Retry-After", loadsig.RetryAfter())
+			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			return
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+		err := s.multi.Acquire(ctx, ci)
+		cancel()
+		if err != nil {
+			cell.Inc(cTimeouts)
+			setSignal()
+			w.Header().Set("Retry-After", loadsig.RetryAfter())
+			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			return
+		}
+	}
+	s.noteEnter(cell)
+
+	attempts := 0
+	var execErr error
+	for {
+		attempts++
+		execErr = s.cfg.Engine.Exec(r.Context(), spec)
+		if !errors.Is(execErr, ErrAborted) {
+			break
+		}
+		cell.Inc(cAborts)
+		if attempts > s.cfg.MaxRetry {
+			break
+		}
+	}
+
+	s.multi.Release(ci)
+	s.noteExit(cell)
+	setSignal()
+
+	lat := time.Since(t0)
+	switch {
+	case execErr == nil:
+		cell.Add(cRespNanos, uint64(lat.Nanoseconds()))
+		cell.Inc(cRespN)
+		cell.Inc(cCommits)
+		s.hists[ci].Observe(lat.Seconds())
+		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+	case errors.Is(execErr, ErrAborted):
+		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
+		// The client went away (or its deadline passed) mid-transaction:
+		// not an engine failure. Count it separately and skip the write —
+		// nobody is left to read a response.
+		cell.Inc(cDisconnects)
+	default:
+		// A genuine engine failure.
+		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+	}
+}
+
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
+
+// handleHealthz serves the machine-readable load signal: 200 + JSON while
+// serving, 503 + the same JSON while draining (so a plain HTTP checker
+// sees a draining backend as out of rotation). The signal also rides the
+// response header, same as on /txn.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c := s.loadSignal()
+	w.Header().Set(loadsig.Header, c.header)
+	code := http.StatusOK
+	if c.sig.Draining() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, c.sig)
+}
+
+// renderProm renders one snapshot in the Prometheus text form — the other
+// half of the dual-export contract. Rendering from a single snapshot
+// keeps the two forms consistent: the golden export test asserts they
+// agree value-for-value.
+func renderProm(snap Snapshot) *telemetry.PromText {
+	var p telemetry.PromText
+	p.Gauge("loadctl_limit", "current total adaptive concurrency limit n*", snap.Limit)
+	p.Gauge("loadctl_active", "transactions currently holding an admission slot", float64(snap.Active))
+	p.Gauge("loadctl_queued", "requests waiting for admission", float64(snap.Queued))
+	p.Gauge("loadctl_interval_load", "time-averaged in-flight transactions over the last interval", snap.Interval.Load)
+	p.Gauge("loadctl_interval_throughput", "commits per second over the last interval", snap.Interval.Throughput)
+	p.Gauge("loadctl_interval_resp_seconds", "mean response time over the last interval", snap.Interval.RespTime)
+	p.Gauge("loadctl_interval_abort_rate", "CC aborts per commit over the last interval", snap.Interval.AbortRate)
+	p.Counter("loadctl_requests_total", "transaction requests received", snap.Totals.Requests)
+	p.Counter("loadctl_commits_total", "transactions committed", snap.Totals.Commits)
+	p.Counter("loadctl_aborts_total", "transaction attempts aborted by concurrency control", snap.Totals.Aborts)
+	p.Counter("loadctl_rejected_total", "requests shed at a full gate (non-blocking admission)", snap.Totals.Rejected)
+	p.Counter("loadctl_admission_timeouts_total", "requests that gave up waiting for admission", snap.Totals.Timeouts)
+	p.Counter("loadctl_disconnects_total", "transactions abandoned by client disconnect mid-execution", snap.Totals.Disconnects)
+	p.Counter("loadctl_gate_arrivals_total", "admission attempts at the gate", snap.Gate.Arrivals)
+	p.Counter("loadctl_gate_admitted_total", "admissions granted by the gate", snap.Gate.Admitted)
+	p.Counter("loadctl_gate_rejected_total", "non-blocking admissions refused by the gate", snap.Gate.Rejected)
+	p.Gauge("loadctl_gate_queue_max", "high-water mark of the admission queue", float64(snap.Gate.QueueMax))
+
+	gaugeVec := func(name, help string, get func(ClassSnapshot) float64) {
+		p.GaugeVec(name, help, "class", func(sample func(string, float64)) {
+			for _, c := range snap.Classes {
+				sample(c.Name, get(c))
+			}
+		})
+	}
+	counterVec := func(name, help string, get func(ClassSnapshot) uint64) {
+		p.CounterVec(name, help, "class", func(sample func(string, uint64)) {
+			for _, c := range snap.Classes {
+				sample(c.Name, get(c))
+			}
+		})
+	}
+	gaugeVec("loadctl_class_limit", "effective per-class concurrency slice (share of the pool, or the class's own limit)",
+		func(c ClassSnapshot) float64 { return c.Limit })
+	gaugeVec("loadctl_class_active", "transactions of the class holding an admission slot",
+		func(c ClassSnapshot) float64 { return float64(c.Active) })
+	gaugeVec("loadctl_class_queued", "requests of the class waiting for admission",
+		func(c ClassSnapshot) float64 { return float64(c.Queued) })
+	gaugeVec("loadctl_class_load", "time-averaged in-flight transactions of the class over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.Load })
+	gaugeVec("loadctl_class_throughput", "class commits per second over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.Throughput })
+	gaugeVec("loadctl_class_resp_seconds", "class mean response time over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.RespTime })
+	gaugeVec("loadctl_class_resp_p95_seconds", "class p95 response time since start (log-bucketed)",
+		func(c ClassSnapshot) float64 { return c.RespP95 })
+	gaugeVec("loadctl_class_abort_rate", "class CC aborts per commit over the last interval",
+		func(c ClassSnapshot) float64 { return c.Interval.AbortRate })
+	counterVec("loadctl_class_requests_total", "transaction requests received per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Requests })
+	counterVec("loadctl_class_commits_total", "transactions committed per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Commits })
+	counterVec("loadctl_class_aborts_total", "transaction attempts aborted per class",
+		func(c ClassSnapshot) uint64 { return c.Totals.Aborts })
+	counterVec("loadctl_class_rejected_total", "class requests shed at a full gate",
+		func(c ClassSnapshot) uint64 { return c.Totals.Rejected })
+	counterVec("loadctl_class_timeouts_total", "class requests that gave up waiting for admission",
+		func(c ClassSnapshot) uint64 { return c.Totals.Timeouts })
+	return &p
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLineWords is a 64-byte cache line in 8-byte words; every stripe is
+// padded to a whole number of lines so concurrent writers on different
+// stripes never false-share.
+const cacheLineWords = 8
+
+// maxStripes bounds the stripe count: beyond ~64 stripes fold cost grows
+// with no contention win on any realistic core count.
+const maxStripes = 64
+
+// DefaultStripes picks the stripe count for striped structures: the next
+// power of two at or above GOMAXPROCS, at most maxStripes.
+func DefaultStripes() int {
+	p := runtime.GOMAXPROCS(0)
+	n := 1
+	for n < p && n < maxStripes {
+		n <<= 1
+	}
+	return n
+}
+
+// Counters is a set of named monotone uint64 counters, striped over
+// cache-line-padded atomic cells and partitioned into independent groups
+// (the server uses one group per admission class; the proxy a single
+// group). A hot path picks one stripe of its group per operation (Cell)
+// and counts with plain atomic adds; readers aggregate with Fold while
+// writers keep running.
+//
+// Race discipline: Fold reads each stripe's counters in schema order.
+// All counters are monotone, so a fold racing a writer can skew a value
+// between two adjacent intervals but never lose or double-count it.
+// Writers maintaining a cross-counter invariant must order their writes
+// against the schema: write the counter that appears LATER in the schema
+// first, so a racing fold can only observe the weaker half. The server's
+// schema, for example, places an event count before its timestamp sum —
+// writers add the timestamp first, the count second, and a racing fold
+// can only see a timestamp without its count, the direction the interval
+// close clamps away (see CloseInterval).
+type Counters struct {
+	names   []string
+	groups  int
+	stripes int
+	mask    uint64
+	stride  int
+	cells   []atomic.Uint64
+}
+
+// NewCounters builds a striped counter set with the given groups and
+// counter names (the schema). Groups must be at least 1.
+func NewCounters(groups int, names ...string) *Counters {
+	if groups < 1 {
+		panic("telemetry: NewCounters needs at least one group")
+	}
+	if len(names) == 0 {
+		panic("telemetry: NewCounters needs at least one counter")
+	}
+	stripes := DefaultStripes()
+	stride := (len(names) + cacheLineWords - 1) / cacheLineWords * cacheLineWords
+	return &Counters{
+		names:   names,
+		groups:  groups,
+		stripes: stripes,
+		mask:    uint64(stripes - 1),
+		stride:  stride,
+		cells:   make([]atomic.Uint64, groups*stripes*stride),
+	}
+}
+
+// Names returns the schema (fold index order).
+func (c *Counters) Names() []string { return c.names }
+
+// Groups returns the group count.
+func (c *Counters) Groups() int { return c.groups }
+
+// Stripes returns the per-group stripe count.
+func (c *Counters) Stripes() int { return c.stripes }
+
+// Cell is one stripe of one group: the view a single request counts
+// through. The zero Cell is invalid.
+type Cell struct {
+	slots []atomic.Uint64
+}
+
+// Cell selects group's stripe for seq (any per-request sequence number;
+// round-robin spreads concurrent requests over distinct cache lines).
+func (c *Counters) Cell(group int, seq uint64) Cell {
+	base := (group*c.stripes + int(seq&c.mask)) * c.stride
+	return Cell{slots: c.cells[base : base+len(c.names)]}
+}
+
+// Inc adds 1 to counter i.
+func (c Cell) Inc(i int) { c.slots[i].Add(1) }
+
+// Add adds v to counter i.
+func (c Cell) Add(i int, v uint64) { c.slots[i].Add(v) }
+
+// Fold is one aggregation of a group's stripes, indexed by the schema.
+type Fold []uint64
+
+// Add accumulates o into f element-wise.
+func (f Fold) Add(o Fold) {
+	for i, v := range o {
+		f[i] += v
+	}
+}
+
+// Fold sums one group's stripes. Within each stripe the counters are read
+// in schema order (see the type comment for the write-ordering protocol).
+func (c *Counters) Fold(group int) Fold {
+	f := make(Fold, len(c.names))
+	for s := 0; s < c.stripes; s++ {
+		base := (group*c.stripes + s) * c.stride
+		for i := range f {
+			f[i] += c.cells[base+i].Load()
+		}
+	}
+	return f
+}
+
+// FoldAll folds every group.
+func (c *Counters) FoldAll() []Fold {
+	folds := make([]Fold, c.groups)
+	for g := range folds {
+		folds[g] = c.Fold(g)
+	}
+	return folds
+}

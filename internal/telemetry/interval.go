@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"github.com/tpctl/loadctl/internal/core"
+)
+
+// Interval is one closed measurement interval as exposed by /metrics —
+// the "sense" layer's unit of output, shared by every tier.
+type Interval struct {
+	// T is the interval end in seconds since process start.
+	T float64 `json:"t"`
+	// Load is the time-averaged number of in-flight transactions.
+	Load float64 `json:"load"`
+	// Throughput is commits per second.
+	Throughput float64 `json:"throughput"`
+	// RespTime is the mean response time in seconds of requests that
+	// completed in the interval (queueing + execution + retries).
+	RespTime float64 `json:"resp_time"`
+	// AbortRate is CC aborts per commit. When no commit landed in the
+	// interval it is aborts per attempt, which is 1.0 whenever any
+	// attempt ran (every attempt aborted) and 0 for an idle interval.
+	AbortRate float64 `json:"abort_rate"`
+	// Limit is the bound installed at the interval end.
+	Limit float64 `json:"limit"`
+	// Commits and Aborts are raw event counts in the interval.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+}
+
+// Accum is the folded-counter subset one measurement interval derives
+// from: commit/abort/latency accumulators plus the admission entry/exit
+// event counts and timestamp sums feeding the load integrator. All fields
+// are monotone totals since start; CloseInterval differences two Accums
+// under modular uint64 arithmetic, so wrapped sums stay exact.
+type Accum struct {
+	Commits, Aborts     uint64
+	RespN, RespNanos    uint64
+	Entries, EntryNanos uint64
+	Exits, ExitNanos    uint64
+}
+
+// CloseInterval turns the (current, previous) accumulator pair into the
+// closed-interval statistics and the controller sample, using the actually
+// elapsed window dtNanos ending at nowNanos (both nanos since start).
+//
+// Load integral over the closed interval: with admission entry times e_i
+// and exit times x_j (nanos since start),
+//
+//	∫_{T0}^{T1} n(t) dt = n(T0)·Δt + Σ_{e_i∈(T0,T1]} (T1−e_i)
+//	                               − Σ_{x_j∈(T0,T1]} (T1−x_j).
+//
+// Both Σ terms fall out of the monotone per-stripe counts and timestamp
+// sums via modular uint64 arithmetic — exact even after the sums wrap. A
+// fold racing a writer can catch a timestamp without its count (or vice
+// versa), throwing a term off by the absolute timestamp scale; relTerm
+// detects that and degrades gracefully.
+func CloseInterval(t float64, cur, prev Accum, nowNanos, dtNanos int64) (Interval, core.Sample) {
+	dt := float64(dtNanos) / 1e9
+	commits := cur.Commits - prev.Commits
+	aborts := cur.Aborts - prev.Aborts
+	respN := cur.RespN - prev.RespN
+	respNanos := cur.RespNanos - prev.RespNanos
+
+	dE := cur.Entries - prev.Entries
+	dX := cur.Exits - prev.Exits
+	relE := relTerm(int64(dE*uint64(nowNanos)-(cur.EntryNanos-prev.EntryNanos)), int64(dE), dtNanos)
+	relX := relTerm(int64(dX*uint64(nowNanos)-(cur.ExitNanos-prev.ExitNanos)), int64(dX), dtNanos)
+	activeStart := int64(prev.Entries - prev.Exits)
+	load := (float64(activeStart)*float64(dtNanos) + float64(relE) - float64(relX)) / float64(dtNanos)
+	if load < 0 {
+		load = 0
+	}
+
+	sample := core.Sample{
+		Time:        t,
+		Load:        load,
+		Throughput:  float64(commits) / dt,
+		Completions: commits,
+	}
+	sample.Perf = sample.Throughput
+	if respN > 0 {
+		sample.RespTime = float64(respNanos) / 1e9 / float64(respN)
+	}
+	switch {
+	case commits > 0:
+		sample.ConflictRate = float64(aborts) / float64(commits)
+	case aborts > 0:
+		// No commit landed, so attempts == aborts and the documented
+		// aborts-per-attempt fallback is exactly 1.
+		sample.ConflictRate = 1
+	}
+	iv := Interval{
+		T:          sample.Time,
+		Load:       sample.Load,
+		Throughput: sample.Throughput,
+		RespTime:   sample.RespTime,
+		AbortRate:  sample.ConflictRate,
+		Commits:    commits,
+		Aborts:     aborts,
+	}
+	return iv, sample
+}
+
+// relTerm bounds a reconstructed Σ(T1−t_i) term to its possible span
+// [0, count·Δt] (all the interval's events at the boundary either way).
+// An out-of-range value means a fold raced a writer and leaked a
+// timestamp into the delta-sum without its count (or the reverse): the
+// leak is on the order of nanos-since-start, so the term is unusable,
+// not merely imprecise. Substituting the uniform-arrivals midpoint
+// count·Δt/2 bounds the damage of such a race to half an interval's
+// span instead of collapsing the whole term to an extreme.
+func relTerm(v, count, dtNanos int64) int64 {
+	max := count * dtNanos
+	if v < 0 || v > max {
+		return max / 2
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// The streaming statistics below predate the striped machinery: they are
+// the simulation-era single-writer accumulators (internal/metrics
+// re-exports them for the simulator and experiment harness). They live
+// here so the repository has exactly one implementation of each.
+
+// Welford accumulates streaming mean and variance without storing samples.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// CV returns the coefficient of variation (std/mean); 0 when mean is 0.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Std() / math.Abs(w.mean)
+}
+
+// CI returns the half-width of the confidence interval for the mean at the
+// given z quantile (e.g. 1.96 for 95%).
+func (w *Welford) CI(z float64) float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	return z * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// TimeWeighted tracks the time average of a piecewise-constant signal, such
+// as the number of active transactions n(t). It is the float-time,
+// single-writer counterpart of the striped integrator in CloseInterval —
+// the simulator senses through this, the serving tiers through Counters.
+type TimeWeighted struct {
+	lastT   float64
+	lastV   float64
+	area    float64
+	started bool
+	startT  float64
+	max     float64
+}
+
+// Set records that the signal changed to v at time t. Calls must have
+// non-decreasing t.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.startT = t
+	} else {
+		if t < tw.lastT {
+			panic(fmt.Sprintf("telemetry: time went backwards %v < %v", t, tw.lastT))
+		}
+		tw.area += tw.lastV * (t - tw.lastT)
+	}
+	tw.lastT, tw.lastV = t, v
+	if v > tw.max {
+		tw.max = v
+	}
+}
+
+// Mean returns the time average over [start, t].
+func (tw *TimeWeighted) Mean(t float64) float64 {
+	if !tw.started || t <= tw.startT {
+		return tw.lastV
+	}
+	return (tw.area + tw.lastV*(t-tw.lastT)) / (t - tw.startT)
+}
+
+// Value returns the current value of the signal.
+func (tw *TimeWeighted) Value() float64 { return tw.lastV }
+
+// Max returns the maximum value seen.
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// ResetAt restarts the averaging window at time t, keeping the current
+// value (used at measurement-interval boundaries).
+func (tw *TimeWeighted) ResetAt(t float64) {
+	v := tw.lastV
+	*tw = TimeWeighted{}
+	tw.Set(t, v)
+}
+
+// FixedHistogram is a fixed-width bucket histogram over [Lo, Hi);
+// out-of-range observations clamp into the edge buckets. Unlike Histogram
+// it is single-writer (the simulator's collector), with a caller-chosen
+// range.
+type FixedHistogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// NewFixedHistogram returns a histogram with n buckets spanning [lo, hi).
+func NewFixedHistogram(lo, hi float64, n int) *FixedHistogram {
+	if n < 1 || hi <= lo {
+		panic("telemetry: invalid histogram shape")
+	}
+	return &FixedHistogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records an observation.
+func (h *FixedHistogram) Add(v float64) {
+	h.count++
+	h.sum += v
+	idx := int(float64(len(h.Buckets)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *FixedHistogram) Count() uint64 { return h.count }
+
+// Mean returns the observation mean.
+func (h *FixedHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an approximate q-quantile from the buckets.
+func (h *FixedHistogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			return h.Lo + width*(float64(i)+0.5)
+		}
+	}
+	return h.Hi
+}

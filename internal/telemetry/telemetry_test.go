@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCountersFoldSumsStripesAndGroups(t *testing.T) {
+	c := NewCounters(2, "a", "b", "c")
+	// Spread adds over every stripe of both groups.
+	for seq := uint64(0); seq < uint64(4*c.Stripes()); seq++ {
+		cell := c.Cell(int(seq%2), seq)
+		cell.Inc(0)
+		cell.Add(1, 2)
+	}
+	for g := 0; g < 2; g++ {
+		f := c.Fold(g)
+		want := uint64(2 * c.Stripes())
+		if f[0] != want || f[1] != 2*want || f[2] != 0 {
+			t.Fatalf("group %d fold = %v, want [%d %d 0]", g, f, want, 2*want)
+		}
+	}
+	all := c.FoldAll()
+	if len(all) != 2 {
+		t.Fatalf("FoldAll returned %d groups", len(all))
+	}
+	var agg Fold = make(Fold, 3)
+	agg.Add(all[0])
+	agg.Add(all[1])
+	if agg[0] != uint64(4*c.Stripes()) {
+		t.Fatalf("aggregate counter 0 = %d, want %d", agg[0], 4*c.Stripes())
+	}
+}
+
+func TestCountersConcurrentFoldNeverLoses(t *testing.T) {
+	c := NewCounters(1, "events")
+	const writers, per = 8, 5000
+	var writerWG, folderWG sync.WaitGroup
+	stop := make(chan struct{})
+	folderWG.Add(1)
+	go func() { // concurrent folds while writers run
+		defer folderWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Fold(0)
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < per; i++ {
+				c.Cell(0, uint64(w*per+i)).Inc(0)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	folderWG.Wait()
+	if got := c.Fold(0)[0]; got != writers*per {
+		t.Fatalf("folded %d events, want %d", got, writers*per)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("empty histogram count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram q%.2f = %v, want 0", q, v)
+		}
+	}
+	if s := h.Summary(); s != (Quantiles{}) {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(0.010) // 10ms
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	// Every quantile of a single observation is that observation, within
+	// the ±~10% bucket resolution.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 0.008 || v > 0.0125 {
+			t.Fatalf("single-sample q%.2f = %v, want ~0.010 (±~10%%)", q, v)
+		}
+	}
+}
+
+func TestHistogramTinySampleBucketZero(t *testing.T) {
+	var h Histogram
+	h.Observe(1e-9) // below HistBase: bucket 0
+	h.Observe(0)
+	h.Observe(-1) // nonsensical but must not panic or escape bucket 0
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// All three land in bucket 0, whose geometric midpoint is
+	// HistBase·2^(1/8) — any quantile must stay within that bucket.
+	if v := h.Quantile(0.99); v > HistBase*math.Pow(2, 0.25) {
+		t.Fatalf("sub-base samples escaped bucket 0: quantile %v", v)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1e12) // far beyond the last bucket: clamps, no panic
+	top := HistBase * math.Pow(2, (HistBuckets-1+0.5)/4)
+	if v := h.Quantile(0.5); math.Abs(v-top)/top > 1e-9 {
+		t.Fatalf("overflow sample quantile = %v, want top-bucket midpoint %v", v, top)
+	}
+	// Mixed: one normal, one overflow — p99 must sit in the overflow
+	// bucket, p50 near the normal sample.
+	var m Histogram
+	for i := 0; i < 99; i++ {
+		m.Observe(0.001)
+	}
+	m.Observe(1e12)
+	if v := m.Quantile(0.5); v < 0.0008 || v > 0.00125 {
+		t.Fatalf("mixed p50 = %v, want ~0.001", v)
+	}
+	if v := m.Quantile(1); math.Abs(v-top)/top > 1e-9 {
+		t.Fatalf("mixed p100 = %v, want top-bucket midpoint %v", v, top)
+	}
+}
+
+func TestCloseIntervalBasics(t *testing.T) {
+	// One second interval, two commits, one abort, a steady population of
+	// exactly one transaction (entered at 0, still in at close; a second
+	// entered and exited covering the rest).
+	const sec = int64(1e9)
+	prev := Accum{}
+	cur := Accum{
+		Commits: 2, Aborts: 1,
+		RespN: 2, RespNanos: uint64(2 * sec / 10), // 100ms each
+		Entries: 1, EntryNanos: 0, // entered at t=0
+		Exits: 0,
+	}
+	iv, s := CloseInterval(1.0, cur, prev, sec, sec)
+	if iv.Commits != 2 || iv.Aborts != 1 {
+		t.Fatalf("interval counts = %d/%d", iv.Commits, iv.Aborts)
+	}
+	if iv.Throughput != 2 {
+		t.Fatalf("throughput = %v, want 2", iv.Throughput)
+	}
+	if math.Abs(iv.RespTime-0.1) > 1e-9 {
+		t.Fatalf("resp time = %v, want 0.1", iv.RespTime)
+	}
+	if iv.AbortRate != 0.5 {
+		t.Fatalf("abort rate = %v, want 0.5", iv.AbortRate)
+	}
+	// One transaction in flight the whole second: load 1.
+	if math.Abs(iv.Load-1) > 1e-9 {
+		t.Fatalf("load = %v, want 1", iv.Load)
+	}
+	if s.ConflictRate != 0.5 || s.Completions != 2 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestCloseIntervalAllAborted(t *testing.T) {
+	iv, _ := CloseInterval(1, Accum{Aborts: 5}, Accum{}, 1e9, 1e9)
+	if iv.AbortRate != 1 {
+		t.Fatalf("all-aborted interval rate = %v, want 1", iv.AbortRate)
+	}
+	iv, _ = CloseInterval(2, Accum{}, Accum{}, 2e9, 1e9)
+	if iv.AbortRate != 0 {
+		t.Fatalf("idle interval rate = %v, want 0", iv.AbortRate)
+	}
+}
+
+func TestCloseIntervalRacyTermClampsToMidpoint(t *testing.T) {
+	// A fold that caught a timestamp sum without its count produces an
+	// absurd Σ term; the midpoint fallback must keep load within
+	// [0, activeStart + entries].
+	const sec = int64(1e9)
+	cur := Accum{Entries: 1, EntryNanos: uint64(1e18)} // garbage sum
+	iv, _ := CloseInterval(1, cur, Accum{}, sec, sec)
+	if iv.Load < 0 || iv.Load > 1 {
+		t.Fatalf("racy fold load = %v, want within [0, 1]", iv.Load)
+	}
+}

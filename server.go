@@ -76,6 +76,11 @@ type ServerConfig struct {
 	// before closing their connections (default 10s; keep it above
 	// QueueTimeout so queued admissions resolve rather than being cut).
 	DrainTimeout time.Duration
+	// TraceLen bounds the controller decision trace: every measurement
+	// tick records the (sample, decision, new limit) triple it fed the
+	// controller, and GET /controller?trace=1 exports the last TraceLen
+	// of them for live inspection or offline replay (0 = default of 256).
+	TraceLen int
 	// Seed derives access-set sampling streams (0 = deterministic default).
 	Seed int64
 }
@@ -115,6 +120,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		MaxRetry:        cfg.MaxRetry,
 		QueueTimeout:    cfg.QueueTimeout,
 		Reject:          cfg.Reject,
+		TraceLen:        cfg.TraceLen,
 		Seed:            cfg.Seed,
 	})
 	if err != nil {
