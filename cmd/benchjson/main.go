@@ -10,11 +10,18 @@
 // iteration count, ns/op, and — when the benchmark reports allocations —
 // B/op and allocs/op. Non-benchmark lines (PASS, ok, goos/goarch headers)
 // are skipped; pkg headers annotate the following benchmarks.
+//
+// With -max-allocs N the tool doubles as a CI regression gate: after
+// emitting the JSON it exits 1 if any benchmark matched by -match reports
+// more than N allocs/op — the check that keeps the request hot path at its
+// audited allocation count (a time/op gate would flake on shared CI
+// hardware; an allocation count is exact and machine-independent).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -32,6 +39,10 @@ type Result struct {
 }
 
 func main() {
+	maxAllocs := flag.Int64("max-allocs", -1, "exit 1 if a matched benchmark exceeds this many allocs/op (-1 = no gate)")
+	match := flag.String("match", "", "substring of benchmark names the -max-allocs gate applies to (empty = every benchmark reporting allocations)")
+	flag.Parse()
+
 	var results []Result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -79,5 +90,31 @@ func main() {
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
+	}
+	if *maxAllocs >= 0 {
+		gated, failed := 0, false
+		for _, r := range results {
+			if *match != "" && !strings.Contains(r.Name, *match) {
+				continue
+			}
+			if r.AllocsPerOp == 0 && r.BytesPerOp == 0 {
+				continue // benchmark did not report allocations
+			}
+			gated++
+			if r.AllocsPerOp > *maxAllocs {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %d allocs/op exceeds the gate of %d\n",
+					r.Name, r.AllocsPerOp, *maxAllocs)
+			}
+		}
+		if gated == 0 {
+			// A gate that matched nothing is a misconfigured gate, not a
+			// pass: fail loudly instead of green-lighting a typo.
+			fmt.Fprintf(os.Stderr, "benchjson: -max-allocs gate matched no benchmark (match %q)\n", *match)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 }

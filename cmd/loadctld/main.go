@@ -53,6 +53,8 @@ func main() {
 		reject       = flag.Bool("reject", false, "non-blocking admission: full gate answers 429")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: max wait for in-flight transactions after SIGTERM")
 		traceLen     = flag.Int("trace-len", 0, "controller decision-trace ring size for /controller?trace=1 (0 = default)")
+		traceSample  = flag.Int("trace-sample", 0, "request-trace head-sampling period for /debug/requests: 1 in N requests (0 = default 1024, negative = tail capture only)")
+		debugAddr    = flag.String("debug-addr", "", "debug listen address for /debug/pprof and /debug/requests (empty = off)")
 		seed         = flag.Int64("seed", 1, "access-set sampling seed")
 	)
 	flag.Parse()
@@ -90,6 +92,8 @@ func main() {
 		Reject:          *reject,
 		DrainTimeout:    *drainTimeout,
 		TraceLen:        *traceLen,
+		TraceSample:     *traceSample,
+		DebugAddr:       *debugAddr,
 		Seed:            *seed,
 	})
 	if err != nil {

@@ -34,16 +34,20 @@ import (
 	"time"
 
 	"github.com/tpctl/loadctl/internal/cluster"
+	"github.com/tpctl/loadctl/internal/debughttp"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "proxy listen address")
-		backends  = flag.String("backends", "", "comma-separated backend base URLs (host:port accepted); required")
-		policy    = flag.String("policy", "threshold", "routing policy: round-robin, least-inflight, threshold")
-		healthInt = flag.Duration("health-interval", 500*time.Millisecond, "active health-check period")
-		tuneInt   = flag.Duration("tune-interval", 0, "control-loop period for policy self-tuning and the decision trace (0 = health-interval)")
-		deadAfter = flag.Int("dead-after", 2, "consecutive failed health checks before a backend is marked dead")
+		addr        = flag.String("addr", ":8080", "proxy listen address")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs (host:port accepted); required")
+		policy      = flag.String("policy", "threshold", "routing policy: round-robin, least-inflight, threshold")
+		healthInt   = flag.Duration("health-interval", 500*time.Millisecond, "active health-check period")
+		tuneInt     = flag.Duration("tune-interval", 0, "control-loop period for policy self-tuning and the decision trace (0 = health-interval)")
+		deadAfter   = flag.Int("dead-after", 2, "consecutive failed health checks before a backend is marked dead")
+		traceSample = flag.Int("trace-sample", 0, "request-trace head-sampling period for /debug/requests: 1 in N requests (0 = default 1024, negative = tail capture only)")
+		debugAddr   = flag.String("debug-addr", "", "debug listen address for /debug/pprof and /debug/requests (empty = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +66,7 @@ func main() {
 		HealthInterval: *healthInt,
 		TuneInterval:   *tuneInt,
 		DeadAfter:      *deadAfter,
+		ReqTrace:       reqtrace.Config{SampleEvery: *traceSample},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +79,13 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("loadctlproxy: listen %s: %v", *addr, err)
+	}
+	if *debugAddr != "" {
+		dmux := debughttp.Mux()
+		dmux.Handle("/debug/requests", p.Requests().Handler())
+		if err := debughttp.Serve(ctx, *debugAddr, dmux); err != nil {
+			log.Fatalf("loadctlproxy: debug listen %s: %v", *debugAddr, err)
+		}
 	}
 	fmt.Printf("loadctlproxy: routing on %s over %d backends (policy=%s health-interval=%s)\n",
 		*addr, len(urls), p.PolicyName(), *healthInt)

@@ -59,6 +59,7 @@ func main() {
 		queryFrac = flag.Float64("queryfrac", 0.25, "fraction of read-only queries")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 		seed      = flag.Int64("seed", 1, "random seed")
+		trace     = flag.Bool("trace", false, "mint an X-Loadctl-Trace ID per request (correlate with /debug/requests on proxy and backend)")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -89,6 +90,7 @@ func main() {
 		Duration: *dur,
 		Timeout:  *timeout,
 		Seed:     *seed,
+		Trace:    *trace,
 		Clients:  *clients,
 		Think:    sim.Exponential{Mu: think.Seconds()},
 		Mix: workload.Mix{

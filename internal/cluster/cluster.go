@@ -27,7 +27,8 @@
 // Endpoints: POST /txn (the routed data path), GET /metrics (Prometheus
 // text, ?format=json for a snapshot — the same dual-format contract as
 // loadctld), GET /healthz (proxy self-health: degraded/down as backends
-// disappear).
+// disappear), GET /debug/requests (captured per-request routing traces —
+// policy picks, relay attempts, failovers; see internal/reqtrace).
 package cluster
 
 import (
@@ -45,6 +46,7 @@ import (
 
 	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/telemetry"
 )
 
@@ -81,6 +83,14 @@ type Config struct {
 	// MaxBodyBytes caps the /txn request body the proxy buffers for
 	// retries (default 1MiB).
 	MaxBodyBytes int64
+	// ReqTrace parameterizes per-request tracing (head-sampling period,
+	// capture ring size, slow-tail depth — see reqtrace.Config). The Tier
+	// field is overridden to "proxy". The zero value gives the defaults:
+	// 1/1024 head sampling, ring 256, slowest 16. The proxy mints a trace
+	// ID for every request it has none for and forwards it in the
+	// X-Loadctl-Trace header, so backend traces of the same request share
+	// the ID.
+	ReqTrace reqtrace.Config
 	// Transport overrides the outbound HTTP transport (tests).
 	Transport http.RoundTripper
 }
@@ -196,6 +206,7 @@ type Proxy struct {
 
 	seq atomic.Uint64
 	tel *telemetry.Counters // striped hot-path counters (one group)
+	rec *reqtrace.Recorder  // per-request traces behind /debug/requests
 
 	loop *ctl.Loop // θ self-tuning + decision trace
 
@@ -236,9 +247,12 @@ func New(cfg Config) (*Proxy, error) {
 		seen[u] = true
 		p.backends = append(p.backends, &backend{url: u})
 	}
+	cfg.ReqTrace.Tier = "proxy"
+	p.rec = reqtrace.New(cfg.ReqTrace)
 	p.tel = telemetry.NewCounters(1, counterSchema...)
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/txn", p.handleTxn)
+	p.mux.Handle("/debug/requests", p.rec.Handler())
 	p.mux.Handle("/metrics", telemetry.MetricsEndpoint{
 		Snapshot: func(bool) any { return p.SnapshotNow() },
 		Prom:     func() *telemetry.PromText { return renderProm(p.SnapshotNow()) },
@@ -266,6 +280,10 @@ func (p *Proxy) Close() {
 
 // Policy returns the active routing policy's name.
 func (p *Proxy) PolicyName() string { return p.policy.Name() }
+
+// Requests returns the per-request trace recorder (the state behind
+// GET /debug/requests), for embedders mounting it on a debug listener.
+func (p *Proxy) Requests() *reqtrace.Recorder { return p.rec }
 
 func (p *Proxy) nowNanos() int64 { return time.Since(p.start).Nanoseconds() }
 
@@ -332,6 +350,19 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 	cell := p.tel.Cell(0, p.seq.Add(1))
 	cell.Inc(cRequests)
 
+	// Per-request tracing. The proxy is the edge: it reuses a client's
+	// trace ID or mints one, records its own routing spans under it, and
+	// forwards the ID so the chosen backend's trace joins this one.
+	traceID, hadTrace := reqtrace.FromRequest(r)
+	if !hadTrace {
+		traceID = reqtrace.NewID()
+	}
+	tr := p.rec.Begin(traceID)
+	idHex := reqtrace.FormatID(traceID)
+	if tr.Sampled() {
+		w.Header().Set(reqtrace.Header, idHex)
+	}
+
 	// Buffer the body once so a failed forward can be retried verbatim on
 	// another backend.
 	var body []byte
@@ -340,6 +371,7 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		body, err = io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxBodyBytes+1))
 		if err != nil {
 			cell.Inc(cDisconnects)
+			tr.Finish(reqtrace.StatusDisconnect, false)
 			return
 		}
 		if int64(len(body)) > p.cfg.MaxBodyBytes {
@@ -347,22 +379,26 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// Count it as served: it left through an HTTP answer the
 			// client saw, not through a routing door.
 			cell.Inc(cRelayed)
+			tr.Finish(reqtrace.StatusRelayed, true)
 			return
 		}
 	}
 
 	class := r.URL.Query().Get("class")
+	tr.Annotate(class)
 	var tried uint64
-	t0 := time.Now()
+	t0 := tr.Start()
 	for attempt := 0; ; attempt++ {
 		routable := p.routable(tried)
 		if len(routable) == 0 {
 			if attempt == 0 {
 				cell.Inc(cShedNoBackend)
 				fastReject(w, "no backend available")
+				tr.Finish(reqtrace.StatusShedNoBack, false)
 			} else {
 				cell.Inc(cFailed)
 				http.Error(w, "all backends failed", http.StatusBadGateway)
+				tr.Finish(reqtrace.StatusFailed, false)
 			}
 			return
 		}
@@ -372,25 +408,33 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// cluster is already giving; reject fast so clients back off.
 			cell.Inc(cShedOverload)
 			fastReject(w, fmt.Sprintf("cluster shedding class %q", class))
+			tr.Finish(reqtrace.StatusShedOverload, false)
 			return
 		}
+		pickStart := tr.Now()
 		i := p.pick(routable)
+		tr.Span(reqtrace.SpanPick, pickStart, "", i)
 		tried |= 1 << uint(i)
 		if attempt > 0 {
 			cell.Inc(cRetries)
 		}
-		done, err := p.forward(w, r, i, body)
+		relayStart := tr.Now()
+		done, err := p.forward(w, r, i, body, idHex)
 		if done {
+			tr.Span(reqtrace.SpanRelay, relayStart, reqtrace.DetailRelayed, i)
 			cell.Inc(cRelayed)
 			lat := time.Since(t0)
 			cell.Add(cRespNanos, uint64(lat.Nanoseconds()))
 			cell.Inc(cRespN)
+			tr.FinishWall(reqtrace.StatusRelayed, true, lat)
 			return
 		}
 		if r.Context().Err() != nil {
 			// The client went away; nothing to answer and no blame on the
 			// backend.
 			cell.Inc(cDisconnects)
+			tr.Span(reqtrace.SpanRelay, relayStart, reqtrace.DetailDisconnect, i)
+			tr.Finish(reqtrace.StatusDisconnect, false)
 			return
 		}
 		// Transport failure: the backend is unreachable. Mark it dead now
@@ -404,9 +448,14 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// decide — only dial-level failures, where the request
 			// provably never left the proxy, fail over transparently.
 			cell.Inc(cFailed)
+			tr.Span(reqtrace.SpanRelay, relayStart, reqtrace.DetailError, i)
 			http.Error(w, "backend failed mid-request", http.StatusBadGateway)
+			tr.Finish(reqtrace.StatusFailed, false)
 			return
 		}
+		// Dial-level failure: the at-most-once retry stays under the same
+		// trace ID, with this failed attempt on record.
+		tr.Span(reqtrace.SpanRelay, relayStart, reqtrace.DetailDialError, i)
 	}
 }
 
@@ -442,7 +491,7 @@ func retriableForward(err error) bool {
 // client; done=false with the transport error when the backend could not
 // be reached, leaving the ResponseWriter untouched so the caller may
 // retry elsewhere.
-func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []byte) (bool, error) {
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []byte, traceHex string) (bool, error) {
 	b := p.backends[i]
 	url := b.url + "/txn"
 	if r.URL.RawQuery != "" {
@@ -459,6 +508,10 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []by
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	// Propagate the trace ID: the backend records its spans under the
+	// same trace, and head sampling (a pure function of the ID) picks the
+	// same requests on both tiers.
+	req.Header.Set(reqtrace.Header, traceHex)
 	b.forwarded.Add(1)
 	b.inflight.Add(1)
 	t0 := time.Now()

@@ -54,15 +54,25 @@ type testBackend struct {
 }
 
 func startBackend(t *testing.T, svc time.Duration, pool float64, queueTimeout time.Duration) *testBackend {
+	return startBackendWith(t, svc, pool, queueTimeout, nil)
+}
+
+// startBackendWith is startBackend with a config hook (tracing knobs,
+// reject mode).
+func startBackendWith(t *testing.T, svc time.Duration, pool float64, queueTimeout time.Duration, mutate func(*server.Config)) *testBackend {
 	t.Helper()
 	eng := newAdjEngine(svc)
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Controller:   core.NewStatic(pool),
 		Engine:       eng,
 		Items:        1024,
 		Interval:     100 * time.Millisecond,
 		QueueTimeout: queueTimeout,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

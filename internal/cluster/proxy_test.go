@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 )
 
 // stub is a fake loadctld backend: /txn answers 200 with the configured
@@ -22,6 +23,7 @@ type stub struct {
 	sig        atomic.Pointer[loadsig.Signal]
 	failHealth atomic.Bool
 	txns       atomic.Uint64
+	lastTrace  atomic.Value // X-Loadctl-Trace header of the last /txn, string
 }
 
 func newStub(t *testing.T, sig loadsig.Signal) *stub {
@@ -31,6 +33,7 @@ func newStub(t *testing.T, sig loadsig.Signal) *stub {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/txn", func(w http.ResponseWriter, r *http.Request) {
 		s.txns.Add(1)
+		s.lastTrace.Store(r.Header.Get(reqtrace.Header))
 		cur := s.sig.Load()
 		w.Header().Set(loadsig.Header, cur.Encode())
 		w.Header().Set("Content-Type", "application/json")

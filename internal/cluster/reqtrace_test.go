@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/reqtrace"
+)
+
+// fetchDump reads GET /debug/requests from base.
+func fetchDump(t *testing.T, base string) reqtrace.Dump {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/requests: status %d", resp.StatusCode)
+	}
+	var dump reqtrace.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	return dump
+}
+
+// findTrace returns the first trace with the given ID, nil if absent.
+func findTrace(traces []*reqtrace.Trace, id string) *reqtrace.Trace {
+	for _, tr := range traces {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// postTraced posts /txn with a caller-chosen trace ID.
+func postTraced(t *testing.T, ts *httptest.Server, idHex string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/txn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(reqtrace.Header, idHex)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// deadAddr returns a URL that refuses connections: a listener bound and
+// immediately closed, so dialing it fails at the dial level.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+// TestFailoverTraceKeepsID pins the at-most-once failover's tracing
+// contract: a dial-level failure retries the request on another backend
+// under the *same* trace ID, and the proxy's trace records the failed
+// attempt (a relay span with detail dial-error naming the dead backend)
+// ahead of the successful relay.
+func TestFailoverTraceKeepsID(t *testing.T) {
+	b1 := newStub(t, okSignal())
+	p := newTestProxy(t, Config{
+		// Round-robin's first pick is the dead address; the failover lands
+		// on the healthy stub.
+		Backends:       []string{deadAddr(t), b1.ts.URL},
+		Policy:         "round-robin",
+		HealthInterval: time.Hour, // passive path only
+		SignalStale:    time.Hour,
+		ReqTrace:       reqtrace.Config{SampleEvery: 1},
+	})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	const id = "00000000000000ab"
+	resp := postTraced(t, ts, id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover answer: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(reqtrace.Header); got != id {
+		t.Fatalf("sampled response echoes trace %q, want %q", got, id)
+	}
+	if got, _ := b1.lastTrace.Load().(string); got != id {
+		t.Fatalf("backend received trace header %q, want the original %q", got, id)
+	}
+
+	tr := findTrace(fetchDump(t, ts.URL).Ring, id)
+	if tr == nil {
+		t.Fatalf("proxy ring has no trace %s", id)
+	}
+	if tr.Status != reqtrace.StatusRelayed || tr.Capture != reqtrace.CaptureHead {
+		t.Fatalf("trace %s: status=%q capture=%q, want relayed/head", id, tr.Status, tr.Capture)
+	}
+	var dialFail, relayed *reqtrace.Span
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if sp.Name != reqtrace.SpanRelay {
+			continue
+		}
+		switch sp.Detail {
+		case reqtrace.DetailDialError:
+			dialFail = sp
+		case reqtrace.DetailRelayed:
+			relayed = sp
+		}
+	}
+	if dialFail == nil || dialFail.N != 0 {
+		t.Fatalf("trace %s records no dial-error relay attempt on backend 0: %+v", id, tr.Spans)
+	}
+	if relayed == nil || relayed.N != 1 {
+		t.Fatalf("trace %s records no successful relay on backend 1: %+v", id, tr.Spans)
+	}
+	if relayed.StartNanos < dialFail.StartNanos+dialFail.DurNanos {
+		t.Fatalf("trace %s: successful relay starts before the failed attempt ended: %+v", id, tr.Spans)
+	}
+}
+
+// TestMidRequestFailureTraceTerminal pins the other half of at-most-once:
+// a post-dial failure (the request may have reached the backend) is NOT
+// replayed — the client gets 502 and the trace ends with a terminal error
+// relay span, still under the propagated ID.
+func TestMidRequestFailureTraceTerminal(t *testing.T) {
+	b0 := newStub(t, okSignal())
+	b1 := newStub(t, okSignal())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/txn", func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer not hijackable")
+			return
+		}
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close() // the request reached the backend, then the wire broke
+		}
+	})
+	mux.Handle("/healthz", b0.ts.Config.Handler)
+	breaker := httptest.NewServer(mux)
+	defer breaker.Close()
+
+	p := newTestProxy(t, Config{
+		Backends:       []string{breaker.URL, b1.ts.URL},
+		Policy:         "round-robin",
+		HealthInterval: time.Hour,
+		SignalStale:    time.Hour,
+		ReqTrace:       reqtrace.Config{SampleEvery: 1},
+	})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	const id = "00000000000000cd"
+	resp := postTraced(t, ts, id)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("mid-request failure: status %d, want 502", resp.StatusCode)
+	}
+	if n := b1.txns.Load(); n != 0 {
+		t.Fatalf("transaction replayed on backend 1 (%d executions)", n)
+	}
+
+	tr := findTrace(fetchDump(t, ts.URL).Ring, id)
+	if tr == nil {
+		t.Fatalf("proxy ring has no trace %s for the failed request", id)
+	}
+	if tr.Status != reqtrace.StatusFailed || tr.Capture != reqtrace.CaptureError {
+		t.Fatalf("trace %s: status=%q capture=%q, want failed/error", id, tr.Status, tr.Capture)
+	}
+	for _, sp := range tr.Spans {
+		if sp.Name == reqtrace.SpanRelay && sp.Detail == reqtrace.DetailDialError {
+			t.Fatalf("post-dial failure recorded as retriable dial error: %+v", tr.Spans)
+		}
+	}
+	last := tr.Spans[len(tr.Spans)-1]
+	if last.Name != reqtrace.SpanRelay || last.Detail != reqtrace.DetailError || last.N != 0 {
+		t.Fatalf("trace %s does not end in a terminal error relay span: %+v", id, tr.Spans)
+	}
+}

@@ -1,0 +1,46 @@
+// Package debughttp serves the operational debug surface — the
+// net/http/pprof profile handlers plus any tier-specific debug endpoints
+// — on its own listener, separate from the data path. Keeping it off the
+// serving mux means CPU/heap/block profiles can be taken under load
+// without exposing profiling on the public address, and the handlers are
+// mounted on a scoped mux rather than http.DefaultServeMux (importing
+// net/http/pprof for its side effect would silently publish profiles on
+// any other server in the process that serves the default mux).
+package debughttp
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux returns a fresh mux with the pprof handlers mounted under
+// /debug/pprof/. Callers add their own debug endpoints (e.g.
+// /debug/requests) before serving it.
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves mux until ctx ends; the listener closes on
+// context cancellation. The bind error is returned synchronously so a
+// mistyped -debug-addr fails fast instead of silently serving nothing.
+func Serve(ctx context.Context, addr string, mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		_ = hs.Close()
+	}()
+	go func() { _ = hs.Serve(ln) }()
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/tpctl/loadctl/internal/metrics"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/sim"
 	"github.com/tpctl/loadctl/internal/workload"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	MaxInFlight int
 	// Seed derives all random streams (arrivals, think times, mixes).
 	Seed int64
+	// Trace mints a fresh X-Loadctl-Trace ID for every request, making the
+	// load generator the tracing edge: the proxy and backend adopt the ID,
+	// so a request head-sampled by ID residue is captured in both tiers'
+	// /debug/requests rings under the same identifier.
+	Trace bool
 	// Client overrides the HTTP client (tests); Timeout is ignored then.
 	Client *http.Client
 }
@@ -148,22 +154,36 @@ type Report struct {
 	Updates uint64 `json:"updates"`
 	// Throughput is committed transactions per second of run time.
 	Throughput float64 `json:"throughput"`
-	// LatMean/LatP50/LatP95/LatP99 are response-time statistics in
-	// seconds over committed requests.
+	// LatMean/LatP50/LatP95/LatP99 are response-time statistics in seconds
+	// over committed requests, corrected for coordinated omission: in open
+	// loop each latency is measured from the request's *intended* send slot
+	// on the arrival schedule, not from whenever the generator actually got
+	// it onto the wire. When the generator falls behind (GC pause, CPU
+	// starvation, a stalled connection pool), the missed wait is service
+	// delay the schedule's client would have experienced — dropping it
+	// understates tail latency exactly when the system is in trouble.
 	LatMean float64 `json:"lat_mean"`
 	LatP50  float64 `json:"lat_p50"`
 	LatP95  float64 `json:"lat_p95"`
 	LatP99  float64 `json:"lat_p99"`
+	// LatRaw* are the uncorrected statistics, measured from the actual
+	// send: the classic (flattering) numbers. Corrected == raw when the
+	// generator kept pace; a gap between the two measures generator lag. In
+	// closed-loop mode there is no intended schedule, so the pairs match.
+	LatRawMean float64 `json:"lat_raw_mean"`
+	LatRawP50  float64 `json:"lat_raw_p50"`
+	LatRawP95  float64 `json:"lat_raw_p95"`
+	LatRawP99  float64 `json:"lat_raw_p99"`
 }
 
 // String renders the report as a human-readable block.
 func (r Report) String() string {
 	return fmt.Sprintf(
 		"%s-loop %.1fs: sent=%d committed=%d (%.1f tx/s) rejected=%d timeouts=%d aborted=%d shed=%d errors=%d unresolved=%d\n"+
-			"latency: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms (queries=%d updates=%d)",
+			"latency: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms (raw p99=%.1fms, queries=%d updates=%d)",
 		r.Mode, r.Duration, r.Sent, r.Committed, r.Throughput, r.Rejected, r.Timeouts,
 		r.Aborted, r.Shed, r.Errors, r.Unresolved,
-		1e3*r.LatMean, 1e3*r.LatP50, 1e3*r.LatP95, 1e3*r.LatP99, r.Queries, r.Updates)
+		1e3*r.LatMean, 1e3*r.LatP50, 1e3*r.LatP95, 1e3*r.LatP99, 1e3*r.LatRawP99, r.Queries, r.Updates)
 }
 
 // collector accumulates thread-safe run statistics.
@@ -172,9 +192,11 @@ type collector struct {
 	unresolved                                               atomic.Uint64
 	queries, updates                                         atomic.Uint64
 
-	mu   sync.Mutex
-	lat  metrics.Welford
-	hist *metrics.Histogram
+	mu      sync.Mutex
+	lat     metrics.Welford // corrected: from the intended send slot
+	rawLat  metrics.Welford // raw: from the actual send
+	hist    *metrics.Histogram
+	rawHist *metrics.Histogram
 }
 
 func newCollector(timeout time.Duration) *collector {
@@ -189,10 +211,13 @@ func newCollector(timeout time.Duration) *collector {
 	if buckets < 1 {
 		buckets = 1
 	}
-	return &collector{hist: metrics.NewHistogram(0, span, buckets)}
+	return &collector{
+		hist:    metrics.NewHistogram(0, span, buckets),
+		rawHist: metrics.NewHistogram(0, span, buckets),
+	}
 }
 
-func (c *collector) observe(status int, lat time.Duration, err error) {
+func (c *collector) observe(status int, lat, rawLat time.Duration, err error) {
 	if err != nil {
 		c.errs.Add(1)
 		return
@@ -203,6 +228,8 @@ func (c *collector) observe(status int, lat time.Duration, err error) {
 		c.mu.Lock()
 		c.lat.Add(lat.Seconds())
 		c.hist.Add(lat.Seconds())
+		c.rawLat.Add(rawLat.Seconds())
+		c.rawHist.Add(rawLat.Seconds())
 		c.mu.Unlock()
 	case http.StatusTooManyRequests:
 		c.rejected.Add(1)
@@ -238,6 +265,10 @@ func (c *collector) report(mode Mode, dur time.Duration) Report {
 	r.LatP50 = c.hist.Quantile(0.50)
 	r.LatP95 = c.hist.Quantile(0.95)
 	r.LatP99 = c.hist.Quantile(0.99)
+	r.LatRawMean = c.rawLat.Mean()
+	r.LatRawP50 = c.rawHist.Quantile(0.50)
+	r.LatRawP95 = c.rawHist.Quantile(0.95)
+	r.LatRawP99 = c.rawHist.Quantile(0.99)
 	c.mu.Unlock()
 	return r
 }
@@ -327,30 +358,45 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 // runOpen paces a non-homogeneous Poisson process: inter-arrival gaps are
 // exponential at the instantaneous rate Rate(t). Each arrival fires in its
 // own goroutine so slow responses never throttle the arrival process.
+//
+// Pacing follows an absolute intended-time schedule: each exponential gap
+// advances next from the previous intended slot, never from whenever the
+// loop actually woke up. If the generator falls behind (GC pause, CPU
+// starvation), subsequent arrivals fire back-to-back until the schedule
+// catches up, and each request's corrected latency is measured from its
+// intended slot. Pacing relative to the actual wake time instead would
+// silently slow the offered load and hide the backlog — the coordinated
+// omission trap.
 func runOpen(ctx context.Context, cfg Config, tg *targets, col *collector, start time.Time, wg *sync.WaitGroup) {
 	pacer := sim.Stream(cfg.Seed, 1)
 	mixer := sim.Stream(cfg.Seed, 2)
 	sem := make(chan struct{}, cfg.MaxInFlight)
+	next := start
 	for {
-		t := time.Since(start).Seconds()
+		t := next.Sub(start).Seconds()
 		rate := cfg.Rate.Value(t)
 		dormant := rate <= 0 || math.IsNaN(rate)
-		var gap time.Duration
 		if dormant {
-			// Dormant schedule: poll for it to come back to life.
-			gap = 10 * time.Millisecond
+			// Dormant schedule: step the intended clock forward in poll
+			// increments until the rate comes back to life.
+			next = next.Add(10 * time.Millisecond)
 		} else {
-			gap = time.Duration(pacer.Exp(1/rate) * float64(time.Second))
+			next = next.Add(time.Duration(pacer.Exp(1/rate) * float64(time.Second)))
 		}
-		select {
-		case <-ctx.Done():
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			// Behind schedule: fire immediately, but still honor run end.
 			return
-		case <-time.After(gap):
 		}
 		if dormant {
 			continue
 		}
-		class, k := sampleTxn(mixer, cfg.Mix, time.Since(start).Seconds())
+		class, k := sampleTxn(mixer, cfg.Mix, next.Sub(start).Seconds())
 		select {
 		case sem <- struct{}{}:
 		default:
@@ -358,11 +404,12 @@ func runOpen(ctx context.Context, cfg Config, tg *targets, col *collector, start
 			continue
 		}
 		base := tg.next()
+		intended := next
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			doRequest(ctx, cfg, base, col, class, k)
+			doRequest(ctx, cfg, base, col, class, k, intended)
 		}()
 	}
 }
@@ -385,7 +432,9 @@ func runClosed(ctx context.Context, cfg Config, tg *targets, col *collector, sta
 				case <-time.After(think):
 				}
 				class, k := sampleTxn(rng, cfg.Mix, time.Since(start).Seconds())
-				doRequest(ctx, cfg, base, col, class, k)
+				// No intended slot: a closed-loop client genuinely waits
+				// for each response, so the raw latency is the honest one.
+				doRequest(ctx, cfg, base, col, class, k, time.Time{})
 			}
 		}(i)
 	}
@@ -401,13 +450,15 @@ func sampleTxn(rng *sim.RNG, mix workload.Mix, t float64) (class string, k int) 
 }
 
 // txnParams is everything one POST /txn carries. Class/Shape empty means
-// "server decides"; Span 0 means the full store.
+// "server decides"; Span 0 means the full store. Trace mints a fresh
+// X-Loadctl-Trace ID on the request.
 type txnParams struct {
 	Class string
 	Shape string
 	K     int
 	Base  int
 	Span  int
+	Trace bool
 }
 
 // url renders the query string against the server base URL.
@@ -440,14 +491,18 @@ func (p txnParams) url(base string) string {
 }
 
 // doRequest performs one POST /txn round trip and records the outcome.
-func doRequest(ctx context.Context, cfg Config, base string, col *collector, class string, k int) {
-	issueRequest(ctx, cfg.Client, base, col, txnParams{Class: class, K: k})
+// intended is the request's slot on the arrival schedule (zero when there
+// is none — closed loop, scenario probes).
+func doRequest(ctx context.Context, cfg Config, base string, col *collector, class string, k int, intended time.Time) {
+	issueRequest(ctx, cfg.Client, base, col, txnParams{Class: class, K: k, Trace: cfg.Trace}, intended)
 }
 
 // issueRequest is the shared request primitive under both the schedule
 // replayer and the scenario engine. It returns the HTTP status (0 when
-// the request never completed).
-func issueRequest(ctx context.Context, client *http.Client, base string, col *collector, p txnParams) int {
+// the request never completed). A non-zero intended timestamps the
+// request's slot on the arrival schedule; the corrected latency is
+// measured from it (raw latency always runs from the actual send).
+func issueRequest(ctx context.Context, client *http.Client, base string, col *collector, p txnParams, intended time.Time) int {
 	// The pacing selects racing ctx.Done against a zero timer can let an
 	// arrival through after run end; don't count a request never sent.
 	if ctx.Err() != nil {
@@ -476,6 +531,9 @@ func issueRequest(ctx context.Context, client *http.Client, base string, col *co
 		col.errs.Add(1)
 		return 0
 	}
+	if p.Trace {
+		req.Header.Set(reqtrace.Header, reqtrace.FormatID(reqtrace.NewID()))
+	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -485,12 +543,19 @@ func issueRequest(ctx context.Context, client *http.Client, base string, col *co
 		if ctx.Err() != nil {
 			col.unresolved.Add(1)
 		} else {
-			col.observe(0, 0, err)
+			col.observe(0, 0, 0, err)
 		}
 		return 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	col.observe(resp.StatusCode, time.Since(t0), nil)
+	raw := time.Since(t0)
+	lat := raw
+	if !intended.IsZero() {
+		// Corrected latency: what a client that showed up on schedule
+		// experienced, generator lag included.
+		lat = time.Since(intended)
+	}
+	col.observe(resp.StatusCode, lat, raw, nil)
 	return resp.StatusCode
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/sim"
 	"github.com/tpctl/loadctl/internal/workload"
 )
@@ -228,5 +229,105 @@ func TestReportString(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "committed=8") || !strings.Contains(s, "open-loop") {
 		t.Fatalf("unusable report string %q", s)
+	}
+}
+
+// TestCoordinatedOmissionCorrection drives issueRequest with an intended
+// send slot in the past — the situation after a generator stall — and
+// checks that the corrected latency includes the missed wait while the raw
+// latency stays at the actual round-trip time. Measuring only from the
+// actual send is the coordinated-omission trap: the stall's delay would
+// vanish from the percentiles exactly when the system was slowest.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	ts := httptest.NewServer((&stubServer{}).handler())
+	defer ts.Close()
+
+	col := newCollector(time.Second)
+	const lag = 150 * time.Millisecond
+	for i := 0; i < 4; i++ {
+		intended := time.Now().Add(-lag) // generator woke up lag late
+		if st := issueRequest(context.Background(), ts.Client(), ts.URL, col, txnParams{Class: "query"}, intended); st != http.StatusOK {
+			t.Fatalf("status %d", st)
+		}
+	}
+	rep := col.report(Open, time.Second)
+	if rep.LatMean < lag.Seconds() {
+		t.Fatalf("corrected mean %.1fms lost the %.0fms schedule lag", 1e3*rep.LatMean, 1e3*lag.Seconds())
+	}
+	if rep.LatRawMean >= lag.Seconds() {
+		t.Fatalf("raw mean %.1fms includes schedule lag; want actual round-trip only", 1e3*rep.LatRawMean)
+	}
+	if rep.LatP99 < rep.LatRawP99 {
+		t.Fatalf("corrected p99 %.1fms below raw p99 %.1fms", 1e3*rep.LatP99, 1e3*rep.LatRawP99)
+	}
+
+	// Without an intended slot (closed loop, scenario probes) both tracks
+	// must agree.
+	col = newCollector(time.Second)
+	if st := issueRequest(context.Background(), ts.Client(), ts.URL, col, txnParams{Class: "query"}, time.Time{}); st != http.StatusOK {
+		t.Fatalf("status %d", st)
+	}
+	rep = col.report(Closed, time.Second)
+	if rep.LatMean != rep.LatRawMean {
+		t.Fatalf("no schedule, but corrected mean %.3fms != raw mean %.3fms", 1e3*rep.LatMean, 1e3*rep.LatRawMean)
+	}
+}
+
+// TestOpenLoopPacesAbsoluteSchedule checks that open-loop pacing does not
+// slow down when responses are slow: with arrivals fired from an absolute
+// intended-time schedule, a server stalling every request must not reduce
+// the offered request count (the generator would otherwise need a response
+// before scheduling the next arrival).
+func TestOpenLoopPacesAbsoluteSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(80 * time.Millisecond) // far slower than the arrival gap
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	const rate, secs = 200.0, 1.0
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Mode:     Open,
+		Rate:     workload.Constant{V: rate},
+		Duration: time.Duration(secs * float64(time.Second)),
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rep.Sent) < 0.6*rate*secs {
+		t.Fatalf("slow responses throttled the open loop: sent %d, want about %.0f", rep.Sent, rate*secs)
+	}
+}
+
+// TestTraceMinting checks that Config.Trace stamps a parseable
+// X-Loadctl-Trace ID on every request, making the generator the tracing
+// edge of the request path.
+func TestTraceMinting(t *testing.T) {
+	var missing, seen atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := reqtrace.FromRequest(r); ok {
+			seen.Add(1)
+		} else {
+			missing.Add(1)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	if _, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Mode:     Closed,
+		Clients:  2,
+		Think:    sim.Constant{V: 0.001},
+		Duration: 200 * time.Millisecond,
+		Seed:     2,
+		Trace:    true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() == 0 || missing.Load() != 0 {
+		t.Fatalf("trace minting: %d requests carried an ID, %d did not", seen.Load(), missing.Load())
 	}
 }

@@ -774,7 +774,9 @@ func (r *streamRunner) request(ctx context.Context, base string, p txnParams) {
 		backoff = time.Duration(r.cfg.Retry.BackoffMS * float64(time.Millisecond))
 	}
 	for attempt := 0; ; attempt++ {
-		status := issueRequest(ctx, r.client, base, r.col, p)
+		// Scenario streams have no global arrival schedule to measure from
+		// (each stream paces itself), so they report raw latency only.
+		status := issueRequest(ctx, r.client, base, r.col, p, time.Time{})
 		if attempt >= max || !retryOn[status] {
 			break
 		}

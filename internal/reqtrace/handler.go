@@ -1,0 +1,66 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Counts are the recorder's monotone capture counters.
+type Counts struct {
+	// Started counts Begin calls — every traced request, captured or not.
+	Started uint64 `json:"started"`
+	// Head/Errors/Slow count captures by door. A trace that is both
+	// head-sampled and slow counts in both.
+	Head   uint64 `json:"head"`
+	Errors uint64 `json:"errors"`
+	Slow   uint64 `json:"slow"`
+}
+
+// Dump is the JSON document served by GET /debug/requests: the capture
+// configuration, the counters, the head/error ring (oldest first) and the
+// slow tail (slowest first).
+type Dump struct {
+	Tier        string   `json:"tier"`
+	SampleEvery int      `json:"sample_every"`
+	RingSize    int      `json:"ring_size"`
+	SlowN       int      `json:"slow_n"`
+	Counts      Counts   `json:"counts"`
+	Ring        []*Trace `json:"ring"`
+	Slowest     []*Trace `json:"slowest"`
+}
+
+// Dump snapshots the retained traces.
+func (r *Recorder) Dump() Dump {
+	slowN := r.cfg.SlowN
+	if slowN < 0 {
+		slowN = 0
+	}
+	return Dump{
+		Tier:        r.cfg.Tier,
+		SampleEvery: r.SampleEvery(),
+		RingSize:    r.cfg.RingSize,
+		SlowN:       slowN,
+		Counts: Counts{
+			Started: r.started.Load(),
+			Head:    r.capHead.Load(),
+			Errors:  r.capError.Load(),
+			Slow:    r.capSlow.Load(),
+		},
+		Ring:    r.ring.snapshot(),
+		Slowest: r.slow.snapshot(),
+	}
+}
+
+// Handler serves the dump as GET /debug/requests.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Dump())
+	})
+}

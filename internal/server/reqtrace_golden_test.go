@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/reqtrace"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// TestDebugRequestsGolden exercises the /debug/requests contract end to
+// end: the JSON document round-trips through the exported Dump type
+// byte-for-byte (so the wire schema and the Go schema cannot drift apart),
+// and the captured traces reconcile with the rest of the system — span
+// durations sum to at most the trace wall time, and each committed trace's
+// wall time lands in exactly the telemetry histogram bucket the request
+// incremented (FinishWall records the histogram's own sample, so the
+// agreement is exact, not approximate).
+func TestDebugRequestsGolden(t *testing.T) {
+	s, ts := newTestServer(t, 64, func(c *Config) {
+		c.ReqTrace = reqtrace.Config{SampleEvery: 1} // capture every request
+	})
+
+	const n = 24
+	for i := 0; i < n; i++ {
+		if code, tr := postTxn(t, ts.URL, "?class=update&k=4"); code != http.StatusOK {
+			t.Fatalf("txn %d: got %d/%+v", i, code, tr)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/requests: status %d, read err %v", resp.StatusCode, err)
+	}
+
+	// Golden round-trip: decode into the exported schema, re-encode with
+	// the handler's formatting, require identical bytes. Any field the
+	// handler emits that Dump does not carry (or vice versa) fails here.
+	var dump reqtrace.Dump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("decoding /debug/requests: %v", err)
+	}
+	re, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re = append(re, '\n') // json.Encoder terminates the document
+	if !bytes.Equal(raw, re) {
+		t.Fatalf("/debug/requests does not round-trip:\ngot:\n%s\nre-encoded:\n%s", raw, re)
+	}
+
+	if dump.Tier != "server" || dump.SampleEvery != 1 {
+		t.Fatalf("dump header: tier=%q sample_every=%d", dump.Tier, dump.SampleEvery)
+	}
+	if len(dump.Ring) != n {
+		t.Fatalf("ring holds %d traces, want all %d", len(dump.Ring), n)
+	}
+
+	// Span reconciliation and the histogram-bucket agreement.
+	perBucket := map[int]uint64{}
+	for _, tr := range dump.Ring {
+		var spanSum int64
+		for _, sp := range tr.Spans {
+			if sp.StartNanos < 0 || sp.DurNanos < 0 {
+				t.Fatalf("trace %s: negative span %+v", tr.ID, sp)
+			}
+			if sp.StartNanos+sp.DurNanos > tr.WallNanos {
+				t.Fatalf("trace %s: span %+v ends after wall %dns", tr.ID, sp, tr.WallNanos)
+			}
+			spanSum += sp.DurNanos
+		}
+		if spanSum > tr.WallNanos {
+			t.Fatalf("trace %s: spans sum to %dns > wall %dns", tr.ID, spanSum, tr.WallNanos)
+		}
+		if tr.Status != reqtrace.StatusCommitted {
+			t.Fatalf("trace %s: status %q, want committed", tr.ID, tr.Status)
+		}
+		if tr.Limit != 64 {
+			t.Fatalf("trace %s: admit-time limit %g, want the static 64", tr.ID, tr.Limit)
+		}
+		perBucket[telemetry.BucketIndex(float64(tr.WallNanos)/1e9)]++
+	}
+	hist := &s.hists[0]
+	if hist.Count() != n {
+		t.Fatalf("histogram holds %d samples, want %d", hist.Count(), n)
+	}
+	for i := 0; i < telemetry.HistBuckets; i++ {
+		if got := hist.Bucket(i); got != perBucket[i] {
+			t.Fatalf("bucket %d: histogram has %d samples, traces say %d", i, got, perBucket[i])
+		}
+	}
+}

@@ -26,6 +26,9 @@
 //	                 (scope: pool, perclass, or a single class)
 //	GET  /healthz    machine-readable load signal (JSON); 503 while
 //	                 draining — the cluster tier's active health check
+//	GET  /debug/requests  captured per-request traces: head-sampled,
+//	                 shed/failed, and slowest-N requests with per-stage
+//	                 spans (see internal/reqtrace)
 //
 // The package is deliberately thin: it wires the shared layers together.
 // internal/telemetry owns the striped hot-path counters, latency
@@ -54,6 +57,7 @@ import (
 	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/gate"
 	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/telemetry"
 	"github.com/tpctl/loadctl/internal/workload"
 )
@@ -102,6 +106,11 @@ type Config struct {
 	// TraceLen bounds the controller decision trace exported by
 	// GET /controller?trace=1 (default ctl.DefaultTraceLen).
 	TraceLen int
+	// ReqTrace parameterizes per-request tracing (head-sampling period,
+	// capture ring size, slow-tail depth — see reqtrace.Config). The Tier
+	// field is overridden to "server". The zero value gives the defaults:
+	// 1/1024 head sampling, ring 256, slowest 16.
+	ReqTrace reqtrace.Config
 	// Seed derives the per-request access-set sampling streams.
 	Seed int64
 }
@@ -158,9 +167,11 @@ type Server struct {
 	sigStamp atomic.Int64 // nanos since start of the last refresh
 
 	// tel holds the striped hot-path counters, one group per class;
-	// hists the per-class commit latency histograms.
+	// hists the per-class commit latency histograms; rec the per-request
+	// trace recorder behind GET /debug/requests.
 	tel   *telemetry.Counters
 	hists []telemetry.Histogram
+	rec   *reqtrace.Recorder
 
 	mu           sync.Mutex
 	ctrl         core.Controller   // steers the shared pool in pool mode
@@ -215,12 +226,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.ReqTrace.Tier = "server"
 	s := &Server{
 		cfg:          cfg,
 		classes:      cfg.Classes,
 		multi:        multi,
 		ctrl:         cfg.Controller,
 		start:        time.Now(),
+		rec:          reqtrace.New(cfg.ReqTrace),
 		tel:          telemetry.NewCounters(len(cfg.Classes), counterSchema...),
 		hists:        make([]telemetry.Histogram, len(cfg.Classes)),
 		classCtrls:   make([]core.Controller, len(cfg.Classes)),
@@ -247,6 +260,7 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.mux.HandleFunc("/controller", s.handleController)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/debug/requests", s.rec.Handler())
 	s.loop = ctl.Start(ctl.Config{
 		Interval: cfg.Interval,
 		Tick:     s.tick,
@@ -257,6 +271,10 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Requests returns the per-request trace recorder (the state behind
+// GET /debug/requests), for embedders mounting it on a debug listener.
+func (s *Server) Requests() *reqtrace.Recorder { return s.rec }
 
 // Close stops the measurement loop; the handler keeps working with the
 // last installed limit.

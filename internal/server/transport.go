@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/sim"
 	"github.com/tpctl/loadctl/internal/telemetry"
 )
@@ -182,6 +183,22 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	// (The seq atomic itself and the gate's internal mutex remain the
 	// shared touch points.)
 	cell := s.tel.Cell(ci, seq)
+
+	// Per-request tracing: reuse a propagated trace ID (so this tier's
+	// trace joins the proxy's or the load generator's) or mint one. The
+	// span buffer is pooled — an unsampled, healthy, fast request records
+	// into it and returns it without allocating.
+	traceID, hadTrace := reqtrace.FromRequest(r)
+	if !hadTrace {
+		traceID = reqtrace.NewID()
+	}
+	tr := s.rec.Begin(traceID)
+	if tr.Sampled() {
+		// Echo the ID only for head-sampled requests: the caller learns
+		// which of its requests can be looked up here, and the unsampled
+		// path stays allocation-free.
+		w.Header().Set(reqtrace.Header, reqtrace.FormatID(traceID))
+	}
 	rng := sim.Stream(s.cfg.Seed, seq)
 	var query bool
 	switch shape {
@@ -206,32 +223,56 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		class = "query"
 	}
 	className := s.classes[ci].Name
+	tr.Annotate(className)
 
 	cell.Inc(cRequests)
 
-	t0 := time.Now()
+	// The trace's start doubles as the request's t0 so the latency the
+	// client is told, the histogram sample and the trace wall time all
+	// share one origin.
+	t0 := tr.Start()
+
+	// setAdmit snapshots the controller state the request hit at the gate:
+	// the installed limit (from the ≤50ms-stale cached load signal, so the
+	// hot path never takes the gate mutex for it) and the per-class shed
+	// mask of the last closed interval.
+	setAdmit := func() { tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load()) }
 
 	// Admission: the adaptive gate is the paper's §4.3 load control in
 	// front of real network traffic, per class.
 	if s.cfg.Reject {
 		if !s.multi.TryAcquire(ci) {
 			cell.Inc(cRejected)
+			setAdmit()
+			tr.Span(reqtrace.SpanQueue, tr.Now(), reqtrace.DetailRejected, 0)
 			setSignal()
 			w.Header().Set("Retry-After", loadsig.RetryAfter())
 			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			tr.Finish(reqtrace.StatusRejected, false)
 			return
 		}
+		setAdmit()
+		// Marker span (zero wait by construction): non-blocking admission
+		// still shows up in the trace as an admitted queue stage, so both
+		// admission modes read against one span schema.
+		tr.Span(reqtrace.SpanQueue, tr.Now(), reqtrace.DetailAdmitted, 0)
 	} else {
+		qStart := tr.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 		err := s.multi.Acquire(ctx, ci)
 		cancel()
 		if err != nil {
 			cell.Inc(cTimeouts)
+			setAdmit()
+			tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailTimeout, 0)
 			setSignal()
 			w.Header().Set("Retry-After", loadsig.RetryAfter())
 			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			tr.Finish(reqtrace.StatusTimeout, false)
 			return
 		}
+		setAdmit()
+		tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailAdmitted, 0)
 	}
 	s.noteEnter(cell)
 
@@ -239,11 +280,18 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	var execErr error
 	for {
 		attempts++
+		eStart := tr.Now()
 		execErr = s.cfg.Engine.Exec(r.Context(), spec)
 		if !errors.Is(execErr, ErrAborted) {
+			detail := reqtrace.DetailCommitted
+			if execErr != nil {
+				detail = reqtrace.DetailError
+			}
+			tr.Span(reqtrace.SpanExec, eStart, detail, attempts)
 			break
 		}
 		cell.Inc(cAborts)
+		tr.Span(reqtrace.SpanExec, eStart, reqtrace.DetailAborted, attempts)
 		if attempts > s.cfg.MaxRetry {
 			break
 		}
@@ -261,16 +309,22 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cell.Inc(cCommits)
 		s.hists[ci].Observe(lat.Seconds())
 		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		// FinishWall with the histogram's own sample: trace wall time and
+		// the telemetry bucket the request landed in agree exactly.
+		tr.FinishWall(reqtrace.StatusCommitted, true, lat)
 	case errors.Is(execErr, ErrAborted):
 		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		tr.FinishWall(reqtrace.StatusAborted, false, lat)
 	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
 		// The client went away (or its deadline passed) mid-transaction:
 		// not an engine failure. Count it separately and skip the write —
 		// nobody is left to read a response.
 		cell.Inc(cDisconnects)
+		tr.FinishWall(reqtrace.StatusDisconnect, false, lat)
 	default:
 		// A genuine engine failure.
 		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		tr.FinishWall(reqtrace.StatusError, false, lat)
 	}
 }
 

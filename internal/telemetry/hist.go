@@ -25,25 +25,42 @@ type Histogram struct {
 	count   atomic.Uint64
 }
 
+// BucketIndex returns the bucket Observe files a latency (in seconds)
+// into. Exported so other latency records — notably the per-request traces
+// of internal/reqtrace, which reuse the histogram's exact sample as their
+// wall time — can be reconciled against histogram contents bucket by
+// bucket.
+func BucketIndex(seconds float64) int {
+	if seconds <= HistBase {
+		return 0
+	}
+	idx := int(4 * math.Log2(seconds/HistBase))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return idx
+}
+
 // Observe records one latency in seconds. Values at or below HistBase land
 // in bucket 0; values beyond the last bucket clamp into it.
 func (h *Histogram) Observe(seconds float64) {
-	idx := 0
-	if seconds > HistBase {
-		idx = int(4 * math.Log2(seconds/HistBase))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= HistBuckets {
-			idx = HistBuckets - 1
-		}
-	}
-	h.buckets[idx].Add(1)
+	h.buckets[BucketIndex(seconds)].Add(1)
 	h.count.Add(1)
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Bucket returns the count in bucket i (0 for out-of-range i).
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= HistBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
 
 // Quantile returns the geometric midpoint of the bucket holding the
 // q-quantile (0 when empty).

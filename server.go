@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/debughttp"
 	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/server"
 	"github.com/tpctl/loadctl/internal/workload"
 )
@@ -81,6 +83,19 @@ type ServerConfig struct {
 	// controller, and GET /controller?trace=1 exports the last TraceLen
 	// of them for live inspection or offline replay (0 = default of 256).
 	TraceLen int
+	// TraceSample is the per-request trace head-sampling period: one in
+	// TraceSample requests is captured end to end (spans for queue wait,
+	// admission, execution attempts) in addition to the always-captured
+	// shed/failed and slowest-N requests, all exported by
+	// GET /debug/requests (0 = default of 1024; negative disables head
+	// sampling; tail capture stays on).
+	TraceSample int
+	// DebugAddr, when non-empty, serves the operational debug surface on
+	// its own listener: /debug/pprof/* (CPU/heap/block profiles under
+	// load) and a second mount of /debug/requests. Serve binds it next to
+	// the main listener; NewServer ignores it (embedders manage their own
+	// listeners).
+	DebugAddr string
 	// Seed derives access-set sampling streams (0 = deterministic default).
 	Seed int64
 }
@@ -121,6 +136,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		QueueTimeout:    cfg.QueueTimeout,
 		Reject:          cfg.Reject,
 		TraceLen:        cfg.TraceLen,
+		ReqTrace:        reqtrace.Config{SampleEvery: cfg.TraceSample},
 		Seed:            cfg.Seed,
 	})
 	if err != nil {
@@ -173,6 +189,15 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("loadctl: listen %s: %w", cfg.Addr, err)
+	}
+	if cfg.DebugAddr != "" {
+		// The debug surface (pprof + request traces) gets its own
+		// listener so profiling under load never rides the data path.
+		dmux := debughttp.Mux()
+		dmux.Handle("/debug/requests", s.inner.Requests().Handler())
+		if err := debughttp.Serve(ctx, cfg.DebugAddr, dmux); err != nil {
+			return fmt.Errorf("loadctl: debug listen %s: %w", cfg.DebugAddr, err)
+		}
 	}
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
