@@ -1,0 +1,37 @@
+// Command loadctlvet is the repo's own vet suite: the analyzers under
+// internal/analysis compiled into one multichecker that enforces the
+// concurrency and hot-path invariants the standard toolchain cannot see.
+//
+// Run it standalone over package patterns:
+//
+//	go build -o /tmp/loadctlvet ./cmd/loadctlvet
+//	/tmp/loadctlvet ./...
+//
+// or hand it to the go command directly (what CI does; results are cached
+// per tool build like any vet run):
+//
+//	go vet -vettool=/tmp/loadctlvet ./...
+//
+// Naming analyzers as flags restricts the run (e.g. -hotpath). Analysis
+// is scoped to this module: dependency units outside it pass through
+// untouched.
+package main
+
+import (
+	"github.com/tpctl/loadctl/internal/analysis"
+	"github.com/tpctl/loadctl/internal/analysis/atomiccell"
+	"github.com/tpctl/loadctl/internal/analysis/directive"
+	"github.com/tpctl/loadctl/internal/analysis/hotpath"
+	"github.com/tpctl/loadctl/internal/analysis/lockorder"
+	"github.com/tpctl/loadctl/internal/analysis/spanvocab"
+)
+
+func main() {
+	analysis.Main("github.com/tpctl/loadctl", []*analysis.Analyzer{
+		atomiccell.Analyzer,
+		directive.Analyzer,
+		hotpath.Analyzer,
+		lockorder.Analyzer,
+		spanvocab.Analyzer,
+	})
+}

@@ -1,0 +1,137 @@
+// Package atest is the golden-fixture harness for the loadctlvet
+// analyzers, a minimal analog of x/tools' analysistest. A fixture is a
+// self-contained module under the analyzer's testdata directory whose
+// sources carry `// want "regexp"` comments on the lines where
+// diagnostics are expected; Run analyzes the module and fails the test on
+// any unmatched expectation or unexpected diagnostic.
+package atest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis"
+)
+
+// wantRe matches one `// want "re" "re" ...` comment. The part after
+// `// want` is parsed as a sequence of Go-quoted strings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture module at dir (patterns default to ./...) with
+// the given analyzers and verifies diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expects := collectWants(t, abs)
+	diags, err := analysis.RunDir(abs, []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	for _, d := range diags {
+		if !matchExpectation(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func matchExpectation(expects []*expectation, d analysis.PackageDiagnostic) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == d.Position.Filename && e.line == d.Position.Line && e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every .go file under root for want comments.
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			res, err := parseQuoted(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want comment: %v", path, i+1, err)
+			}
+			for _, rs := range res {
+				re, err := regexp.Compile(rs)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, rs, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// parseQuoted splits `"a" "b c"` into its quoted parts. Both double
+// quotes (with \" escapes) and raw backquotes are accepted.
+func parseQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if quote == '"' && s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		part := s[1:end]
+		if quote == '"' {
+			part = strings.ReplaceAll(part, `\"`, `"`)
+		}
+		out = append(out, part)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

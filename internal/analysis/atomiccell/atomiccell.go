@@ -1,0 +1,231 @@
+// Package atomiccell enforces the repo's striped-counter race
+// discipline: the cache-line-padded atomic cells that telemetry.Counters,
+// the histograms and the trace ring are built from may only be touched
+// through sync/atomic operations.
+//
+// With typed atomics (atomic.Uint64 and friends) the compiler already
+// rules out `cell.v++`; what it does NOT rule out is copying the value —
+// `x := h.buckets[i]`, `for _, c := range cells` — which is a plain,
+// unsynchronized load (and, unlike sync.Mutex, typed atomics carry no
+// Lock method, so vet's copylocks is silent). The analyzer flags:
+//
+//   - any by-value use of a type containing a typed atomic (assignment,
+//     range value, call argument, return, composite-literal element):
+//     a plain load;
+//   - any assignment to an lvalue of such a type: a plain store;
+//   - fields of struct types marked `//loadctl:atomiccell` that are not
+//     themselves atomic (or padding, or containers of atomics): the
+//     declaration-level drift that would let a future "optimization"
+//     quietly swap [64]atomic.Uint64 for [64]uint64.
+package atomiccell
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/tpctl/loadctl/internal/analysis"
+)
+
+// Analyzer is the atomiccell analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccell",
+	Doc:  "striped atomic cells must be accessed through sync/atomic (no value copies, no plain stores)",
+	Run:  run,
+}
+
+// Directive marks a struct type as a pure atomic cell.
+const Directive = "atomiccell"
+
+func run(pass *analysis.Pass) error {
+	checkMarkedDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					checkCopy(pass, res, "returned by value")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					checkCopy(pass, elt, "copied into composite literal")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMarkedDecls verifies //loadctl:atomiccell struct types hold only
+// atomics, padding, or containers of atomics.
+func checkMarkedDecls(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !analysis.HasDirective(doc, Directive) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//loadctl:atomiccell requires a struct type, got %s", ts.Name.Name)
+					continue
+				}
+				for _, field := range st.Fields.List {
+					checkCellField(pass, ts.Name.Name, field)
+				}
+			}
+		}
+	}
+}
+
+func checkCellField(pass *analysis.Pass, typeName string, field *ast.Field) {
+	// Blank fields are cache-line padding.
+	allBlank := len(field.Names) > 0
+	for _, name := range field.Names {
+		if name.Name != "_" {
+			allBlank = false
+		}
+	}
+	if allBlank {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if cellComponent(t) {
+		return
+	}
+	name := "embedded field"
+	if len(field.Names) > 0 {
+		name = field.Names[0].Name
+	}
+	pass.Reportf(field.Pos(), "field %s of atomiccell type %s is not a sync/atomic value (plain fields defeat the racing-fold discipline)", name, typeName)
+}
+
+// cellComponent reports whether t is acceptable inside a marked cell
+// type: an atomic-containing value or a slice/array of such values.
+func cellComponent(t types.Type) bool {
+	if containsAtomic(t, nil) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return containsAtomic(u.Elem(), nil)
+	case *types.Array:
+		return containsAtomic(u.Elem(), nil)
+	}
+	return false
+}
+
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && (id.Name == "_" || n.Tok == token.DEFINE) {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(lhs); t != nil && containsAtomic(t, nil) {
+			pass.Reportf(lhs.Pos(), "plain store to %s (assignment bypasses sync/atomic); use its atomic methods", typeName(t))
+		}
+	}
+	for _, rhs := range n.Rhs {
+		checkCopy(pass, rhs, "copied by assignment")
+	}
+}
+
+func checkRange(pass *analysis.Pass, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	if id, ok := n.Value.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(n.Value); t != nil && containsAtomic(t, nil) {
+		pass.Reportf(n.Value.Pos(), "range copies %s values (non-atomic loads); range over the index and use atomic methods", typeName(t))
+	}
+}
+
+func checkCall(pass *analysis.Pass, n *ast.CallExpr) {
+	for _, arg := range n.Args {
+		checkCopy(pass, arg, "passed by value")
+	}
+}
+
+// checkCopy flags expr when evaluating it produces a by-value copy of an
+// atomic-containing type. Composite literals (initialization) and calls
+// (the callee's return statement is the copy site) are exempt.
+func checkCopy(pass *analysis.Pass, expr ast.Expr, how string) {
+	switch expr.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil || !containsAtomic(t, nil) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s value %s (non-atomic load); use its atomic methods or a pointer", typeName(t), how)
+}
+
+// atomicTypeNames are the typed atomics of sync/atomic. atomic.Value is
+// included: copying one copies its interface word non-atomically.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+// containsAtomic reports whether a value of type t embeds a typed atomic
+// by value (directly, via struct fields, or via array elements — not
+// through pointers, slices or maps, whose copies share the cells).
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()] {
+			return true
+		}
+		return containsAtomic(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,12 @@
+package atomiccell_test
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis/atest"
+	"github.com/tpctl/loadctl/internal/analysis/atomiccell"
+)
+
+func TestAtomicCell(t *testing.T) {
+	atest.Run(t, "testdata/cellmod", atomiccell.Analyzer)
+}

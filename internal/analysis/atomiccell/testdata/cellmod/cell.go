@@ -1,0 +1,30 @@
+package cellmod
+
+import "sync/atomic"
+
+// Cell is a padded striped counter cell, the telemetry.Cell shape.
+//
+//loadctl:atomiccell
+type Cell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Ring mirrors the reqtrace ring: atomic cursor plus atomic slots.
+//
+//loadctl:atomiccell
+type Ring struct {
+	pos   atomic.Uint64
+	slots []atomic.Pointer[int]
+}
+
+// Drifted is marked but someone "optimized" a field to a plain word.
+//
+//loadctl:atomiccell
+type Drifted struct {
+	v atomic.Uint64
+	n uint64 // want `field n of atomiccell type Drifted is not a sync/atomic value`
+}
+
+//loadctl:atomiccell
+type NotStruct int // want `requires a struct type`

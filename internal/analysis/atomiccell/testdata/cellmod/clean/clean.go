@@ -1,0 +1,40 @@
+// Package clean exercises the allowed patterns: pointer access, indexed
+// atomic method calls, address-taking, slicing, and initialization via
+// composite literals. It must produce no diagnostics.
+package clean
+
+import "sync/atomic"
+
+//loadctl:atomiccell
+type Cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type counters struct {
+	cells []Cell
+}
+
+func newCounters(n int) *counters {
+	return &counters{cells: make([]Cell, n)}
+}
+
+func (c *counters) inc(i int) {
+	c.cells[i].v.Add(1)
+}
+
+func (c *counters) fold() uint64 {
+	var n uint64
+	for i := range c.cells {
+		n += c.cells[i].v.Load()
+	}
+	return n
+}
+
+func (c *counters) cellAt(i int) *Cell {
+	return &c.cells[i]
+}
+
+func (c *counters) window(lo, hi int) []Cell {
+	return c.cells[lo:hi]
+}

@@ -1,0 +1,3 @@
+module cellmod
+
+go 1.24

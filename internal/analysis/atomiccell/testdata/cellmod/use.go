@@ -1,0 +1,51 @@
+package cellmod
+
+func fold(cells []Cell) uint64 {
+	var n uint64
+	for i := range cells {
+		n += cells[i].v.Load()
+	}
+	return n
+}
+
+func badCopy(cells []Cell) uint64 {
+	c := cells[0] // want `cellmod.Cell value copied by assignment \(non-atomic load\)`
+	return c.v.Load()
+}
+
+func badRange(cells []Cell) uint64 {
+	var n uint64
+	for _, c := range cells { // want `range copies cellmod.Cell values \(non-atomic loads\)`
+		n += c.v.Load()
+	}
+	return n
+}
+
+func badStore(cells []Cell) {
+	cells[0] = Cell{} // want `plain store to cellmod.Cell \(assignment bypasses sync/atomic\)`
+}
+
+func badReturn(cells []Cell) Cell {
+	return cells[0] // want `cellmod.Cell value returned by value \(non-atomic load\)`
+}
+
+func sink(Cell) {}
+
+func badArg(cells []Cell) {
+	sink(cells[3]) // want `cellmod.Cell value passed by value \(non-atomic load\)`
+}
+
+func badLit(cells []Cell) []Cell {
+	return []Cell{cells[0]} // want `cellmod.Cell value copied into composite literal`
+}
+
+// wrapped embeds a cell by value; copying the wrapper copies the cell.
+type wrapped struct {
+	c     Cell
+	label string
+}
+
+func badWrapped(w *wrapped) wrapped {
+	dup := *w  // want `cellmod.wrapped value copied by assignment`
+	return dup // want `cellmod.wrapped value returned by value`
+}

@@ -1,0 +1,46 @@
+// Package directive is the hygiene check for the //loadctl: annotation
+// language itself: a misspelled directive silently disables an invariant,
+// and a waiver without a reason is an audit hole. It flags unknown
+// directive names and `//loadctl:allocok` waivers missing their mandatory
+// reason.
+package directive
+
+import (
+	"github.com/tpctl/loadctl/internal/analysis"
+)
+
+// Analyzer is the directive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "//loadctl: directives must be well-formed (known name, allocok with a reason)",
+	Run:  run,
+}
+
+// known is the directive vocabulary; each entry names the analyzer that
+// consumes it.
+var known = map[string]bool{
+	"hotpath":    true, // hotpath: function is on the allocation-free serve path
+	"allocok":    true, // hotpath: audited allocation waiver for one line
+	"atomiccell": true, // atomiccell: struct is a pure atomic cell
+	"locks":      true, // lockorder: function acquires the shard-lock set
+	"unlocks":    true, // lockorder: function releases the shard-lock set
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.Directives() {
+		// Report at the start of the governed line: that is the line the
+		// directive (mis)configures.
+		pos := d.Pos
+		if f := pass.Fset.File(d.Pos); f != nil && d.Line <= f.LineCount() {
+			pos = f.LineStart(d.Line)
+		}
+		if !known[d.Name] {
+			pass.Reportf(pos, "unknown directive //loadctl:%s (known: allocok, atomiccell, hotpath, locks, unlocks)", d.Name)
+			continue
+		}
+		if d.Name == "allocok" && d.Arg == "" {
+			pass.Reportf(pos, "//loadctl:allocok requires a reason (what was audited and why the allocation is acceptable)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package directive_test
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis/atest"
+	"github.com/tpctl/loadctl/internal/analysis/directive"
+)
+
+func TestDirective(t *testing.T) {
+	atest.Run(t, "testdata/dirmod", directive.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Package dirmod exercises directive hygiene: misspelled directives and
+// reason-less waivers are flagged on the line they (fail to) govern.
+package dirmod
+
+import "fmt"
+
+// hot shows the well-formed forms: no diagnostics.
+//
+//loadctl:hotpath
+func hot(id uint64) {
+	s := fmt.Sprint(id) //loadctl:allocok audited: fixture waiver
+	_ = s
+}
+
+//loadctl:hotpth
+func typo() {} // want `unknown directive //loadctl:hotpth`
+
+func bare(id uint64) string {
+	//loadctl:allocok
+	return fmt.Sprint(id) // want `//loadctl:allocok requires a reason`
+}

@@ -1,0 +1,3 @@
+module dirmod
+
+go 1.24

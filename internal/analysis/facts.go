@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// factData is the serialized fact namespace: analyzer name → object key →
+// fact JSON. This is the payload of a .vetx file in unit mode and of the
+// in-memory store in loader mode.
+type factData map[string]map[string]json.RawMessage
+
+// factStore holds the facts visible to one package's pass: everything
+// imported from its dependencies plus whatever the pass itself exports.
+type factStore struct {
+	imported factData
+	exported factData
+}
+
+func newFactStore() *factStore {
+	return &factStore{imported: factData{}, exported: factData{}}
+}
+
+// merge folds src into the imported set (last writer wins; identical
+// sources are idempotent).
+func (s *factStore) merge(src factData) {
+	for an, objs := range src {
+		dst := s.imported[an]
+		if dst == nil {
+			dst = map[string]json.RawMessage{}
+			s.imported[an] = dst
+		}
+		for k, v := range objs {
+			dst[k] = v
+		}
+	}
+}
+
+func (s *factStore) export(analyzer string, obj types.Object, fact any) {
+	key := ObjKey(obj)
+	if key == "" {
+		panic(fmt.Sprintf("analysis: cannot export fact for object %v: no stable key", obj))
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: cannot marshal %s fact for %s: %v", analyzer, key, err))
+	}
+	dst := s.exported[analyzer]
+	if dst == nil {
+		dst = map[string]json.RawMessage{}
+		s.exported[analyzer] = dst
+	}
+	dst[key] = data
+}
+
+// hasAnyFor reports whether any fact of the analyzer is recorded for an
+// object of the given package — i.e. whether that package participates in
+// the analyzer's annotation scheme.
+func (s *factStore) hasAnyFor(analyzer, pkgPath string) bool {
+	prefix := pkgPath + "."
+	for _, space := range []factData{s.exported, s.imported} {
+		for key := range space[analyzer] {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *factStore) imp(analyzer string, obj types.Object, fact any) bool {
+	key := ObjKey(obj)
+	if key == "" {
+		return false
+	}
+	for _, space := range []factData{s.exported, s.imported} {
+		if raw, ok := space[analyzer][key]; ok {
+			return json.Unmarshal(raw, fact) == nil
+		}
+	}
+	return false
+}
+
+// encode serializes the union of imported and exported facts — the
+// cumulative form written to a .vetx file, so a package's fact file is
+// self-contained for its importers even when the go command only hands
+// them direct dependencies' files.
+func (s *factStore) encode() []byte {
+	out := factData{}
+	for _, space := range []factData{s.imported, s.exported} {
+		for an, objs := range space {
+			dst := out[an]
+			if dst == nil {
+				dst = map[string]json.RawMessage{}
+				out[an] = dst
+			}
+			for k, v := range objs {
+				dst[k] = v
+			}
+		}
+	}
+	// Deterministic bytes: marshal with sorted keys (encoding/json sorts
+	// map keys already).
+	data, err := json.Marshal(out)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: cannot marshal fact store: %v", err))
+	}
+	return data
+}
+
+func decodeFacts(data []byte) (factData, error) {
+	if len(data) == 0 {
+		return factData{}, nil
+	}
+	var out factData
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("analysis: corrupt fact data: %w", err)
+	}
+	return out, nil
+}
+
+// sortDiags orders diagnostics by position for stable output.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

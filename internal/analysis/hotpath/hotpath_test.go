@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis/atest"
+	"github.com/tpctl/loadctl/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	atest.Run(t, "testdata/hotmod", hotpath.Analyzer)
+}

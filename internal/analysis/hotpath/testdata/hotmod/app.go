@@ -1,0 +1,68 @@
+// Package hotmod seeds one annotated serve function and every construct
+// class the hotpath analyzer must catch, plus the waiver forms.
+package hotmod
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"hotmod/telemetry"
+)
+
+func sink(v any) {}
+
+//loadctl:hotpath
+func Serve(id uint64, names []string, ch chan func()) {
+	telemetry.Record(id) // annotated callee: clean
+	telemetry.Flush()    // want `not on package telemetry's annotated hot path`
+
+	s := fmt.Sprintf("id=%d", id) // want `fmt.Sprintf allocates` `uint64 is boxed`
+	s += names[0]                 // want `string concatenation allocates`
+	t := s + names[0]             // want `string concatenation allocates`
+
+	m := map[string]int{}  // want `map literal allocates`
+	xs := []int{2, 1}      // want `slice literal allocates`
+	b := make([]byte, 16)  // want `make on the hot path allocates`
+	_ = strconv.Itoa(7)    // want `strconv.Itoa allocates`
+	_ = time.Now()         // want `time.Now on the hot path`
+	_ = string(b)          // want `conversion to string allocates`
+	_ = []byte(t)          // want `string to byte/rune slice conversion allocates`
+	go telemetry.Record(1) // want `go statement on the hot path`
+
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort.Slice on the hot path` `\[\]int is boxed` `closure passed as argument escapes`
+
+	sink(id)  // want `uint64 is boxed`
+	sink(&m)  // pointer: no boxing
+	sink(nil) // nil: no boxing
+	helper(names)
+}
+
+// helper is hot by reachability from Serve; unannotated on purpose.
+func helper(names []string) int {
+	n := 0
+	for _, s := range names {
+		n += len(s) + int(time.Now().Unix()) // want `time.Now on the hot path`
+	}
+	return n
+}
+
+//loadctl:hotpath
+func ServeWaived(id uint64) {
+	s := fmt.Sprintf("boot %d", id) //loadctl:allocok audited: one-time startup banner
+	_ = s
+	renderCold(id) //loadctl:allocok audited: unreachable except on the error path
+}
+
+// renderCold is reached only through a waived call, so hotness does not
+// propagate and its allocations are not flagged.
+func renderCold(id uint64) string {
+	return fmt.Sprintf("cold %d", id)
+}
+
+//loadctl:hotpath
+func BadClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `closure returned from hot path escapes`
+}

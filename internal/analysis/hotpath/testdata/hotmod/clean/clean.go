@@ -1,0 +1,31 @@
+// Package clean is the allocation-free idiom the hot path should read
+// like: preallocated buffers, append-based encoding, atomic counters,
+// time.Since against a recorded start. No diagnostics expected.
+package clean
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+type server struct {
+	served atomic.Uint64
+	buf    [32]byte
+	start  time.Time
+}
+
+//loadctl:hotpath
+func (s *server) serve(id uint64) time.Duration {
+	s.served.Add(1)
+	out := strconv.AppendUint(s.buf[:0], id, 10)
+	s.record(out)
+	return time.Since(s.start)
+}
+
+// record is transitively hot; indexing and arithmetic only.
+func (s *server) record(out []byte) {
+	if len(out) > 0 && out[0] == '0' {
+		s.served.Add(1)
+	}
+}

@@ -1,0 +1,21 @@
+// Package telemetry is a fixture dependency that participates in the
+// hotpath annotation scheme: Record is annotated, Flush is cold. Calls
+// into this package from hot code elsewhere must target annotated
+// functions.
+package telemetry
+
+import "sync/atomic"
+
+var total atomic.Uint64
+
+// Record notes one served request.
+//
+//loadctl:hotpath
+func Record(v uint64) {
+	total.Add(v)
+}
+
+// Flush drains the counters for a report; cold by design.
+func Flush() map[string]uint64 {
+	return map[string]uint64{"total": total.Load()}
+}

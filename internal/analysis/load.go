@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the in-process driver: it loads packages with
+// `go list -export -json -deps`, type-checks the packages under the given
+// root from source (dependencies come from compiler export data), runs
+// the analyzers over them in dependency order with an in-memory fact
+// store, and returns the diagnostics. The analyzer golden tests run their
+// testdata modules through it; the vet path in unit.go is exercised by
+// the end-to-end smoke test and CI.
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// A PackageDiagnostic is one diagnostic with its package and rendered
+// position.
+type PackageDiagnostic struct {
+	Package  string
+	Position token.Position
+	Message  string
+}
+
+func (d PackageDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Position, d.Message)
+}
+
+// RunDir loads the packages matching patterns in root (a module
+// directory), analyzes every matched package that lives under root, and
+// returns the diagnostics in deterministic order.
+func RunDir(root string, patterns []string, analyzers []*Analyzer) ([]PackageDiagnostic, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := map[string]*listPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	// Source-analyze the packages under root; import the rest from export
+	// data.
+	local := func(p *listPackage) bool {
+		return !p.Standard && p.Dir != "" && (p.Dir == root || strings.HasPrefix(p.Dir, root+string(filepath.Separator)))
+	}
+
+	fset := token.NewFileSet()
+	exportFiles := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	checked := map[string]*types.Package{}
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return gcImporter.Import(path)
+	})
+
+	// Topological order over the local packages.
+	var order []*listPackage
+	state := map[string]int{} // 0 new, 1 visiting, 2 done
+	var visit func(p *listPackage) error
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, dep := range p.Imports {
+			if dp, ok := byPath[dep]; ok && local(dp) {
+				if err := visit(dp); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if local(p) {
+			if err := visit(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	store := newFactStore()
+	var out []PackageDiagnostic
+	for _, p := range order {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		srcs := map[*ast.File][]byte{}
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			srcs[f] = src
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		tc := &types.Config{
+			Importer:  imp,
+			Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+			GoVersion: goVersion,
+		}
+		info := newTypesInfo()
+		pkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = pkg
+
+		for _, d := range runAnalyzers(fset, files, srcs, pkg, info, analyzers, store) {
+			out = append(out, PackageDiagnostic{
+				Package:  p.ImportPath,
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -json -deps patterns...` in dir.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Module", "-deps"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list in %s: %v\n%s", dir, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

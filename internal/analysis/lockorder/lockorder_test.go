@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis/atest"
+	"github.com/tpctl/loadctl/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	atest.Run(t, "testdata/lockmod", lockorder.Analyzer)
+}

@@ -1,0 +1,84 @@
+package lockmod
+
+import (
+	"math/bits"
+	"net"
+	"os"
+	"time"
+)
+
+// lockShardsDesc acquires in descending index order: deadlock-prone
+// against any ascending locker.
+//
+//loadctl:locks
+func (s *Store) lockShardsDesc(mask uint64) {
+	for i := len(s.shards) - 1; i >= 0; i-- { // want `descending loop`
+		if mask&(1<<uint(i)) != 0 {
+			s.shards[i].mu.Lock()
+		}
+	}
+}
+
+// lockShardsHighBit walks the mask from the high bit down.
+//
+//loadctl:locks
+func (s *Store) lockShardsHighBit(mask uint64) {
+	for m := mask; m != 0; {
+		i := 63 - bits.LeadingZeros64(m) // want `high bit`
+		s.shards[i].mu.Lock()
+		m &^= 1 << uint(i)
+	}
+}
+
+func (s *Store) badNetworkUnderLock(mask uint64, addr string) error {
+	s.lockShards(mask)
+	conn, err := net.Dial("tcp", addr) // want `network call while shard locks are held`
+	if err == nil {
+		conn.Close() // want `network call while shard locks are held`
+	}
+	s.unlockShards(mask)
+	return err
+}
+
+func (s *Store) badSyscallUnderLock(mask uint64) {
+	s.lockShards(mask)
+	os.Getpid()                  // want `syscall while shard locks are held`
+	time.Sleep(time.Millisecond) // want `sleep while shard locks are held`
+	s.unlockShards(mask)
+}
+
+func (s *Store) badSendUnderLock(mask uint64, ch chan int) {
+	s.lockShards(mask)
+	ch <- 1 // want `channel send while shard locks are held`
+	s.unlockShards(mask)
+}
+
+func (s *Store) badSelectUnderLock(mask uint64, ch chan int) {
+	s.lockShards(mask)
+	select { // want `select \(blocking\) while shard locks are held`
+	case <-ch:
+	default:
+	}
+	s.unlockShards(mask)
+}
+
+func (s *Store) badNested(maskA, maskB uint64) {
+	s.lockShards(maskA)
+	s.lockShards(maskB) // want `nested shard lock acquisition`
+	s.unlockShards(maskB)
+	s.unlockShards(maskA)
+}
+
+func (s *Store) badLeak(mask uint64, abort bool) error {
+	s.lockShards(mask)
+	if abort {
+		return errConflict // want `return with shard locks held`
+	}
+	s.unlockShards(mask)
+	return nil
+}
+
+func (s *Store) badFallOff(mask uint64) {
+	s.lockShards(mask)
+	s.shards[0].vers[0]++
+} // want `function ends with shard locks held`

@@ -1,0 +1,69 @@
+// Package lockmod mirrors the kv store's shard-lock protocol for the
+// lockorder fixtures: a striped store whose multi-shard operations
+// acquire locks through the marked helpers below.
+package lockmod
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+var errConflict = errors.New("conflict")
+
+type shard struct {
+	mu   sync.RWMutex
+	vals []int64
+	vers []uint64
+}
+
+// Store is a striped map with up to 64 shards.
+type Store struct {
+	shards []shard
+}
+
+// lockShards write-locks the shards in the mask in ascending order.
+//
+//loadctl:locks
+func (s *Store) lockShards(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		s.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+}
+
+// unlockShards releases the shards in the mask.
+//
+//loadctl:unlocks
+func (s *Store) unlockShards(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		s.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+}
+
+// commit is the clean multi-shard pattern: validate under the locks,
+// release in the abort branch before returning, release again on the
+// success path. No diagnostics expected.
+func (s *Store) commit(mask uint64, stale bool) error {
+	s.lockShards(mask)
+	if stale {
+		s.unlockShards(mask)
+		return errConflict
+	}
+	for i := range s.shards {
+		s.shards[i].vers[0]++
+	}
+	s.unlockShards(mask)
+	return nil
+}
+
+// snapshot uses the deferred-release form; returning while held is fine
+// because the release is deferred.
+func (s *Store) snapshot(mask uint64) []int64 {
+	s.lockShards(mask)
+	defer s.unlockShards(mask)
+	out := make([]int64, 0, len(s.shards))
+	for i := range s.shards {
+		out = append(out, s.shards[i].vals[0])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package spanvocab keeps the request-trace vocabulary closed. Span
+// stage names, details, and terminal statuses are a shared schema between
+// the server and proxy tiers — joined traces only read uniformly if both
+// sides spell "exec" and "shed-overload" identically — so reqtrace
+// exports them as constants and this analyzer rejects ad-hoc spellings:
+// every string reaching a span-recording call must be one of reqtrace's
+// own constants (or a variable that was assigned from one; plain
+// variables are accepted, literals and foreign constants are not).
+package spanvocab
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/tpctl/loadctl/internal/analysis"
+)
+
+// Analyzer is the spanvocab analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanvocab",
+	Doc:  "reqtrace span names, details and statuses must come from the reqtrace constant vocabulary",
+	Run:  run,
+}
+
+// vocabPkg is the package whose exported constants form the vocabulary.
+// Matching is by package name so fixture packages work the same way.
+const vocabPkg = "reqtrace"
+
+// vocabArgs maps reqtrace method names to the indices of their
+// vocabulary-typed string arguments: Span(name, start, detail, n) takes a
+// stage name and a detail; Finish/FinishWall take a terminal status.
+var vocabArgs = map[string][]int{
+	"Span":       {0, 2},
+	"Finish":     {0},
+	"FinishWall": {0},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != vocabPkg {
+				return true
+			}
+			for _, i := range vocabArgs[fn.Name()] {
+				if i < len(call.Args) {
+					checkVocab(pass, call.Args[i], fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkVocab walks one argument expression and flags every string leaf
+// that is not part of the reqtrace vocabulary.
+func checkVocab(pass *analysis.Pass, arg ast.Expr, method string) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING && n.Value != `""` {
+				pass.Reportf(n.Pos(), "ad-hoc span string %s passed to reqtrace.%s; use the exported reqtrace vocabulary constants", n.Value, method)
+			}
+		case *ast.SelectorExpr:
+			checkConstRef(pass, n.Sel, method)
+			return false // don't descend into the package qualifier
+		case *ast.Ident:
+			checkConstRef(pass, n, method)
+		}
+		return true
+	})
+}
+
+// checkConstRef flags identifiers resolving to constants declared outside
+// the reqtrace package.
+func checkConstRef(pass *analysis.Pass, id *ast.Ident, method string) {
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok {
+		return // variables, functions, types: accepted
+	}
+	if pkg := c.Pkg(); pkg != nil && pkg.Name() != vocabPkg {
+		pass.Reportf(id.Pos(), "constant %s passed to reqtrace.%s is declared outside reqtrace; span vocabulary lives in the reqtrace package", id.Name, method)
+	}
+}

@@ -1,0 +1,12 @@
+package spanvocab_test
+
+import (
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/analysis/atest"
+	"github.com/tpctl/loadctl/internal/analysis/spanvocab"
+)
+
+func TestSpanVocab(t *testing.T) {
+	atest.Run(t, "testdata/spanmod", spanvocab.Analyzer)
+}

@@ -1,0 +1,30 @@
+// Package app exercises clean and violating span-recording calls.
+package app
+
+import (
+	"time"
+
+	"spanmod/reqtrace"
+)
+
+const localStatus = "done" // foreign constant: not vocabulary
+
+func clean(a *reqtrace.Active, d time.Duration) {
+	a.Span(reqtrace.SpanQueue, 0, reqtrace.DetailAdmitted, 0)
+	a.Span(reqtrace.SpanExec, d, "", 1) // empty detail is allowed
+	detail := reqtrace.DetailRejected
+	a.Span(reqtrace.SpanExec, d, detail, 2) // variable assigned from vocab
+	a.Finish(reqtrace.StatusCommitted, true)
+	a.FinishWall(reqtrace.StatusError, false, d)
+}
+
+func badLiterals(a *reqtrace.Active, d time.Duration) {
+	a.Span("queue", 0, reqtrace.DetailAdmitted, 0)      // want `ad-hoc span string "queue" passed to reqtrace.Span`
+	a.Span(reqtrace.SpanExec, d, "commited", 1)         // want `ad-hoc span string "commited" passed to reqtrace.Span`
+	a.Finish("ok", true)                                // want `ad-hoc span string "ok" passed to reqtrace.Finish`
+	a.FinishWall("slow"+reqtrace.StatusError, false, d) // want `ad-hoc span string "slow" passed to reqtrace.FinishWall`
+}
+
+func badForeignConst(a *reqtrace.Active) {
+	a.Finish(localStatus, true) // want `constant localStatus passed to reqtrace.Finish is declared outside reqtrace`
+}

@@ -1,0 +1,3 @@
+module spanmod
+
+go 1.24

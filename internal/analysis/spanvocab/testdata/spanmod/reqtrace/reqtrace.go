@@ -1,0 +1,30 @@
+// Package reqtrace is a fixture mirror of the real trace recorder's API
+// surface: the constant vocabulary plus the recording methods spanvocab
+// guards.
+package reqtrace
+
+import "time"
+
+const (
+	SpanQueue = "queue"
+	SpanExec  = "exec"
+
+	DetailAdmitted = "admitted"
+	DetailRejected = "rejected"
+
+	StatusCommitted = "committed"
+	StatusError     = "error"
+)
+
+// Active is one in-flight request trace.
+type Active struct {
+	spans int
+}
+
+func (a *Active) Span(name string, start time.Duration, detail string, n int) {
+	a.spans++
+}
+
+func (a *Active) Finish(status string, ok bool) {}
+
+func (a *Active) FinishWall(status string, ok bool, wall time.Duration) {}

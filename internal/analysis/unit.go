@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol, mirroring
+// x/tools' unitchecker: the go command probes the tool with -V=full (for
+// build caching) and -flags (to learn its flag set), then invokes it once
+// per compilation unit with a JSON .cfg file naming the unit's sources,
+// its dependencies' export data, and the .vetx fact files of already-
+// analyzed dependencies. Diagnostics go to stderr as "pos: message" with a
+// nonzero exit; facts go to the .vetx output file.
+//
+// Invoked with package patterns (or no argument) instead of a .cfg file,
+// the tool re-executes itself through `go vet -vettool=<self>`, which is
+// both the local entry point and proof the CI invocation works.
+
+// unitConfig is the JSON compilation-unit description the go command
+// passes to a vet tool. Field names are the go command's contract.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a loadctlvet-style multichecker.
+// modulePrefix scopes the analysis: compilation units whose import path
+// is outside the module are passed through untouched (empty facts), so a
+// `go vet ./...` run — which visits every transitive dependency for
+// facts — never spends time type-checking the standard library.
+func Main(modulePrefix string, analyzers []*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable "+a.Name+" analysis only")
+	}
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...] | %s unit.cfg\n\nAnalyzers:\n", progname, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// Honor -<name> analyzer selection the way vet does: naming any
+	// analyzer runs only the named ones.
+	var selected []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if selected == nil {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], modulePrefix, selected, *jsonOut)
+		return
+	}
+	// Standalone mode: drive ourselves through go vet so package loading,
+	// fact scheduling and caching are the go command's problem.
+	selfExec(args)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// versionFlag implements the -V=full probe: print a line containing the
+// executable's content hash so the go command caches vet results per tool
+// build.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%02x\n", prog, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags answers the go command's -flags probe: a JSON list of the
+// flags it may forward to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// selfExec reruns the tool under `go vet -vettool=<self>` with the given
+// package patterns.
+func selfExec(patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// runUnit analyzes one compilation unit per the vet protocol and exits.
+func runUnit(cfgFile, modulePrefix string, analyzers []*Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// Outside the module there is nothing to check and no facts to
+	// produce; hand the go command an empty fact file and move on.
+	if !inModule(cfg.ImportPath, modulePrefix) {
+		writeVetx(cfg, newFactStore())
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	diags, store, err := checkUnit(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	writeVetx(cfg, store)
+	if cfg.VetxOnly || len(diags) == 0 {
+		os.Exit(0)
+	}
+	if jsonOut {
+		printJSONDiags(os.Stdout, fset, cfg.ID, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	os.Exit(2)
+}
+
+// inModule reports whether import path p is the module itself or one of
+// its packages (including "path.test" synthesized test mains).
+func inModule(p, modulePrefix string) bool {
+	if modulePrefix == "" {
+		return true
+	}
+	p = strings.TrimSuffix(p, ".test")
+	return p == modulePrefix || strings.HasPrefix(p, modulePrefix+"/")
+}
+
+func writeVetx(cfg *unitConfig, store *factStore) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, store.encode(), 0o666); err != nil {
+		log.Fatalf("failed to write facts: %v", err)
+	}
+}
+
+// checkUnit parses, type-checks and analyzes one unit.
+func checkUnit(fset *token.FileSet, cfg *unitConfig, analyzers []*Analyzer) ([]Diagnostic, *factStore, error) {
+	var files []*ast.File
+	srcs := map[*ast.File][]byte{}
+	for _, name := range cfg.GoFiles {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		srcs[f] = src
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	store := newFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // no facts from that dependency
+		}
+		fd, err := decodeFacts(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		store.merge(fd)
+	}
+
+	diags := runAnalyzers(fset, files, srcs, pkg, info, analyzers, store)
+	return diags, store, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// runAnalyzers applies each analyzer to the package, tagging diagnostics
+// with the analyzer name, and leaves exported facts in store.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, srcs map[*ast.File][]byte, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *factStore) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Sources:   srcs,
+			facts:     store,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Message += " [" + name + "]"
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// printJSONDiags renders diagnostics in go vet's -json tree shape.
+func printJSONDiags(w io.Writer, fset *token.FileSet, id string, diags []Diagnostic) {
+	type jd struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jd{}
+	for _, d := range diags {
+		// The analyzer name was appended as " [name]"; fold all under one
+		// key to keep this simple and stable.
+		byAnalyzer["loadctlvet"] = append(byAnalyzer["loadctlvet"], jd{fset.Position(d.Pos).String(), d.Message})
+	}
+	tree := map[string]map[string][]jd{id: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(tree)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

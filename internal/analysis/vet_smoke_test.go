@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadctlvetTreeClean builds cmd/loadctlvet and runs it through
+// `go vet -vettool` over the whole module, asserting the tree is clean.
+// This is the same invocation CI uses; having it as a test means a
+// violation (or an analyzer false positive) introduced locally fails
+// `go test ./...` before CI ever sees it. Skipped under -short: it
+// compiles the tool and type-checks every package.
+func TestLoadctlvetTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vet tool and analyzes the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	tool := filepath.Join(t.TempDir(), "loadctlvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/loadctlvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building loadctlvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var stderr bytes.Buffer
+	vet.Stdout = os.Stdout
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool=loadctlvet ./... reported violations: %v\n%s", err, stderr.String())
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
+)
+
+// Relay hot-path benchmark: the proxy's full /txn data path — trace mint,
+// routable set, policy pick, forward, signal ingest, response relay — with
+// the network stack replaced by an in-process RoundTripper, so the
+// measurement is the proxy's own serving spine. Head sampling and the
+// slow tail are disabled so this is the unsampled steady-state path, the
+// one the //loadctl:hotpath annotations in cluster.go govern and the one
+// CI pins with an exact allocs/op gate (see ci.yml).
+
+// stubTransport answers every forward in-process with a canned 200 + load
+// signal, like a healthy idle backend. The per-call allocations (response
+// struct, body reader) stand in for what net/http's transport would
+// allocate on a real connection and are part of the pinned budget.
+type stubTransport struct {
+	header string
+	body   []byte
+}
+
+func (t *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+	}
+	h := make(http.Header, 2)
+	h.Set("Content-Type", "application/json")
+	h.Set(loadsig.Header, t.header)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     h,
+		Body:       io.NopCloser(bytes.NewReader(t.body)),
+	}, nil
+}
+
+func BenchmarkRelay(b *testing.B) {
+	sig := loadsig.Signal{Status: loadsig.StatusOK, Limit: 64, Active: 3, Queued: 0, Util: 3.0 / 64}
+	tr := &stubTransport{
+		header: sig.Encode(),
+		body:   []byte(`{"status":"committed","class":"query","attempts":1}`),
+	}
+	p, err := New(Config{
+		Backends:  []string{"http://b0:1", "http://b1:1", "http://b2:1"},
+		Policy:    "least-inflight",
+		Transport: tr,
+		ReqTrace:  reqtrace.Config{SampleEvery: -1, SlowN: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	h := p.Handler()
+	body := []byte(`{"k":8}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/txn?class=query", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("/txn answered %d", rec.Code)
+				return
+			}
+		}
+	})
+}

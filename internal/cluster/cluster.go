@@ -130,6 +130,10 @@ func (c Config) withDefaults() Config {
 // atomics: the data path and the health loop touch them without locks.
 type backend struct {
 	url string
+	// txnURL and indexStr are precomputed at New so the relay path never
+	// concatenates or formats per request.
+	txnURL   string
+	indexStr string
 
 	inflight atomic.Int64 // proxy's own outstanding requests toward it
 
@@ -245,7 +249,7 @@ func New(cfg Config) (*Proxy, error) {
 			return nil, fmt.Errorf("cluster: duplicate backend %q", u)
 		}
 		seen[u] = true
-		p.backends = append(p.backends, &backend{url: u})
+		p.backends = append(p.backends, &backend{url: u, txnURL: u + "/txn", indexStr: strconv.Itoa(len(p.backends))})
 	}
 	cfg.ReqTrace.Tier = "proxy"
 	p.rec = reqtrace.New(cfg.ReqTrace)
@@ -290,7 +294,7 @@ func (p *Proxy) nowNanos() int64 { return time.Since(p.start).Nanoseconds() }
 // routable collects the backends new work may go to: not dead, not
 // draining. Excluded indexes (already tried this request) are skipped.
 func (p *Proxy) routable(exclude uint64) []int {
-	idx := make([]int, 0, len(p.backends))
+	idx := make([]int, 0, len(p.backends)) //loadctl:allocok audited: routable set, sized by backend count — in the relay alloc budget
 	for i, b := range p.backends {
 		if exclude&(1<<uint(i)) != 0 {
 			continue
@@ -342,6 +346,11 @@ func fastReject(w http.ResponseWriter, msg string) {
 	http.Error(w, msg, http.StatusServiceUnavailable)
 }
 
+// handleTxn is the proxy's data path: every routed transaction passes
+// through here, so it carries the hot-path allocation discipline
+// (//loadctl:hotpath) like the server's handler.
+//
+//loadctl:hotpath
 func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -358,7 +367,7 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		traceID = reqtrace.NewID()
 	}
 	tr := p.rec.Begin(traceID)
-	idHex := reqtrace.FormatID(traceID)
+	idHex := reqtrace.FormatID(traceID) //loadctl:allocok audited: the hex ID rides the forward header on every request, sampled or not
 	if tr.Sampled() {
 		w.Header().Set(reqtrace.Header, idHex)
 	}
@@ -407,7 +416,7 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			// last interval. Queueing here would only delay the 503 the
 			// cluster is already giving; reject fast so clients back off.
 			cell.Inc(cShedOverload)
-			fastReject(w, fmt.Sprintf("cluster shedding class %q", class))
+			fastReject(w, fmt.Sprintf("cluster shedding class %q", class)) //loadctl:allocok audited: overload-propagation shed path, not the relay path
 			tr.Finish(reqtrace.StatusShedOverload, false)
 			return
 		}
@@ -465,7 +474,7 @@ func (p *Proxy) pick(routable []int) int {
 		return routable[0]
 	}
 	now := p.nowNanos()
-	cands := make([]Candidate, len(routable))
+	cands := make([]Candidate, len(routable)) //loadctl:allocok audited: policy scoring slate, sized by backend count — in the relay alloc budget
 	for k, i := range routable {
 		b := p.backends[i]
 		cands[k] = Candidate{
@@ -486,16 +495,20 @@ func retriableForward(err error) bool {
 	return errors.As(err, &op) && op.Op == "dial"
 }
 
+// analyzer walks it transitively; the explicit marker below documents it.
+//
 // forward sends the request to backend i and relays the response. It
 // returns done=true when a response (any status) was relayed to the
 // client; done=false with the transport error when the backend could not
 // be reached, leaving the ResponseWriter untouched so the caller may
 // retry elsewhere.
+//
+//loadctl:hotpath is implied: forward is reached from handleTxn, so the
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []byte, traceHex string) (bool, error) {
 	b := p.backends[i]
-	url := b.url + "/txn"
+	url := b.txnURL
 	if r.URL.RawQuery != "" {
-		url += "?" + r.URL.RawQuery
+		url += "?" + r.URL.RawQuery //loadctl:allocok audited: query passthrough — one concat only for requests that carry parameters
 	}
 	var rd io.Reader
 	if body != nil {
@@ -514,7 +527,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []by
 	req.Header.Set(reqtrace.Header, traceHex)
 	b.forwarded.Add(1)
 	b.inflight.Add(1)
-	t0 := time.Now()
+	t0 := time.Now() //loadctl:allocok audited: relay-latency clock read for the EWMA — the proxy's sanctioned t0
 	resp, err := p.client.Do(req)
 	b.inflight.Add(-1)
 	if err != nil {
@@ -527,16 +540,20 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []by
 	b.relayed.Add(1)
 
 	h := w.Header()
-	for _, key := range []string{"Content-Type", "Retry-After", loadsig.Header} {
+	for _, key := range relayHeaders {
 		if v := resp.Header.Get(key); v != "" {
 			h.Set(key, v)
 		}
 	}
-	h.Set(BackendHeader, strconv.Itoa(i))
+	h.Set(BackendHeader, b.indexStr)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 	return true, nil
 }
+
+// relayHeaders are the backend response headers the proxy relays to the
+// client (hoisted so the relay loop does not rebuild the list per request).
+var relayHeaders = [...]string{"Content-Type", "Retry-After", loadsig.Header}
 
 // ingest records the load signal riding a forwarded response.
 func (p *Proxy) ingest(b *backend, resp *http.Response) {

@@ -106,6 +106,8 @@ func NewMulti(specs []ClassSpec, poolLimit float64) (*Multi, error) {
 }
 
 // ClassIndex resolves a class name to its index.
+//
+//loadctl:hotpath
 func (m *Multi) ClassIndex(name string) (int, bool) {
 	i, ok := m.byName[name]
 	return i, ok
@@ -156,6 +158,8 @@ func (m *Multi) admitNowLocked(ci int) bool {
 
 // Acquire blocks until class class gets a slot or ctx is done. Admission
 // is FCFS within the class; across classes the pump order below applies.
+//
+//loadctl:hotpath
 func (m *Multi) Acquire(ctx context.Context, class int) error {
 	m.mu.Lock()
 	c := m.classes[class]
@@ -167,7 +171,7 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 		m.mu.Unlock()
 		return nil
 	}
-	ch := make(chan struct{})
+	ch := make(chan struct{}) //loadctl:allocok audited: queued arrivals only — the immediate-admit path returned above
 	c.queue = append(c.queue, ch)
 	if len(c.queue) > c.queueMax {
 		c.queueMax = len(c.queue)
@@ -209,6 +213,8 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 // TryAcquire admits class class without blocking. At a full pool (or a
 // class over its admissible share while others queue) the arrival is shed
 // immediately — the strict-priority shedding path for open-loop overload.
+//
+//loadctl:hotpath
 func (m *Multi) TryAcquire(class int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -225,12 +231,14 @@ func (m *Multi) TryAcquire(class int) bool {
 }
 
 // Release frees a slot held by class class and re-runs admission.
+//
+//loadctl:hotpath
 func (m *Multi) Release(class int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c := m.classes[class]
 	if c.active <= 0 {
-		panic(fmt.Sprintf("gate: Release of class %q without matching Acquire", c.spec.Name))
+		panic(fmt.Sprintf("gate: Release of class %q without matching Acquire", c.spec.Name)) //loadctl:allocok audited: programming-error panic path, never taken in a correct server
 	}
 	c.active--
 	m.active--

@@ -257,6 +257,8 @@ func (t *Txn) Commit() error {
 }
 
 // lockShards write-locks the shards in the bitmask in ascending order.
+//
+//loadctl:locks
 func (s *Store) lockShards(mask uint64) {
 	for m := mask; m != 0; m &= m - 1 {
 		s.shards[bits.TrailingZeros64(m)].mu.Lock()
@@ -264,6 +266,8 @@ func (s *Store) lockShards(mask uint64) {
 }
 
 // unlockShards releases the shards in the bitmask.
+//
+//loadctl:unlocks
 func (s *Store) unlockShards(mask uint64) {
 	for m := mask; m != 0; m &= m - 1 {
 		s.shards[bits.TrailingZeros64(m)].mu.Unlock()

@@ -112,6 +112,8 @@ const maxSpans = 16
 
 // NewID mints a nonzero trace ID. IDs are uniform, so the head-sampling
 // residue ID%SampleEvery == 0 selects 1/SampleEvery of minted traffic.
+//
+//loadctl:hotpath
 func NewID() uint64 {
 	for {
 		if id := rand.Uint64(); id != 0 {
@@ -145,6 +147,8 @@ func ParseID(s string) (uint64, bool) {
 
 // FromRequest extracts a propagated trace ID from r, if present and
 // well-formed. Header lookup and parse allocate nothing.
+//
+//loadctl:hotpath
 func FromRequest(r *http.Request) (uint64, bool) {
 	return ParseID(r.Header.Get(Header))
 }
@@ -267,12 +271,14 @@ func (r *Recorder) SampleEvery() int {
 // returned buffer is pooled: the caller must call Finish exactly once on
 // every path. The steady-state Begin/record/Finish cycle of an unsampled,
 // healthy, fast request performs no allocation.
+//
+//loadctl:hotpath
 func (r *Recorder) Begin(id uint64) *Active {
 	r.started.Add(1)
 	a := r.pool.Get().(*Active)
 	a.rec = r
 	a.id = id
-	a.start = time.Now()
+	a.start = time.Now() //loadctl:allocok audited: trace t0 — the one sanctioned clock read; hot code derives offsets from it via Now/Since
 	a.sampled = r.cfg.SampleEvery > 0 && id%uint64(r.cfg.SampleEvery) == 0
 	a.n = 0
 	a.dropped = 0
@@ -302,22 +308,32 @@ type Active struct {
 // Sampled reports whether the trace is head-sampled — known at Begin, so
 // a tier can propagate or echo the ID only for requests that will be
 // retained everywhere.
+//
+//loadctl:hotpath
 func (a *Active) Sampled() bool { return a.sampled }
 
 // ID returns the trace ID.
+//
+//loadctl:hotpath
 func (a *Active) ID() uint64 { return a.id }
 
 // Start returns the trace's start time; tiers use it as the request's t0
 // so trace wall time and measured latency share an origin.
+//
+//loadctl:hotpath
 func (a *Active) Start() time.Time { return a.start }
 
 // Now is the current offset from the trace start — the value to pass back
 // to Span as the stage's start.
+//
+//loadctl:hotpath
 func (a *Active) Now() time.Duration { return time.Since(a.start) }
 
 // Span records a stage that began at offset start (from Now) and ends at
 // the call. Detail and n annotate the stage per the span schema; past the
 // span cap the record is dropped and counted.
+//
+//loadctl:hotpath
 func (a *Active) Span(name string, start time.Duration, detail string, n int) {
 	if a.n >= maxSpans {
 		a.dropped++
@@ -339,11 +355,15 @@ func (a *Active) Span(name string, start time.Duration, detail string, n int) {
 
 // Annotate records the request's admission class. The string must be
 // long-lived (a config-owned class name, not a per-request build).
+//
+//loadctl:hotpath
 func (a *Active) Annotate(class string) { a.class = class }
 
 // SetAdmit records the controller state the request hit at admit (or
 // shed) time: the installed concurrency limit and the per-class shed
 // bitmask of the last closed interval.
+//
+//loadctl:hotpath
 func (a *Active) SetAdmit(limit float64, shedMask uint64) {
 	a.limit = limit
 	a.shed = shedMask
@@ -352,6 +372,8 @@ func (a *Active) SetAdmit(limit float64, shedMask uint64) {
 // Finish ends the trace with the given terminal status, measuring wall
 // time at the call. ok marks a healthy outcome (commit/relay); anything
 // else is error-captured.
+//
+//loadctl:hotpath
 func (a *Active) Finish(status string, ok bool) {
 	a.FinishWall(status, ok, time.Since(a.start))
 }
@@ -360,6 +382,8 @@ func (a *Active) Finish(status string, ok bool) {
 // trace records exactly the latency the tier measured (and fed its
 // histograms) rather than a second, slightly later reading. Exactly one
 // of Finish/FinishWall must be called, as the buffer returns to the pool.
+//
+//loadctl:hotpath
 func (a *Active) FinishWall(status string, ok bool, wall time.Duration) {
 	rec := a.rec
 	capture := ""
@@ -375,7 +399,7 @@ func (a *Active) FinishWall(status string, ok bool, wall time.Duration) {
 		rec.pool.Put(a)
 		return
 	}
-	t := a.publish(status, capture, wall)
+	t := a.publish(status, capture, wall) //loadctl:allocok audited: captured traces only (head-sample, error, slow tail); the unsampled steady-state cycle returned above
 	a.rec = nil
 	rec.pool.Put(a)
 	switch capture {
@@ -415,6 +439,8 @@ func (a *Active) publish(status, capture string, wall time.Duration) *Trace {
 
 // ring is the fixed-size lock-free trace ring: writers claim slots from
 // an atomic cursor and newest entries overwrite oldest.
+//
+//loadctl:atomiccell
 type ring struct {
 	pos   atomic.Uint64
 	slots []atomic.Pointer[Trace]

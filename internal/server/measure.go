@@ -44,11 +44,14 @@ var counterSchema = []string{
 // paper's measurement loop) without any shared state: each records the
 // event's timestamp sum before its count, matching the fold's read order,
 // so the tick can reconstruct ∫ n(t) dt from per-stripe monotone counters.
+//
+//loadctl:hotpath
 func (s *Server) noteEnter(cell telemetry.Cell) {
 	cell.Add(cEntryNanos, uint64(time.Since(s.start).Nanoseconds()))
 	cell.Inc(cEntries)
 }
 
+//loadctl:hotpath
 func (s *Server) noteExit(cell telemetry.Cell) {
 	cell.Add(cExitNanos, uint64(time.Since(s.start).Nanoseconds()))
 	cell.Inc(cExits)
@@ -232,10 +235,10 @@ func (s *Server) loadSignal() *cachedSignal {
 			return c
 		}
 	}
-	st := s.multi.Stats()
+	st := s.multi.Stats() //loadctl:allocok audited: TTL refresh branch — at most one caller per 50ms reaches here
 	sig := loadsig.Signal{
 		Status:  loadsig.StatusOK,
-		Limit:   s.multi.Limit(),
+		Limit:   s.multi.Limit(), //loadctl:allocok audited: TTL refresh branch — see Stats above
 		Active:  st.Active,
 		Queued:  st.Queued,
 		Default: s.classes[0].Name,

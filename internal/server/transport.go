@@ -53,7 +53,7 @@ type txnResponse struct {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	telemetry.WriteJSON(w, code, v)
+	telemetry.WriteJSON(w, code, v) //loadctl:allocok audited: response encode — pooled buffers in telemetry.WriteJSON, in the 39-alloc /txn budget
 }
 
 // buildSpec samples one transaction's access set: k distinct items from
@@ -70,7 +70,7 @@ func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64, b
 	if k > domain {
 		k = domain
 	}
-	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)}
+	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)} //loadctl:allocok audited: per-request access set, in the 39-alloc /txn budget
 	rng.SampleDistinct(spec.Keys, domain)
 	if base > 0 {
 		for i := range spec.Keys {
@@ -107,7 +107,7 @@ func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg stri
 	if name != "" {
 		idx, ok := s.multi.ClassIndex(name)
 		if !ok {
-			return 0, "", fmt.Sprintf("unknown class %q (have %s)", name, strings.Join(s.multi.ClassNames(), ", "))
+			return 0, "", fmt.Sprintf("unknown class %q (have %s)", name, strings.Join(s.multi.ClassNames(), ", ")) //loadctl:allocok audited: 400 path for an unknown class name
 		}
 		ci = idx
 	}
@@ -117,11 +117,15 @@ func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg stri
 	switch shape {
 	case "", "query", "update":
 	default:
-		return 0, "", fmt.Sprintf("bad shape %q (want query or update)", shape)
+		return 0, "", fmt.Sprintf("bad shape %q (want query or update)", shape) //loadctl:allocok audited: 400 path for a bad shape
 	}
 	return ci, shape, ""
 }
 
+// handleTxn is the /txn data path; with admission, execution and
+// response in one function it is the tree's hottest code.
+//
+//loadctl:hotpath
 func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -129,8 +133,8 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 	var req txnRequest
 	if r.Body != nil && r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil { //loadctl:allocok audited: request-body decode, only when a body is present
+			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest) //loadctl:allocok audited: 400 path for malformed JSON
 			return
 		}
 	}
@@ -141,18 +145,23 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("shape"); v != "" {
 		req.Shape = v
 	}
-	for _, p := range []struct {
+	for _, p := range []struct { //loadctl:allocok audited: three-element parameter table, in the 39-alloc /txn budget
 		name string
+		bad  string
 		dst  *int
 		min  int
-	}{{"k", &req.K, 1}, {"base", &req.Base, 0}, {"span", &req.Span, 0}} {
+	}{
+		{"k", "bad k", &req.K, 1},
+		{"base", "bad base", &req.Base, 0},
+		{"span", "bad span", &req.Span, 0},
+	} {
 		v := q.Get(p.name)
 		if v == "" {
 			continue
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n < p.min {
-			http.Error(w, "bad "+p.name, http.StatusBadRequest)
+			http.Error(w, p.bad, http.StatusBadRequest)
 			return
 		}
 		*p.dst = n
@@ -197,7 +206,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		// Echo the ID only for head-sampled requests: the caller learns
 		// which of its requests can be looked up here, and the unsampled
 		// path stays allocation-free.
-		w.Header().Set(reqtrace.Header, reqtrace.FormatID(traceID))
+		w.Header().Set(reqtrace.Header, reqtrace.FormatID(traceID)) //loadctl:allocok audited: header echo for head-sampled traces only
 	}
 	rng := sim.Stream(s.cfg.Seed, seq)
 	var query bool
@@ -247,7 +256,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 			tr.Span(reqtrace.SpanQueue, tr.Now(), reqtrace.DetailRejected, 0)
 			setSignal()
 			w.Header().Set("Retry-After", loadsig.RetryAfter())
-			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
 			tr.Finish(reqtrace.StatusRejected, false)
 			return
 		}
@@ -267,7 +276,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 			tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailTimeout, 0)
 			setSignal()
 			w.Header().Set("Retry-After", loadsig.RetryAfter())
-			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)})
+			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
 			tr.Finish(reqtrace.StatusTimeout, false)
 			return
 		}
@@ -308,12 +317,12 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cell.Inc(cRespN)
 		cell.Inc(cCommits)
 		s.hists[ci].Observe(lat.Seconds())
-		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
 		// FinishWall with the histogram's own sample: trace wall time and
 		// the telemetry bucket the request landed in agree exactly.
 		tr.FinishWall(reqtrace.StatusCommitted, true, lat)
 	case errors.Is(execErr, ErrAborted):
-		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
 		tr.FinishWall(reqtrace.StatusAborted, false, lat)
 	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
 		// The client went away (or its deadline passed) mid-transaction:
@@ -323,7 +332,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		tr.FinishWall(reqtrace.StatusDisconnect, false, lat)
 	default:
 		// A genuine engine failure.
-		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)})
+		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
 		tr.FinishWall(reqtrace.StatusError, false, lat)
 	}
 }

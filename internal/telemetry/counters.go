@@ -83,21 +83,29 @@ func (c *Counters) Stripes() int { return c.stripes }
 
 // Cell is one stripe of one group: the view a single request counts
 // through. The zero Cell is invalid.
+//
+//loadctl:atomiccell
 type Cell struct {
 	slots []atomic.Uint64
 }
 
 // Cell selects group's stripe for seq (any per-request sequence number;
 // round-robin spreads concurrent requests over distinct cache lines).
+//
+//loadctl:hotpath
 func (c *Counters) Cell(group int, seq uint64) Cell {
 	base := (group*c.stripes + int(seq&c.mask)) * c.stride
 	return Cell{slots: c.cells[base : base+len(c.names)]}
 }
 
 // Inc adds 1 to counter i.
+//
+//loadctl:hotpath
 func (c Cell) Inc(i int) { c.slots[i].Add(1) }
 
 // Add adds v to counter i.
+//
+//loadctl:hotpath
 func (c Cell) Add(i int, v uint64) { c.slots[i].Add(v) }
 
 // Fold is one aggregation of a group's stripes, indexed by the schema.

@@ -20,6 +20,8 @@ const (
 // is ready to use. Reads race benignly with writers: a sample can land in
 // a bucket after the count was read, skewing a quantile by at most one
 // bucket.
+//
+//loadctl:atomiccell
 type Histogram struct {
 	buckets [HistBuckets]atomic.Uint64
 	count   atomic.Uint64
@@ -30,6 +32,8 @@ type Histogram struct {
 // of internal/reqtrace, which reuse the histogram's exact sample as their
 // wall time — can be reconciled against histogram contents bucket by
 // bucket.
+//
+//loadctl:hotpath
 func BucketIndex(seconds float64) int {
 	if seconds <= HistBase {
 		return 0
@@ -46,6 +50,8 @@ func BucketIndex(seconds float64) int {
 
 // Observe records one latency in seconds. Values at or below HistBase land
 // in bucket 0; values beyond the last bucket clamp into it.
+//
+//loadctl:hotpath
 func (h *Histogram) Observe(seconds float64) {
 	h.buckets[BucketIndex(seconds)].Add(1)
 	h.count.Add(1)
