@@ -44,7 +44,10 @@ func main() {
 		hi           = flag.Float64("hi", 1000, "upper static clamp for the bound")
 		engine       = flag.String("engine", "occ", "concurrency control: occ, cert, 2pl, wait-die")
 		classes      = flag.String("classes", "default", "admission classes: 'default' (single gate), 'standard' (interactive/readonly/batch), or 'name:weight:priority[:shape[:k]],...'")
-		classControl = flag.String("class-control", "pool", "what controllers steer: pool (shared limit split by weight) or perclass (one controller per class)")
+		classControl = flag.String("class-control", "pool", "what controllers steer: pool (shared limit split by weight), perclass (one controller per class), or slo (regulate per-class p95 to -slo-targets)")
+		sloTargets   = flag.String("slo-targets", "", "per-class p95 targets in seconds for -class-control slo: 'class:seconds,...' (e.g. 'interactive:0.05,batch:2')")
+		sloCtrl      = flag.String("slo-controller", "slo-p", "SLO controller family: slo-p (proportional) or slo-fuzzy")
+		weightEpoch  = flag.Int("weight-epoch", 0, "retune class weights from shed rates every N intervals in pool mode (0 = off)")
 		items        = flag.Int("items", 4096, "store size D (smaller = more contention)")
 		kvShards     = flag.Int("kv-shards", 0, "kv store shards, rounded up to a power of two (0 = auto from GOMAXPROCS, 1 = unsharded baseline)")
 		interval     = flag.Duration("interval", time.Second, "measurement interval")
@@ -67,6 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	classCfg, err = applySLOTargets(classCfg, *sloTargets)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -86,6 +93,8 @@ func main() {
 		Classes:         classCfg,
 		ClassControl:    *classControl,
 		ClassController: *controller,
+		SLOController:   *sloCtrl,
+		WeightEpoch:     *weightEpoch,
 		Interval:        *interval,
 		MaxRetry:        *maxRetry,
 		QueueTimeout:    *queueTimeout,
@@ -139,6 +148,41 @@ func parseClasses(spec string) ([]loadctl.ClassConfig, error) {
 		out = append(out, cc)
 	}
 	return out, nil
+}
+
+// applySLOTargets resolves the -slo-targets flag ('class:seconds,...')
+// onto the class set. With the single-gate default class set it
+// materializes the implicit "default" class so the target has somewhere
+// to live.
+func applySLOTargets(classes []loadctl.ClassConfig, spec string) ([]loadctl.ClassConfig, error) {
+	if spec == "" {
+		return classes, nil
+	}
+	if classes == nil {
+		classes = []loadctl.ClassConfig{{Name: "default", Weight: 1}}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("loadctld: -slo-targets entry %q: want class:seconds", part)
+		}
+		target, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadctld: -slo-targets entry %q: bad seconds: %w", part, err)
+		}
+		found := false
+		for i := range classes {
+			if classes[i].Name == name {
+				classes[i].SLOTarget = target
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("loadctld: -slo-targets names unknown class %q", name)
+		}
+	}
+	return classes, nil
 }
 
 func buildController(name string, initial, lo, hi float64) (loadctl.Controller, error) {

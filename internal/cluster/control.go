@@ -23,10 +23,12 @@ import (
 // proxy's control loop rather than per pick.
 type selfTuning interface {
 	// Retune closes one self-tuning interval: fold the events observed
-	// since the last call, move the learned parameter, and return its new
-	// value plus the event deltas (fallbacks, non-discriminating picks,
-	// total picks).
-	Retune() (value float64, fallbacks, allBelow, picks uint64)
+	// since the last call together with the sensed cluster-wide shed
+	// fraction (routable backends whose fresh signal sheds ≥ 1 class,
+	// in [0, 1]), move the learned parameter, and return its new value
+	// plus the event deltas (fallbacks, non-discriminating picks, total
+	// picks).
+	Retune(shedFrac float64) (value float64, fallbacks, allBelow, picks uint64)
 }
 
 // tuneTick is the proxy's control-loop tick: sense the backend scores,
@@ -34,13 +36,23 @@ type selfTuning interface {
 func (p *Proxy) tuneTick(now time.Time) []ctl.Decision {
 	nowNanos := p.nowNanos()
 	// Sense: the mean load score over routable backends — the signal the
-	// policies discriminate on, 0 when nothing is routable.
-	var meanScore float64
+	// policies discriminate on, 0 when nothing is routable — and the
+	// cluster-wide shed state: the fraction of routable backends whose
+	// fresh load signal sheds at least one class.
+	var meanScore, shedFrac float64
 	if routable := p.routable(0); len(routable) > 0 {
+		shedding := 0
 		for _, i := range routable {
-			meanScore += p.backends[i].score(nowNanos, p.cfg.SignalStale)
+			b := p.backends[i]
+			meanScore += b.score(nowNanos, p.cfg.SignalStale)
+			if sig := b.sig.Load(); sig != nil &&
+				nowNanos-b.sigAt.Load() <= p.cfg.SignalStale.Nanoseconds() &&
+				len(sig.Shedding) > 0 {
+				shedding++
+			}
 		}
 		meanScore /= float64(len(routable))
+		shedFrac = float64(shedding) / float64(len(routable))
 	}
 	d := ctl.Decision{
 		Scope:      "theta",
@@ -48,10 +60,14 @@ func (p *Proxy) tuneTick(now time.Time) []ctl.Decision {
 		Sample: core.Sample{
 			Time: float64(nowNanos) / 1e9,
 			Load: meanScore,
+			// RespTime carries the sensed shed fraction — the routing tier
+			// has no response-time sample of its own at tune time, and the
+			// trace should document the signal that moved θ.
+			RespTime: shedFrac,
 		},
 	}
 	if st, ok := p.policy.(selfTuning); ok {
-		theta, fallbacks, allBelow, picks := st.Retune()
+		theta, fallbacks, allBelow, picks := st.Retune(shedFrac)
 		d.Limit = theta
 		// Completions carries the routing decisions this interval;
 		// ConflictRate the fraction that fell back past the threshold —

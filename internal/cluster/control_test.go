@@ -89,3 +89,58 @@ func TestProxyGoldenExportsAgree(t *testing.T) {
 	}
 	assertProxyExportsAgree(t, p)
 }
+
+// TestTuneTickSensesShedPressure drives the proxy's control loop by hand
+// against a half-shedding cluster: one backend advertises a shedding
+// class in its load signal, one is clean. The tick must sense shed
+// fraction 0.5, record it in the decision (Sample.RespTime carries the
+// sensed fraction), and push θ up by exactly thetaShedUp·0.5 per tick
+// while the pressure lasts — then hold once the cluster stops shedding.
+func TestTuneTickSensesShedPressure(t *testing.T) {
+	shedSig := okSignal()
+	shedSig.Shedding = []string{"batch"}
+	b0 := newStub(t, shedSig)
+	b1 := newStub(t, okSignal())
+	p := newTestProxy(t, Config{
+		Backends:     []string{b0.ts.URL, b1.ts.URL},
+		Policy:       "threshold",
+		TuneInterval: time.Hour, // the test ticks by hand
+	})
+
+	// Health polling ingests the signals; wait until both backends carry
+	// one before sensing, so the tick sees the whole cluster.
+	waitFor(t, "both load signals ingested", func() bool {
+		for _, b := range p.backends {
+			if b.sig.Load() == nil {
+				return false
+			}
+		}
+		return true
+	})
+
+	d := p.tuneTick(time.Now())[0]
+	if d.Scope != "theta" || d.Controller != "threshold" {
+		t.Fatalf("decision = %+v, want scope theta / controller threshold", d)
+	}
+	if d.Sample.RespTime != 0.5 {
+		t.Fatalf("sensed shed fraction = %v, want 0.5", d.Sample.RespTime)
+	}
+	// No routed picks in this test, so the only force on θ is shed
+	// pressure: each tick adds exactly thetaShedUp·0.5.
+	want := d.Limit + thetaShedUp*0.5
+	if d2 := p.tuneTick(time.Now())[0]; d2.Limit != want {
+		t.Fatalf("θ after second shedding tick = %v, want %v", d2.Limit, want)
+	}
+
+	// Shedding stops: the sensed fraction returns to 0 and θ holds.
+	clean := okSignal()
+	b0.sig.Store(&clean)
+	var d3 ctl.Decision
+	waitFor(t, "clean signal sensed", func() bool {
+		d3 = p.tuneTick(time.Now())[0]
+		return d3.Sample.RespTime == 0
+	})
+	if d4 := p.tuneTick(time.Now())[0]; d4.Limit != d3.Limit {
+		t.Fatalf("θ moved without shed pressure or picks: %v -> %v", d3.Limit, d4.Limit)
+	}
+}

@@ -107,11 +107,12 @@ type threshold struct {
 }
 
 const (
-	thetaInit = 0.75
-	thetaUp   = 0.05
-	thetaDown = 0.005
-	thetaMin  = 0.05
-	thetaMax  = 4.0
+	thetaInit   = 0.75
+	thetaUp     = 0.05
+	thetaDown   = 0.005
+	thetaShedUp = 0.25
+	thetaMin    = 0.05
+	thetaMax    = 4.0
 )
 
 func newThreshold() *threshold {
@@ -126,16 +127,28 @@ func (p *threshold) Name() string { return "threshold" }
 func (p *threshold) Theta() float64 { return math.Float64frombits(p.theta.Load()) }
 
 // Retune implements selfTuning: fold the events Pick recorded since the
-// last call into one clamped θ move. Called from a single goroutine (the
+// last call into one clamped θ move. shedFrac is the cluster-wide shed
+// state the control loop senses — the fraction of routable backends whose
+// fresh load signal sheds at least one class, in [0, 1]. Backends already
+// rejecting work mean the cluster runs hotter than the scores alone
+// admit, so shedding pushes θ up (by at most thetaShedUp per interval)
+// on top of the fallback pressure; when shedding stops, the ordinary
+// allBelow decay relaxes θ back. Called from a single goroutine (the
 // proxy's control loop, or a test driving the loop by hand).
-func (p *threshold) Retune() (float64, uint64, uint64, uint64) {
+func (p *threshold) Retune(shedFrac float64) (float64, uint64, uint64, uint64) {
 	picks, fallbacks, allBelow := p.picks.Load(), p.fallbacks.Load(), p.allBelow.Load()
 	dPicks := picks - p.prevPicks
 	dFall := fallbacks - p.prevFallbacks
 	dBelow := allBelow - p.prevAllBelow
 	p.prevPicks, p.prevFallbacks, p.prevAllBelow = picks, fallbacks, allBelow
 
-	th := math.Float64frombits(p.theta.Load()) + thetaUp*float64(dFall) - thetaDown*float64(dBelow)
+	if shedFrac < 0 {
+		shedFrac = 0
+	} else if shedFrac > 1 {
+		shedFrac = 1
+	}
+	th := math.Float64frombits(p.theta.Load()) +
+		thetaUp*float64(dFall) - thetaDown*float64(dBelow) + thetaShedUp*shedFrac
 	if th < thetaMin {
 		th = thetaMin
 	}

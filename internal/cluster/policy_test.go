@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 )
 
@@ -79,7 +80,7 @@ func TestThresholdFallsBackToPowerOfTwoChoices(t *testing.T) {
 			t.Fatalf("p2c fallback picked the higher-loaded backend %d", got)
 		}
 	}
-	th, fallbacks, _, picks := p.Retune()
+	th, fallbacks, _, picks := p.Retune(0)
 	if picks != 30 || fallbacks != 30 {
 		t.Fatalf("retune folded %d picks / %d fallbacks, want 30/30", picks, fallbacks)
 	}
@@ -102,7 +103,7 @@ func TestThresholdSelfTunesDown(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		counts[p.Pick(cands)]++
 	}
-	if _, _, allBelow, _ := p.Retune(); allBelow != 300 {
+	if _, _, allBelow, _ := p.Retune(0); allBelow != 300 {
 		t.Fatalf("retune folded %d non-discriminating picks, want 300", allBelow)
 	}
 	if p.Theta() >= before {
@@ -121,10 +122,10 @@ func TestThresholdClamps(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		p.Pick(hot)
 		if i%100 == 0 {
-			p.Retune()
+			p.Retune(0)
 		}
 	}
-	p.Retune()
+	p.Retune(0)
 	if th := p.Theta(); th > thetaMax {
 		t.Fatalf("θ escaped its upper clamp: %v", th)
 	}
@@ -132,11 +133,39 @@ func TestThresholdClamps(t *testing.T) {
 	for i := 0; i < 100000; i++ {
 		p.Pick(cold)
 		if i%100 == 0 {
-			p.Retune()
+			p.Retune(0)
 		}
 	}
-	p.Retune()
+	p.Retune(0)
 	if th := p.Theta(); th < thetaMin {
 		t.Fatalf("θ escaped its lower clamp: %v", th)
+	}
+}
+
+// TestThresholdShedPressureRaisesTheta isolates the shed-fraction term of
+// the retune law: with no pick events to fold, θ must move by exactly
+// thetaShedUp·shedFrac, hold at zero pressure, and clamp out-of-range
+// fractions the sensor should never produce but the law must survive.
+func TestThresholdShedPressureRaisesTheta(t *testing.T) {
+	p := newThreshold()
+	before := p.Theta()
+
+	// Half the cluster shedding: exactly one half-step up.
+	if th, _, _, _ := p.Retune(0.5); math.Abs(th-(before+thetaShedUp*0.5)) > 1e-12 {
+		t.Fatalf("θ after Retune(0.5) = %v, want %v", th, before+thetaShedUp*0.5)
+	}
+	// No pressure, no events: θ holds exactly.
+	mid := p.Theta()
+	if th, _, _, _ := p.Retune(0); th != mid {
+		t.Fatalf("θ moved on a quiet interval: %v -> %v", mid, th)
+	}
+	// An over-range fraction clamps to one full step, never more.
+	if th, _, _, _ := p.Retune(7); math.Abs(th-(mid+thetaShedUp)) > 1e-12 {
+		t.Fatalf("θ after Retune(7) = %v, want clamp to %v", th, mid+thetaShedUp)
+	}
+	// A negative fraction clamps to no pressure at all.
+	high := p.Theta()
+	if th, _, _, _ := p.Retune(-3); th != high {
+		t.Fatalf("θ after Retune(-3) = %v, want unchanged %v", th, high)
 	}
 }

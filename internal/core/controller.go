@@ -32,6 +32,10 @@ type Sample struct {
 	// RespTime is the mean response time of transactions completing in the
 	// interval (0 when none completed).
 	RespTime float64
+	// RespP95 is the p95 response time of transactions completing in the
+	// interval (0 when none completed) — the signal the SLO controllers
+	// regulate on.
+	RespP95 float64
 	// ConflictRate is CC conflicts per commit in the interval (Iyer's
 	// indicator; ∞ is avoided by reporting conflicts per attempt when no
 	// commits happened).

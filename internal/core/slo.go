@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SLO controllers regulate a class's p95 response time to a target instead
+// of chasing the throughput optimum: production systems run against latency
+// SLOs, and the admission limit is the actuator — fewer concurrent
+// transactions mean less data and resource contention, so completions get
+// faster while surplus demand queues or sheds. Two control laws are
+// implemented, following the proportional-vs-fuzzy comparison of
+// "Regulating Response Time in an Autonomic Computing System" (Diao et
+// al.): a multiplicative proportional controller and a fuzzy controller
+// over the normalized error and its trend. Both are deterministic
+// functions of their sample history, so a recorded decision trace replays
+// exactly through a fresh instance (the ctl.Replay contract).
+
+// SLOConfig parameterizes an SLO response-time controller.
+type SLOConfig struct {
+	// Target is the p95 response-time set point in seconds; required (> 0).
+	Target float64
+	// Gain scales the normalized error (target − p95)/target into a
+	// multiplicative limit step (default 0.5).
+	Gain float64
+	// MaxFactor caps the per-update multiplicative change (default 1.5):
+	// the limit moves by at most ×MaxFactor up or ÷MaxFactor down per
+	// interval, so one noisy quantile cannot collapse the class.
+	MaxFactor float64
+	// Bounds is the static clamp for the emitted bound.
+	Bounds Bounds
+	// Initial is the starting bound.
+	Initial float64
+}
+
+// Validate reports configuration errors.
+func (c SLOConfig) Validate() error {
+	if err := c.Bounds.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case !(c.Target > 0) || math.IsInf(c.Target, 1):
+		return fmt.Errorf("core: SLO target %v must be positive and finite", c.Target)
+	case c.Gain <= 0:
+		return fmt.Errorf("core: SLO gain %v must be positive", c.Gain)
+	case c.MaxFactor <= 1:
+		return fmt.Errorf("core: SLO max factor %v must exceed 1", c.MaxFactor)
+	}
+	return nil
+}
+
+// DefaultSLOConfig returns the tuning used by the server's slo control
+// mode for the given target and starting bound.
+func DefaultSLOConfig(target, initial float64) SLOConfig {
+	return SLOConfig{
+		Target:    target,
+		Gain:      0.5,
+		MaxFactor: 1.5,
+		Bounds:    DefaultBounds(),
+		Initial:   initial,
+	}
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Gain == 0 {
+		c.Gain = 0.5
+	}
+	if c.MaxFactor == 0 {
+		c.MaxFactor = 1.5
+	}
+	return c
+}
+
+// sloStep clamps a proposed multiplicative factor to the per-update trust
+// region and rejects non-finite inputs.
+func sloStep(factor, maxFactor float64) float64 {
+	if math.IsNaN(factor) {
+		return 1
+	}
+	if factor > maxFactor {
+		return maxFactor
+	}
+	if lo := 1 / maxFactor; factor < lo {
+		return lo
+	}
+	return factor
+}
+
+// SLOProportional is the proportional response-time regulator: each
+// interval it moves the bound multiplicatively by the normalized error,
+//
+//	n* ← n* · (1 + Gain·(Target − p95)/Target)
+//
+// clamped to the per-step trust region and the static bounds. A class
+// under its target grows back toward the bounds' ceiling; one over it
+// shrinks proportionally to how far over it is. An interval with no
+// completions (p95 = 0) carries no information and holds the bound.
+type SLOProportional struct {
+	cfg   SLOConfig
+	bound float64
+}
+
+// NewSLOProportional returns the proportional SLO controller. It panics on
+// invalid configuration, like the other controller constructors.
+func NewSLOProportional(cfg SLOConfig) *SLOProportional {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &SLOProportional{cfg: cfg, bound: cfg.Bounds.Clamp(cfg.Initial)}
+}
+
+// Name implements Controller.
+func (c *SLOProportional) Name() string { return "slo-p" }
+
+// Bound implements Controller.
+func (c *SLOProportional) Bound() float64 { return c.bound }
+
+// Target returns the p95 set point.
+func (c *SLOProportional) Target() float64 { return c.cfg.Target }
+
+// Update implements Controller.
+func (c *SLOProportional) Update(s Sample) float64 {
+	if !(s.RespP95 > 0) {
+		// No completions this interval: the quantile is undefined, not
+		// zero. Hold rather than mistake an idle interval for a fast one.
+		return c.bound
+	}
+	e := (c.cfg.Target - s.RespP95) / c.cfg.Target
+	c.bound = c.cfg.Bounds.Clamp(c.bound * sloStep(1+c.cfg.Gain*e, c.cfg.MaxFactor))
+	return c.bound
+}
+
+// SLOFuzzy is the fuzzy response-time regulator: the normalized error
+// e = (Target − p95)/Target and its change Δe are fuzzified over
+// {negative, zero, positive} triangular membership functions, a Mamdani
+// rule table maps them to step singletons, and the centroid of the fired
+// rules becomes the multiplicative move. Compared to the proportional law
+// it reacts harder to large sustained violations (both e and Δe negative)
+// and damps oscillation near the set point (e ≈ 0 or the trend already
+// correcting), which is exactly the trade the fuzzy controller wins on in
+// the source comparison.
+type SLOFuzzy struct {
+	cfg     SLOConfig
+	bound   float64
+	prevE   float64
+	havePrv bool
+}
+
+// NewSLOFuzzy returns the fuzzy SLO controller. It panics on invalid
+// configuration.
+func NewSLOFuzzy(cfg SLOConfig) *SLOFuzzy {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &SLOFuzzy{cfg: cfg, bound: cfg.Bounds.Clamp(cfg.Initial)}
+}
+
+// Name implements Controller.
+func (c *SLOFuzzy) Name() string { return "slo-fuzzy" }
+
+// Bound implements Controller.
+func (c *SLOFuzzy) Bound() float64 { return c.bound }
+
+// Target returns the p95 set point.
+func (c *SLOFuzzy) Target() float64 { return c.cfg.Target }
+
+// memberships fuzzifies x into (negative, zero, positive) degrees with
+// triangular functions over [-1, 1]; values beyond saturate.
+func memberships(x float64) (neg, zero, pos float64) {
+	switch {
+	case x <= -1:
+		return 1, 0, 0
+	case x < 0:
+		return -x, 1 + x, 0
+	case x == 0:
+		return 0, 1, 0
+	case x < 1:
+		return 0, 1 - x, x
+	default:
+		return 0, 0, 1
+	}
+}
+
+// Update implements Controller.
+func (c *SLOFuzzy) Update(s Sample) float64 {
+	if !(s.RespP95 > 0) {
+		return c.bound // idle interval: hold, as in the proportional law
+	}
+	e := (c.cfg.Target - s.RespP95) / c.cfg.Target
+	de := 0.0
+	if c.havePrv {
+		de = e - c.prevE
+	}
+	c.prevE, c.havePrv = e, true
+
+	eN, eZ, eP := memberships(e)
+	dN, dZ, dP := memberships(de)
+
+	// Rule table: consequents are step magnitudes in units of Gain
+	// (positive = grow the limit). Violations with a worsening trend step
+	// down hard; violations already correcting step down gently; headroom
+	// with a stable or improving trend steps up; near the set point the
+	// controller idles.
+	rules := [...]struct{ w, out float64 }{
+		{min(eN, dN), -1.0}, // over target and getting worse: large down
+		{min(eN, dZ), -0.6}, // over target, flat: medium down
+		{min(eN, dP), -0.2}, // over target but correcting: small down
+		{min(eZ, dN), -0.3}, // on target, drifting up in latency: small down
+		{min(eZ, dZ), 0},    // on target, stable: hold
+		{min(eZ, dP), 0.1},  // on target, latency falling: creep up
+		{min(eP, dN), 0.2},  // headroom but worsening: small up
+		{min(eP, dZ), 0.6},  // headroom, flat: medium up
+		{min(eP, dP), 1.0},  // headroom and improving: large up
+	}
+	var num, den float64
+	for _, r := range rules {
+		num += r.w * r.out
+		den += r.w
+	}
+	step := 0.0
+	if den > 0 {
+		step = num / den
+	}
+	c.bound = c.cfg.Bounds.Clamp(c.bound * sloStep(1+c.cfg.Gain*step, c.cfg.MaxFactor))
+	return c.bound
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLOConfigValidate(t *testing.T) {
+	if err := DefaultSLOConfig(0.1, 10).Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []SLOConfig{
+		{Target: 0, Gain: 0.5, MaxFactor: 1.5, Bounds: DefaultBounds()},
+		{Target: -1, Gain: 0.5, MaxFactor: 1.5, Bounds: DefaultBounds()},
+		{Target: math.Inf(1), Gain: 0.5, MaxFactor: 1.5, Bounds: DefaultBounds()},
+		{Target: math.NaN(), Gain: 0.5, MaxFactor: 1.5, Bounds: DefaultBounds()},
+		{Target: 0.1, Gain: 0, MaxFactor: 1.5, Bounds: DefaultBounds()},
+		{Target: 0.1, Gain: 0.5, MaxFactor: 1, Bounds: DefaultBounds()},
+		{Target: 0.1, Gain: 0.5, MaxFactor: 1.5, Bounds: Bounds{Lo: 10, Hi: 5}},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSLOConstructorsPanicOnInvalid(t *testing.T) {
+	for name, mk := range map[string]func(){
+		"slo-p":     func() { NewSLOProportional(SLOConfig{Target: -1, Bounds: DefaultBounds()}) },
+		"slo-fuzzy": func() { NewSLOFuzzy(SLOConfig{Target: -1, Bounds: DefaultBounds()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic on invalid config", name)
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+// sloControllers builds both SLO variants with identical tuning, so every
+// behavioral test runs against the full family.
+func sloControllers(cfg SLOConfig) map[string]Controller {
+	return map[string]Controller{
+		"slo-p":     NewSLOProportional(cfg),
+		"slo-fuzzy": NewSLOFuzzy(cfg),
+	}
+}
+
+func TestSLODirectionOfMotion(t *testing.T) {
+	cfg := DefaultSLOConfig(0.100, 50)
+	for name, c := range sloControllers(cfg) {
+		// Over target: the bound must shrink.
+		down := c.Update(Sample{RespP95: 0.400})
+		if down >= 50 {
+			t.Fatalf("%s: bound %v did not shrink with p95 4x over target", name, down)
+		}
+		// Under target: the bound must grow back.
+		up := c.Update(Sample{RespP95: 0.010})
+		if up <= down {
+			t.Fatalf("%s: bound %v did not grow with p95 well under target", name, up)
+		}
+	}
+}
+
+func TestSLOHoldsOnIdleInterval(t *testing.T) {
+	cfg := DefaultSLOConfig(0.100, 50)
+	for name, c := range sloControllers(cfg) {
+		c.Update(Sample{RespP95: 0.400})
+		before := c.Bound()
+		// No completions: p95 is 0, which means "no information", not
+		// "instant responses" — the bound must hold.
+		if got := c.Update(Sample{RespP95: 0}); got != before {
+			t.Fatalf("%s: idle interval moved the bound %v -> %v", name, before, got)
+		}
+	}
+}
+
+func TestSLOStepIsTrustRegionLimited(t *testing.T) {
+	cfg := DefaultSLOConfig(0.100, 100)
+	cfg.MaxFactor = 1.5
+	floor := 100 / cfg.MaxFactor
+	for name, c := range sloControllers(cfg) {
+		// A catastrophic quantile (100x over target) must cut the bound,
+		// but never below the 1/MaxFactor trust-region floor in one step.
+		got := c.Update(Sample{RespP95: 10})
+		if got >= 100 || got < floor-1e-9 {
+			t.Fatalf("%s: one-step cut to %v, want within [%v, 100)", name, got, floor)
+		}
+	}
+	// The proportional law saturates exactly at the floor on an error
+	// this large.
+	p := NewSLOProportional(cfg)
+	if got := p.Update(Sample{RespP95: 10}); math.Abs(got-floor) > 1e-9 {
+		t.Fatalf("slo-p: one-step cut to %v, want trust-region floor %v", got, floor)
+	}
+}
+
+func TestSLORespectsBounds(t *testing.T) {
+	cfg := DefaultSLOConfig(0.100, 50)
+	cfg.Bounds = Bounds{Lo: 4, Hi: 80}
+	for name, c := range sloControllers(cfg) {
+		for i := 0; i < 50; i++ {
+			c.Update(Sample{RespP95: 5}) // far over target
+		}
+		if got := c.Bound(); got != 4 {
+			t.Fatalf("%s: bound %v did not pin to Lo under sustained violation", name, got)
+		}
+		for i := 0; i < 50; i++ {
+			c.Update(Sample{RespP95: 0.001}) // far under target
+		}
+		if got := c.Bound(); got != 80 {
+			t.Fatalf("%s: bound %v did not pin to Hi with sustained headroom", name, got)
+		}
+	}
+}
+
+// TestSLOConvergesOnMonotonePlant closes the loop against the simplest
+// honest plant: p95 proportional to the admitted concurrency (latency =
+// 2ms per admitted transaction). The fixed point where p95 equals the
+// 100ms target sits at bound 50; both controller families must settle
+// into a band around it and stay there.
+func TestSLOConvergesOnMonotonePlant(t *testing.T) {
+	const perTxn = 0.002
+	cfg := DefaultSLOConfig(0.100, 10)
+	for name, c := range sloControllers(cfg) {
+		bound := c.Bound()
+		for i := 0; i < 200; i++ {
+			bound = c.Update(Sample{RespP95: bound * perTxn})
+		}
+		// Settled: every subsequent step stays within ±20% of the fixed
+		// point (the log-bucket quantile itself is only ±~10% accurate, so
+		// the regulator is not asked to do better than its sensor).
+		for i := 0; i < 50; i++ {
+			bound = c.Update(Sample{RespP95: bound * perTxn})
+			if bound < 40 || bound > 60 {
+				t.Fatalf("%s: bound %v left the convergence band [40, 60] after settling", name, bound)
+			}
+		}
+	}
+}
+
+// TestSLODeterministicReplay feeds the same sample sequence to two fresh
+// instances: the ctl.Replay contract requires controllers to be pure
+// functions of their sample history.
+func TestSLODeterministicReplay(t *testing.T) {
+	samples := []Sample{
+		{RespP95: 0.050}, {RespP95: 0.200}, {RespP95: 0}, {RespP95: 0.110},
+		{RespP95: 0.090}, {RespP95: 0.300}, {RespP95: 0.020}, {RespP95: 0.100},
+	}
+	for name, mk := range map[string]func() Controller{
+		"slo-p":     func() Controller { return NewSLOProportional(DefaultSLOConfig(0.1, 25)) },
+		"slo-fuzzy": func() Controller { return NewSLOFuzzy(DefaultSLOConfig(0.1, 25)) },
+	} {
+		a, b := mk(), mk()
+		for i, s := range samples {
+			if ga, gb := a.Update(s), b.Update(s); ga != gb {
+				t.Fatalf("%s: diverged at sample %d: %v vs %v", name, i, ga, gb)
+			}
+		}
+	}
+}
+
+func TestFuzzyMemberships(t *testing.T) {
+	cases := []struct {
+		x              float64
+		neg, zero, pos float64
+	}{
+		{-2, 1, 0, 0},
+		{-1, 1, 0, 0},
+		{-0.5, 0.5, 0.5, 0},
+		{0, 0, 1, 0},
+		{0.25, 0, 0.75, 0.25},
+		{1, 0, 0, 1},
+		{3, 0, 0, 1},
+	}
+	for _, tc := range cases {
+		n, z, p := memberships(tc.x)
+		if n != tc.neg || z != tc.zero || p != tc.pos {
+			t.Fatalf("memberships(%v) = (%v, %v, %v), want (%v, %v, %v)",
+				tc.x, n, z, p, tc.neg, tc.zero, tc.pos)
+		}
+		if s := n + z + p; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("memberships(%v) sum %v != 1", tc.x, s)
+		}
+	}
+}

@@ -349,6 +349,24 @@ func (m *Multi) SetClassWeight(class int, w float64) {
 	m.pumpLocked()
 }
 
+// ClassWeight returns class class's current weight.
+func (m *Multi) ClassWeight(class int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.classes[class].spec.Weight
+}
+
+// Weights returns the current per-class weights in class-index order.
+func (m *Multi) Weights() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := make([]float64, len(m.classes))
+	for i, c := range m.classes {
+		ws[i] = c.spec.Weight
+	}
+	return ws
+}
+
 // SetPerClass switches between pool mode (false) and per-class mode
 // (true). Class limits are NOT recomputed here: they keep whatever
 // SetClassLimit installed last (NewMulti seeds them to the

@@ -116,6 +116,31 @@ var builtins = map[string]func() *Scenario{
 			},
 		}
 	},
+	// The SLO-regulation stress: a steady interactive stream with a
+	// latency target competes with an open-loop batch wall that arrives
+	// at t=10s. Run against -class-control slo this is the convergence
+	// experiment — the interactive class's p95 must settle inside its
+	// target band while batch, whose limit the regulator squeezes, sheds
+	// the surplus.
+	"slo-flood": func() *Scenario {
+		return &Scenario{
+			Name:            "slo-flood",
+			Notes:           "batch wall at t=10s; under slo control interactive p95 must hold its target while batch sheds",
+			DurationSeconds: 40,
+			Streams: []StreamConfig{
+				{
+					Class: "interactive", Mode: "open",
+					Rate: &ScheduleJSON{Kind: "const", Value: 60},
+					K:    &ScheduleJSON{Kind: "const", Value: 4},
+				},
+				{
+					Class: "batch", Mode: "open",
+					Rate: &ScheduleJSON{Kind: "jump", At: 10, Before: 10, After: 300},
+					K:    &ScheduleJSON{Kind: "const", Value: 32},
+				},
+			},
+		}
+	},
 	// Slow clients drip huge transactions through a tiny in-flight
 	// window, each dwelling half a second after every response: capacity
 	// is occupied, not used. Interactive must keep flowing around them.

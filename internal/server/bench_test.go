@@ -79,3 +79,45 @@ func BenchmarkTxnReadHeavy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTickSLO measures one control-loop tick in slo mode over a
+// three-class server with warm histograms: the per-class histogram
+// snapshot, the interval delta and its p95 quantile scans, the SLO
+// controller updates, and the telemetry fold. This is the fixed per-
+// interval cost the regulation mode adds off the request hot path; it is
+// captured in CI (BENCH_PR8) so regressions in the tick are as visible
+// as regressions in /txn.
+func BenchmarkTickSLO(b *testing.B) {
+	store := kv.NewStoreShards(1024, 0)
+	s, err := New(Config{
+		Controller:   core.NewStatic(64),
+		Engine:       NewOCC(store),
+		Items:        store.Size(),
+		Interval:     time.Hour, // ticks driven by the benchmark loop
+		Seed:         1,
+		ClassControl: "slo",
+		Classes: []ClassConfig{
+			{Name: "interactive", Weight: 3, SLOTarget: 0.100},
+			{Name: "readonly", Weight: 2, Priority: 1, Shape: "query", SLOTarget: 0.200},
+			{Name: "batch", Weight: 1, Priority: 2, Shape: "update", K: 16},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	// Warm the histograms so the quantile scans walk real counts.
+	for _, params := range []string{"?class=interactive&k=2", "?class=readonly&k=4", "?class=batch"} {
+		for i := 0; i < 128; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/txn"+params, nil)
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.tick(start.Add(time.Duration(i) * time.Millisecond))
+	}
+}

@@ -26,6 +26,10 @@ type ClassConfig struct {
 	Shape string
 	// K is the class's default transaction size (0 = from the mix).
 	K int
+	// SLOTarget is the class's p95 response-time target in seconds for the
+	// slo control mode (0 = no target: the class keeps a static limit at
+	// its fair share while targeted classes regulate).
+	SLOTarget float64
 }
 
 func (c ClassConfig) validate() error {
@@ -42,6 +46,9 @@ func (c ClassConfig) validate() error {
 	}
 	if c.K < 0 {
 		return fmt.Errorf("server: class %q has negative default size %d", c.Name, c.K)
+	}
+	if c.SLOTarget < 0 || math.IsNaN(c.SLOTarget) || math.IsInf(c.SLOTarget, 1) {
+		return fmt.Errorf("server: class %q has invalid SLO target %v", c.Name, c.SLOTarget)
 	}
 	return nil
 }

@@ -232,6 +232,12 @@ func TestEndpointErrorPaths(t *testing.T) {
 		{"controller unknown class", "POST", "/controller", `{"scope":"class","class":"nope","controller":"pa"}`, 400, `unknown class "nope"`},
 		{"controller perclass bad name", "POST", "/controller", `{"scope":"perclass","controller":"bogus"}`, 400, `unknown controller "bogus"`},
 		{"controller bad bounds", "POST", "/controller", `{"controller":"pa","lo":9,"hi":1}`, 400, "invalid bounds"},
+		{"controller half-set bounds lo only", "POST", "/controller", `{"controller":"pa","lo":5}`, 400, "hi is missing"},
+		{"controller half-set bounds hi only", "POST", "/controller", `{"controller":"pa","hi":50}`, 400, "lo is missing"},
+		{"controller slo bad name", "POST", "/controller", `{"scope":"slo","controller":"pid","targets":{"interactive":0.1}}`, 400, `unknown SLO controller "pid"`},
+		{"controller slo unknown class", "POST", "/controller", `{"scope":"slo","targets":{"nope":0.1}}`, 400, `unknown class "nope"`},
+		{"controller slo bad target", "POST", "/controller", `{"scope":"slo","targets":{"interactive":-1}}`, 400, "invalid SLO target"},
+		{"controller slo no targets", "POST", "/controller", `{"scope":"slo"}`, 400, "at least one class with a positive SLO target"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

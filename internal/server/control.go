@@ -23,6 +23,13 @@ import (
 func (s *Server) tick(now time.Time) []ctl.Decision {
 	nowNanos := now.Sub(s.start).Nanoseconds()
 	folds := s.tel.FoldAll()
+	// Snapshot the (cumulative) latency histograms alongside the fold:
+	// differencing against the previous tick's snapshot yields the
+	// interval-local p95 the SLO controllers regulate on.
+	hists := make([]telemetry.HistCounts, len(s.hists))
+	for ci := range s.hists {
+		hists[ci] = s.hists[ci].Counts()
+	}
 	var decisions []ctl.Decision
 
 	s.mu.Lock()
@@ -39,9 +46,17 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 
 	agg := make(telemetry.Fold, len(counterSchema))
 	prevAgg := make(telemetry.Fold, len(counterSchema))
+	var aggHist telemetry.HistCounts
 	var shed uint64
 	for ci := range folds {
 		iv, sample := telemetry.CloseInterval(t, accumOf(folds[ci]), accumOf(s.prevFold[ci]), nowNanos, dtNanos)
+		dh := hists[ci].Sub(s.prevHist[ci])
+		for i, n := range dh {
+			aggHist[i] += n
+		}
+		sample.RespP95 = dh.Quantile(0.95)
+		iv.RespP95 = sample.RespP95
+		s.prevHist[ci] = hists[ci]
 		// A class that timed out or rejected arrivals this interval is
 		// shedding: the bit feeds the load signal's per-class shed state,
 		// which routing tiers use for overload propagation.
@@ -69,6 +84,8 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 	}
 
 	iv, sample := telemetry.CloseInterval(t, accumOf(agg), accumOf(prevAgg), nowNanos, dtNanos)
+	sample.RespP95 = aggHist.Quantile(0.95)
+	iv.RespP95 = sample.RespP95
 	if !s.perClass {
 		// Pool control: the aggregate sample steers the shared limit.
 		limit := s.ctrl.Update(sample)
@@ -84,6 +101,15 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 			Sample:     sample,
 			Limit:      limit,
 		})
+		// Weight learning: every WeightEpoch intervals, retune the class
+		// weights from the shed rates observed over the epoch.
+		if s.cfg.WeightEpoch > 0 {
+			s.epochTicks++
+			if s.epochTicks >= s.cfg.WeightEpoch {
+				s.epochTicks = 0
+				decisions = append(decisions, s.retuneWeightsLocked(t, folds)...)
+			}
+		}
 		// Per-class rows report the effective slice of the new pool.
 		st := s.multi.Stats()
 		for ci := range s.lastClass {
@@ -137,17 +163,24 @@ func (s *Server) enterPerClassLocked(name string, bounds core.Bounds, total floa
 
 // modeLocked names the control mode; the caller holds mu.
 func (s *Server) modeLocked() string {
-	if s.perClass {
+	switch {
+	case s.perClass && s.sloMode:
+		return "slo"
+	case s.perClass:
 		return "perclass"
+	default:
+		return "pool"
 	}
-	return "pool"
 }
 
 // classCtrlView is one class's row in the GET /controller document.
 type classCtrlView struct {
-	Class      string      `json:"class"`
-	Controller string      `json:"controller"`
-	Limit      float64     `json:"limit"`
+	Class      string  `json:"class"`
+	Controller string  `json:"controller"`
+	Limit      float64 `json:"limit"`
+	// SLOTarget is the class's p95 response-time target in seconds (slo
+	// mode; omitted when the class has none).
+	SLOTarget  float64     `json:"slo_target,omitempty"`
 	Updates    uint64      `json:"updates"`
 	LastSample core.Sample `json:"last_sample"`
 }
@@ -173,12 +206,14 @@ type controllerView struct {
 
 // controllerSwitch is the POST /controller body.
 type controllerSwitch struct {
-	// Controller is "pa", "is", "static", or "none".
+	// Controller is "pa", "is", "static", or "none" (for scope slo:
+	// "slo-p" or "slo-fuzzy", default "slo-p").
 	Controller string `json:"controller"`
 	// Scope selects what the new controller steers: "pool" (default) —
 	// one controller for the shared limit; "perclass" — one controller
 	// per class; "class" — replace a single class's controller (implies
-	// perclass mode), named by Class.
+	// perclass mode), named by Class; "slo" — per-class SLO regulation
+	// of each targeted class's interval p95.
 	Scope string `json:"scope"`
 	Class string `json:"class"`
 	// Initial optionally sets the new controller's starting bound (for
@@ -188,11 +223,16 @@ type controllerSwitch struct {
 	// Lo/Hi optionally override the static clamp (both must be set).
 	Lo float64 `json:"lo"`
 	Hi float64 `json:"hi"`
+	// Targets optionally overrides per-class SLO targets in seconds,
+	// keyed by class name (scope slo only). A zero value clears a
+	// class's target.
+	Targets map[string]float64 `json:"targets"`
 }
 
 func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		wantTrace := r.URL.Query().Get("trace") == "1"
 		s.mu.Lock()
 		view := controllerView{
 			Controller:      s.ctrl.Name(),
@@ -211,16 +251,22 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 					Class:      cc.Name,
 					Controller: name,
 					Limit:      s.multi.ClassLimit(ci),
+					SLOTarget:  cc.SLOTarget,
 					Updates:    s.classUpdates[ci],
 					LastSample: s.lastClassSmp[ci],
 				})
 			}
 		}
-		s.mu.Unlock()
+		// Limit and trace are read while still holding mu: reading them
+		// after the unlock let a concurrent mode switch pair, say, mode
+		// "pool" with a per-class limit sum in one response. mu orders
+		// before the gate's and the trace's own (leaf) locks — tick takes
+		// them in the same order every interval.
 		view.Limit = s.multi.Limit()
-		if r.URL.Query().Get("trace") == "1" {
+		if wantTrace {
 			view.Trace = s.loop.Trace()
 		}
+		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, view)
 	case http.MethodPost:
 		var req controllerSwitch
@@ -230,6 +276,16 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 		}
 		bounds := core.DefaultBounds()
 		if req.Lo != 0 || req.Hi != 0 {
+			// The documented contract is "both must be set": a half-set
+			// pair would silently validate as {0, Hi} or {Lo, 0}.
+			if req.Lo == 0 {
+				http.Error(w, "bounds override requires both lo and hi: lo is missing", http.StatusBadRequest)
+				return
+			}
+			if req.Hi == 0 {
+				http.Error(w, "bounds override requires both lo and hi: hi is missing", http.StatusBadRequest)
+				return
+			}
 			bounds = core.Bounds{Lo: req.Lo, Hi: req.Hi}
 			if err := bounds.Validate(); err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
@@ -238,28 +294,43 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 		}
 		switch req.Scope {
 		case "", "pool":
+			// Validate the name before mutating anything; the real
+			// controller is built under mu so the carried-over limit is
+			// the one actually installed at the swap (reading it before
+			// the lock let a concurrent tick move it in between, making
+			// the "carry the current limit" default non-capacity-neutral).
+			if _, err := makeController(req.Controller, 1, bounds); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
 			initial := req.Initial
 			if initial <= 0 {
 				initial = s.multi.Limit()
 			}
 			ctrl, err := makeController(req.Controller, initial, bounds)
 			if err != nil {
+				s.mu.Unlock()
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			s.mu.Lock()
 			s.ctrl = ctrl
 			s.updates = 0
 			s.perClass = false
+			s.sloMode = false
 			s.multi.SetPerClass(false)
 			// Under mu for the same reason as in tick(): swap and install
-			// are one atomic step relative to the measurement loop.
-			s.multi.SetPoolLimit(ctrl.Bound())
+			// are one atomic step relative to the measurement loop. The
+			// response's limit is captured here too — once installed, the
+			// controller belongs to the tick loop and reading its Bound
+			// outside mu races with Update.
+			limit := ctrl.Bound()
+			s.multi.SetPoolLimit(limit)
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, map[string]any{
 				"controller": ctrl.Name(),
 				"mode":       "pool",
-				"limit":      ctrl.Bound(),
+				"limit":      limit,
 			})
 		case "perclass":
 			// Validate the name before mutating anything.
@@ -271,6 +342,9 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 			// Initial > 0 is the new total to split by weight; 0 keeps
 			// the current slices.
 			err := s.enterPerClassLocked(req.Controller, bounds, req.Initial)
+			if err == nil {
+				s.sloMode = false
+			}
 			limits := make(map[string]float64, len(s.classes))
 			for ci, cc := range s.classes {
 				limits[cc.Name] = s.multi.ClassLimit(ci)
@@ -317,16 +391,76 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 			}
 			s.classCtrls[ci] = ctrl
 			s.classUpdates[ci] = 0
-			s.multi.SetClassLimit(ci, ctrl.Bound())
+			// Captured under mu: the installed controller belongs to the
+			// tick loop from here on (see the pool scope).
+			limit := ctrl.Bound()
+			s.multi.SetClassLimit(ci, limit)
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, map[string]any{
 				"controller": ctrl.Name(),
 				"mode":       "perclass",
 				"class":      req.Class,
-				"limit":      ctrl.Bound(),
+				"limit":      limit,
+			})
+		case "slo":
+			name := req.Controller
+			if name == "" {
+				name = s.cfg.SLOController
+			}
+			// Validate the controller name before touching targets.
+			if _, err := makeSLOController(name, 1, 1, bounds); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			for cn := range req.Targets {
+				if _, ok := s.multi.ClassIndex(cn); !ok {
+					http.Error(w, fmt.Sprintf("unknown class %q in targets (have %s)", cn, strings.Join(s.multi.ClassNames(), ", ")), http.StatusBadRequest)
+					return
+				}
+			}
+			for cn, tgt := range req.Targets {
+				if tgt < 0 || math.IsNaN(tgt) || math.IsInf(tgt, 1) {
+					http.Error(w, fmt.Sprintf("invalid SLO target %v for class %q", tgt, cn), http.StatusBadRequest)
+					return
+				}
+			}
+			s.mu.Lock()
+			oldTargets := make([]float64, len(s.classes))
+			for ci := range s.classes {
+				oldTargets[ci] = s.classes[ci].SLOTarget
+			}
+			for cn, tgt := range req.Targets {
+				ci, _ := s.multi.ClassIndex(cn)
+				s.classes[ci].SLOTarget = tgt
+			}
+			err := s.enterSLOLocked(name, bounds)
+			if err != nil {
+				// A failed switch must not leave half-applied targets.
+				for ci := range s.classes {
+					s.classes[ci].SLOTarget = oldTargets[ci]
+				}
+			}
+			view := make(map[string]map[string]float64, len(s.classes))
+			if err == nil {
+				for ci, cc := range s.classes {
+					view[cc.Name] = map[string]float64{
+						"limit":  s.multi.ClassLimit(ci),
+						"target": cc.SLOTarget,
+					}
+				}
+			}
+			s.mu.Unlock()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"controller": name,
+				"mode":       "slo",
+				"classes":    view,
 			})
 		default:
-			http.Error(w, fmt.Sprintf("unknown scope %q (want pool, perclass or class)", req.Scope), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("unknown scope %q (want pool, perclass, class or slo)", req.Scope), http.StatusBadRequest)
 		}
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/ctl"
+)
+
+// TestControllerLiveSwitchRace churns every /controller scope switch
+// against a fast-ticking measurement loop and live traffic while readers
+// assert, on every GET, the invariants the endpoint promises:
+//
+//   - the mode is one of pool/perclass/slo, and the per-class rows are
+//     present exactly when the mode is not pool — a torn snapshot (mode
+//     read under the lock, limit after it) used to be able to pair "pool"
+//     with a per-class limit sum;
+//   - the limit is finite and positive (every installed controller here
+//     is bounded);
+//   - trace sequence numbers are strictly increasing.
+//
+// Run under -race this also proves the lock discipline of the switch
+// paths themselves.
+func TestControllerLiveSwitchRace(t *testing.T) {
+	_, ts := newClassServer(t, 48, func(c *Config) {
+		c.Interval = 2 * time.Millisecond // tick hard against the switches
+		c.Classes[0].SLOTarget = 0.05     // give scope slo a target to regulate
+	})
+
+	post := func(body string) {
+		resp, err := http.Post(ts.URL+"/controller", "application/json", strings.NewReader(body))
+		if err != nil {
+			return // transient client error under churn is not the subject
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("switch %s: status %d", body, resp.StatusCode)
+		}
+	}
+	switches := []string{
+		`{"scope":"pool","controller":"pa"}`,
+		`{"scope":"perclass","controller":"is"}`,
+		`{"scope":"class","class":"batch","controller":"static","initial":5}`,
+		`{"scope":"slo"}`,
+		`{"scope":"pool","controller":"static","initial":32}`,
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Switch churner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			post(switches[i%len(switches)])
+		}
+	}()
+
+	// Traffic, so ticks close non-empty intervals and controllers move.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postTxnQuiet(ts.URL, "?class=interactive&k=2")
+		}
+	}()
+
+	// Readers asserting the GET invariants.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/controller?trace=1")
+				if err != nil {
+					continue
+				}
+				var view struct {
+					Mode    string  `json:"mode"`
+					Limit   float64 `json:"limit"`
+					Classes []struct {
+						Class string  `json:"class"`
+						Limit float64 `json:"limit"`
+					} `json:"classes"`
+					Trace []ctl.Decision `json:"trace"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("GET /controller: %v", err)
+					continue
+				}
+				switch view.Mode {
+				case "pool":
+					if len(view.Classes) != 0 {
+						t.Errorf("mode pool with %d per-class rows: torn snapshot", len(view.Classes))
+					}
+				case "perclass", "slo":
+					if len(view.Classes) != 3 {
+						t.Errorf("mode %s with %d per-class rows, want 3", view.Mode, len(view.Classes))
+					}
+				default:
+					t.Errorf("impossible mode %q", view.Mode)
+				}
+				if math.IsNaN(view.Limit) || math.IsInf(view.Limit, 0) || view.Limit <= 0 {
+					t.Errorf("mode %s: limit %v not finite positive", view.Mode, view.Limit)
+				}
+				for i := 1; i < len(view.Trace); i++ {
+					if view.Trace[i].Seq <= view.Trace[i-1].Seq {
+						t.Errorf("trace seq not strictly increasing: %d then %d",
+							view.Trace[i-1].Seq, view.Trace[i].Seq)
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(1 * time.Second)
+	close(stop)
+	wg.Wait()
+}
+
+// postTxnQuiet fires one transaction and ignores the outcome — load for
+// the race test, where shed responses are expected and irrelevant.
+func postTxnQuiet(base, params string) {
+	resp, err := http.Post(base+"/txn"+params, "application/json", nil)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -119,7 +119,10 @@ type ClassSnapshot struct {
 	Limit  float64 `json:"limit"`
 	Active int     `json:"active"`
 	Queued int     `json:"queued"`
-	Totals Totals  `json:"totals"`
+	// SLOTarget is the class's p95 response-time target in seconds (0
+	// when the class has none).
+	SLOTarget float64 `json:"slo_target,omitempty"`
+	Totals    Totals  `json:"totals"`
 	// Interval is the class's most recently closed measurement interval.
 	Interval IntervalStats `json:"interval"`
 	// RespP50/P95/P99 are response-time quantiles in seconds over all
@@ -137,7 +140,7 @@ type Snapshot struct {
 	Now        float64 `json:"now"`
 	Engine     string  `json:"engine"`
 	Controller string  `json:"controller"`
-	// Mode is "pool" or "perclass" — what the controllers steer.
+	// Mode is "pool", "perclass" or "slo" — what the controllers steer.
 	Mode   string         `json:"mode"`
 	Limit  float64        `json:"limit"`
 	Active int            `json:"active"`
@@ -183,18 +186,19 @@ func (s *Server) SnapshotNow(withHistory bool) Snapshot {
 		}
 		q := s.hists[ci].Summary()
 		snap.Classes = append(snap.Classes, ClassSnapshot{
-			Name:     cc.Name,
-			Weight:   g.Weight,
-			Priority: cc.Priority,
-			Limit:    limit,
-			Active:   g.Active,
-			Queued:   g.Queued,
-			Totals:   classTotals[ci],
-			Interval: s.lastClass[ci],
-			RespP50:  q.P50,
-			RespP95:  q.P95,
-			RespP99:  q.P99,
-			Gate:     g,
+			Name:      cc.Name,
+			Weight:    g.Weight,
+			Priority:  cc.Priority,
+			Limit:     limit,
+			Active:    g.Active,
+			Queued:    g.Queued,
+			SLOTarget: cc.SLOTarget,
+			Totals:    classTotals[ci],
+			Interval:  s.lastClass[ci],
+			RespP50:   q.P50,
+			RespP95:   q.P95,
+			RespP99:   q.P99,
+			Gate:      g,
 		})
 	}
 	if withHistory {

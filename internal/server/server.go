@@ -77,12 +77,24 @@ type Config struct {
 	// canonical interactive/readonly/batch split.
 	Classes []ClassConfig
 	// ClassControl selects what the adaptive controllers steer: "pool"
-	// (default; Controller moves the shared limit, weights split it) or
-	// "perclass" (one controller per class moves that class's own limit).
+	// (default; Controller moves the shared limit, weights split it),
+	// "perclass" (one controller per class moves that class's own limit),
+	// or "slo" (per-class SLO controllers regulate each targeted class's
+	// interval p95 to its ClassConfig.SLOTarget; untargeted classes hold a
+	// static limit at their seed share).
 	ClassControl string
 	// ClassController names the controller built per class in perclass
 	// mode: "pa" (default), "is", "static", "none".
 	ClassController string
+	// SLOController names the controller built per targeted class in slo
+	// mode: "slo-p" (default, proportional) or "slo-fuzzy".
+	SLOController string
+	// WeightEpoch, when > 0 in pool mode, retunes the class weights every
+	// WeightEpoch measurement intervals from the per-class rejection rates
+	// observed over the epoch: a class shedding hard gains weight (up to
+	// 4× its configured share), one that stopped shedding decays back.
+	// Zero disables weight learning.
+	WeightEpoch int
 	// Interval is the measurement interval Δt (default 1s).
 	Interval time.Duration
 	// Mix supplies defaults for transaction shape when a request does not
@@ -142,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.ClassController == "" {
 		c.ClassController = "pa"
 	}
+	if c.SLOController == "" {
+		c.SLOController = "slo-p"
+	}
 	return c
 }
 
@@ -177,15 +192,25 @@ type Server struct {
 	ctrl         core.Controller   // steers the shared pool in pool mode
 	classCtrls   []core.Controller // steer per-class limits in perclass mode
 	perClass     bool
+	sloMode      bool      // per-class controllers regulate SLO targets
 	updates      uint64    // pool controller Update calls
 	classUpdates []uint64  // per-class controller Update calls
 	lastTick     time.Time // previous interval boundary (for the true Δt)
 	prevFold     []telemetry.Fold
+	prevHist     []telemetry.HistCounts // histogram snapshots at the last tick
 	last         IntervalStats
 	lastClass    []IntervalStats
 	history      []IntervalStats
 	lastSamp     core.Sample
 	lastClassSmp []core.Sample
+
+	// Weight-learning epoch state (pool mode, Config.WeightEpoch > 0):
+	// epochTicks counts intervals since the last retune, epochFold holds
+	// the per-class fold at the epoch boundary, baseWeights the configured
+	// weights the learner anchors to.
+	epochTicks  int
+	epochFold   []telemetry.Fold
+	baseWeights []float64
 
 	loop *ctl.Loop // the sense→decide→actuate cycle; owns the trace
 }
@@ -203,9 +228,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Config.Items %d < 1", cfg.Items)
 	}
 	switch cfg.ClassControl {
-	case "pool", "perclass":
+	case "pool", "perclass", "slo":
 	default:
-		return nil, fmt.Errorf("server: unknown ClassControl %q (want pool or perclass)", cfg.ClassControl)
+		return nil, fmt.Errorf("server: unknown ClassControl %q (want pool, perclass or slo)", cfg.ClassControl)
 	}
 	if len(cfg.Classes) > kv.MaxTxnClasses {
 		// The store's per-class conflict counters clamp indexes beyond
@@ -239,14 +264,28 @@ func New(cfg Config) (*Server, error) {
 		classCtrls:   make([]core.Controller, len(cfg.Classes)),
 		classUpdates: make([]uint64, len(cfg.Classes)),
 		prevFold:     make([]telemetry.Fold, len(cfg.Classes)),
+		prevHist:     make([]telemetry.HistCounts, len(cfg.Classes)),
 		lastClass:    make([]IntervalStats, len(cfg.Classes)),
 		lastClassSmp: make([]core.Sample, len(cfg.Classes)),
+		baseWeights:  make([]float64, len(cfg.Classes)),
 	}
 	for ci := range s.prevFold {
 		s.prevFold[ci] = make(telemetry.Fold, len(counterSchema))
 	}
-	if cfg.ClassControl == "perclass" {
+	for ci, cc := range cfg.Classes {
+		w := cc.Weight
+		if w == 0 {
+			w = 1 // NewMulti's default for zero weights
+		}
+		s.baseWeights[ci] = w
+	}
+	switch cfg.ClassControl {
+	case "perclass":
 		if err := s.enterPerClassLocked(cfg.ClassController, core.DefaultBounds(), 0); err != nil {
+			return nil, err
+		}
+	case "slo":
+		if err := s.enterSLOLocked(cfg.SLOController, core.DefaultBounds()); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// This file is the server's SLO-regulation wiring: entering the slo
+// control mode (per-class response-time controllers over the interval
+// p95) and the epoch-based weight learner that retunes pool-mode class
+// weights from observed shed rates. Both record their decisions in the
+// ctl.Loop trace so they replay offline like every other controller.
+
+// makeSLOController builds an SLO response-time controller by name for
+// one class: "slo-p" (proportional) or "slo-fuzzy".
+func makeSLOController(name string, target, initial float64, bounds core.Bounds) (core.Controller, error) {
+	cfg := core.DefaultSLOConfig(target, bounds.Clamp(initial))
+	cfg.Bounds = bounds
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", "slo-p":
+		return core.NewSLOProportional(cfg), nil
+	case "slo-fuzzy":
+		return core.NewSLOFuzzy(cfg), nil
+	default:
+		return nil, fmt.Errorf("server: unknown SLO controller %q (want slo-p or slo-fuzzy)", name)
+	}
+}
+
+// enterSLOLocked builds the slo control mode: every class with a positive
+// SLOTarget gets an SLO controller regulating its interval p95 to that
+// target; classes without a target hold a static limit. Like
+// enterPerClassLocked, each controller is seeded at the class's current
+// effective slice so the switch is capacity-neutral. At least one class
+// must carry a target, otherwise the mode would be per-class static
+// control wearing the wrong name. The caller holds mu (or is still
+// constructing the server).
+func (s *Server) enterSLOLocked(name string, bounds core.Bounds) error {
+	targeted := 0
+	for _, cc := range s.classes {
+		if cc.SLOTarget > 0 {
+			targeted++
+		}
+	}
+	if targeted == 0 {
+		return fmt.Errorf("server: slo control needs at least one class with a positive SLO target")
+	}
+	st := s.multi.Stats()
+	for ci, cc := range s.classes {
+		seed := st.Classes[ci].Share
+		if s.perClass {
+			seed = st.Classes[ci].Limit
+		}
+		var ctrl core.Controller
+		if cc.SLOTarget > 0 {
+			c, err := makeSLOController(name, cc.SLOTarget, seed, bounds)
+			if err != nil {
+				return err
+			}
+			ctrl = c
+		} else {
+			ctrl = core.NewStatic(bounds.Clamp(seed))
+		}
+		s.classCtrls[ci] = ctrl
+		s.classUpdates[ci] = 0
+		s.multi.SetClassLimit(ci, ctrl.Bound())
+	}
+	s.perClass = true
+	s.sloMode = true
+	s.multi.SetPerClass(true)
+	return nil
+}
+
+// Weight-learning tuning, following the epoch-adaptive pattern: rejection
+// rate is a free learning signal the gate already counts. A class
+// shedding more than weightHighShed of its arrivals over an epoch is
+// under-provisioned relative to its priority — its weight grows
+// multiplicatively; once its shed rate falls under weightLowShed the
+// weight decays back toward the configured baseline so a transient burst
+// does not permanently skew the split. Weights stay within
+// [base, base·weightMaxBoost], so learning can only add protection on top
+// of the operator's configuration, never remove it.
+const (
+	weightHighShed = 0.10
+	weightLowShed  = 0.02
+	weightGrow     = 1.25
+	weightDecay    = 0.75 // geometric step back toward base
+	weightMaxBoost = 4.0
+)
+
+// retuneWeightsLocked closes one weight-learning epoch: compute each
+// class's shed rate over the epoch from the fold deltas, move weights by
+// the grow/decay law above, install them at the gate, and emit one trace
+// decision per changed class (Scope "weight:<class>", Limit = new weight,
+// Sample.Perf = epoch shed rate, Sample.Completions = epoch arrivals).
+// The caller holds mu and passes this tick's folds.
+func (s *Server) retuneWeightsLocked(t float64, folds []telemetry.Fold) []ctl.Decision {
+	if s.epochFold == nil {
+		// First epoch boundary since the learner started: just anchor.
+		s.epochFold = folds
+		return nil
+	}
+	var decisions []ctl.Decision
+	weights := s.multi.Weights()
+	for ci := range s.classes {
+		arrivals := folds[ci][cRequests] - s.epochFold[ci][cRequests]
+		shed := (folds[ci][cRejected] - s.epochFold[ci][cRejected]) +
+			(folds[ci][cTimeouts] - s.epochFold[ci][cTimeouts])
+		if arrivals == 0 {
+			continue
+		}
+		rate := float64(shed) / float64(arrivals)
+		base := s.baseWeights[ci]
+		w := weights[ci]
+		switch {
+		case rate > weightHighShed:
+			w *= weightGrow
+		case rate < weightLowShed && w > base:
+			w = base + (w-base)*weightDecay
+			if w-base < base*0.01 {
+				w = base // snap once the boost is negligible
+			}
+		default:
+			continue
+		}
+		if lim := base * weightMaxBoost; w > lim {
+			w = lim
+		}
+		if w == weights[ci] {
+			continue
+		}
+		weights[ci] = w
+		s.multi.SetClassWeight(ci, w)
+		decisions = append(decisions, ctl.Decision{
+			Scope:      "weight:" + s.classes[ci].Name,
+			Controller: "epoch-weight",
+			Sample:     core.Sample{Time: t, Perf: rate, Completions: arrivals},
+			Limit:      w,
+		})
+	}
+	s.epochFold = folds
+	return decisions
+}

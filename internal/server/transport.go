@@ -405,6 +405,12 @@ func renderProm(snap Snapshot) *telemetry.PromText {
 		func(c ClassSnapshot) float64 { return c.Interval.RespTime })
 	gaugeVec("loadctl_class_resp_p95_seconds", "class p95 response time since start (log-bucketed)",
 		func(c ClassSnapshot) float64 { return c.RespP95 })
+	gaugeVec("loadctl_class_interval_resp_p95_seconds", "class p95 response time over the last interval (the SLO regulation signal)",
+		func(c ClassSnapshot) float64 { return c.Interval.RespP95 })
+	gaugeVec("loadctl_class_slo_target_seconds", "class p95 response-time SLO target (0 = none)",
+		func(c ClassSnapshot) float64 { return c.SLOTarget })
+	gaugeVec("loadctl_class_weight", "class weight (share of the pool; moves when weight learning is on)",
+		func(c ClassSnapshot) float64 { return c.Weight })
 	gaugeVec("loadctl_class_abort_rate", "class CC aborts per commit over the last interval",
 		func(c ClassSnapshot) float64 { return c.Interval.AbortRate })
 	counterVec("loadctl_class_requests_total", "transaction requests received per class",

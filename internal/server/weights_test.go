@@ -1,0 +1,122 @@
+package server
+
+import (
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/ctl"
+)
+
+// stormClass fires n concurrent transactions at one admission class and
+// waits for all of them to resolve (commit or shed). With a slow engine
+// and Reject mode, concurrency beyond the pool limit turns into
+// rejections — the learning signal the weight epoch reads.
+func stormClass(ts *httptest.Server, class string, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postTxnQuiet(ts.URL, "?class="+class+"&k=1")
+		}()
+	}
+	wg.Wait()
+}
+
+// weightDecision digs the epoch-weight decision for one class out of a
+// tick's decision batch.
+func weightDecision(decisions []ctl.Decision, class string) (ctl.Decision, bool) {
+	for _, d := range decisions {
+		if d.Scope == "weight:"+class && d.Controller == "epoch-weight" {
+			return d, true
+		}
+	}
+	return ctl.Decision{}, false
+}
+
+// TestWeightEpochRetune drives the pool-mode weight learner by hand:
+// a shed-heavy epoch must grow the suffering class's weight by the
+// multiplicative step, a clean epoch must decay it geometrically back
+// toward the configured base, sustained pressure must saturate at
+// base·weightMaxBoost, and every move must leave an epoch-weight trace
+// decision carrying the observed shed rate.
+func TestWeightEpochRetune(t *testing.T) {
+	s, ts := newClassServer(t, 4, func(c *Config) {
+		c.Interval = time.Hour // ticks are driven manually below
+		c.WeightEpoch = 1
+		c.Reject = true
+		c.Engine = slowEngine{inner: c.Engine, delay: 40 * time.Millisecond}
+	})
+	const batch = 2 // index of class "batch" in newClassServer
+
+	// First epoch boundary only anchors the fold baseline: no weight moves
+	// regardless of traffic before it.
+	stormClass(ts, "batch", 12)
+	if d, ok := weightDecision(s.tick(time.Now()), "batch"); ok {
+		t.Fatalf("anchor tick already moved a weight: %+v", d)
+	}
+
+	// Shed-heavy epoch: 12 concurrent batch transactions against a pool of
+	// 4 reject well above weightHighShed, so the weight must grow by
+	// exactly one multiplicative step off its base of 1.
+	stormClass(ts, "batch", 12)
+	d, ok := weightDecision(s.tick(time.Now()), "batch")
+	if !ok {
+		t.Fatal("shed-heavy epoch produced no epoch-weight decision for batch")
+	}
+	if d.Limit != weightGrow {
+		t.Fatalf("weight after one grow epoch = %v, want %v", d.Limit, weightGrow)
+	}
+	if d.Sample.Perf <= weightHighShed {
+		t.Fatalf("recorded shed rate %v not above the grow threshold", d.Sample.Perf)
+	}
+	if d.Sample.Completions == 0 {
+		t.Fatal("epoch-weight decision recorded zero arrivals")
+	}
+	if got := s.multi.ClassWeight(batch); got != weightGrow {
+		t.Fatalf("gate weight = %v, want %v installed", got, weightGrow)
+	}
+
+	// Clean epoch: sequential batch traffic admits every transaction, so
+	// the boost decays geometrically toward base 1.
+	for i := 0; i < 4; i++ {
+		postTxnQuiet(ts.URL, "?class=batch&k=1")
+	}
+	wantDecay := 1 + (weightGrow-1)*weightDecay
+	d, ok = weightDecision(s.tick(time.Now()), "batch")
+	if !ok {
+		t.Fatal("clean epoch produced no decay decision")
+	}
+	if math.Abs(d.Limit-wantDecay) > 1e-12 {
+		t.Fatalf("weight after decay epoch = %v, want %v", d.Limit, wantDecay)
+	}
+	if d.Sample.Perf >= weightLowShed {
+		t.Fatalf("decay epoch recorded shed rate %v, want below %v", d.Sample.Perf, weightLowShed)
+	}
+
+	// Sustained pressure: the boost saturates at base·weightMaxBoost and
+	// then stops emitting decisions (no-op moves are not traced).
+	for epoch := 0; epoch < 10; epoch++ {
+		stormClass(ts, "batch", 12)
+		s.tick(time.Now())
+	}
+	if got := s.multi.ClassWeight(batch); got != weightMaxBoost {
+		t.Fatalf("weight under sustained shed = %v, want clamp at %v", got, weightMaxBoost)
+	}
+	stormClass(ts, "batch", 12)
+	if d, ok := weightDecision(s.tick(time.Now()), "batch"); ok {
+		t.Fatalf("clamped weight still emitted a decision: %+v", d)
+	}
+
+	// Idle epoch: no batch arrivals means no information — the weight must
+	// hold rather than decay on silence.
+	if d, ok := weightDecision(s.tick(time.Now()), "batch"); ok {
+		t.Fatalf("idle epoch moved the weight: %+v", d)
+	}
+	if got := s.multi.ClassWeight(batch); got != weightMaxBoost {
+		t.Fatalf("idle epoch changed the gate weight to %v", got)
+	}
+}

@@ -71,7 +71,43 @@ func (h *Histogram) Bucket(i int) uint64 {
 // Quantile returns the geometric midpoint of the bucket holding the
 // q-quantile (0 when empty).
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	return h.Counts().Quantile(q)
+}
+
+// HistCounts is one point-in-time reading of a histogram's buckets — a
+// plain value, so interval folds can difference two readings and compute
+// quantiles over just the samples that landed in between.
+type HistCounts [HistBuckets]uint64
+
+// Counts snapshots the bucket counters. Reads race benignly with writers
+// exactly like Quantile does: a concurrent sample skews the snapshot by at
+// most one observation.
+func (h *Histogram) Counts() HistCounts {
+	var c HistCounts
+	for i := range c {
+		c[i] = h.buckets[i].Load()
+	}
+	return c
+}
+
+// Sub returns the per-bucket delta cur − prev: the distribution of the
+// observations recorded between the two snapshots. Buckets are monotone,
+// so modular uint64 subtraction is exact.
+func (c HistCounts) Sub(prev HistCounts) HistCounts {
+	var d HistCounts
+	for i := range d {
+		d[i] = c[i] - prev[i]
+	}
+	return d
+}
+
+// Quantile returns the geometric midpoint of the bucket holding the
+// q-quantile of the counted observations (0 when empty).
+func (c HistCounts) Quantile(q float64) float64 {
+	var total uint64
+	for _, n := range c {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
@@ -80,8 +116,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		target = 1
 	}
 	var cum uint64
-	for i := 0; i < HistBuckets; i++ {
-		cum += h.buckets[i].Load()
+	for i, n := range c {
+		cum += n
 		if cum >= target {
 			return HistBase * math.Pow(2, (float64(i)+0.5)/4)
 		}

@@ -16,6 +16,11 @@ type Interval struct {
 	// RespTime is the mean response time in seconds of requests that
 	// completed in the interval (queueing + execution + retries).
 	RespTime float64 `json:"resp_time"`
+	// RespP95 is the p95 response time in seconds of requests that
+	// completed in the interval (0 when none did). It is stamped by the
+	// caller from a histogram-snapshot delta — the latency histogram is
+	// cumulative, so CloseInterval's accumulators cannot derive it.
+	RespP95 float64 `json:"resp_p95,omitempty"`
 	// AbortRate is CC aborts per commit. When no commit landed in the
 	// interval it is aborts per attempt, which is 1.0 whenever any
 	// attempt ran (every attempt aborted) and 0 for an idle interval.

@@ -54,12 +54,22 @@ type ServerConfig struct {
 	// requests select a class with ?class=<name>.
 	Classes []ClassConfig
 	// ClassControl selects what the controllers steer: "pool" (default —
-	// one controller moves the shared limit, weights split it) or
-	// "perclass" (one controller per class moves that class's limit).
+	// one controller moves the shared limit, weights split it), "perclass"
+	// (one controller per class moves that class's limit), or "slo"
+	// (per-class SLO controllers regulate each targeted class's interval
+	// p95 response time to its ClassConfig.SLOTarget).
 	ClassControl string
 	// ClassController names the controller built per class in perclass
 	// mode: "pa" (default), "is", "static", "none".
 	ClassController string
+	// SLOController names the controller built per targeted class in slo
+	// mode: "slo-p" (default, proportional) or "slo-fuzzy".
+	SLOController string
+	// WeightEpoch, when > 0 in pool mode, retunes class weights every
+	// WeightEpoch measurement intervals from per-class shed rates: a class
+	// shedding hard gains weight (up to 4× its configured share), one that
+	// stopped shedding decays back. Zero disables weight learning.
+	WeightEpoch int
 	// Interval is the measurement interval Δt (default 1s).
 	Interval time.Duration
 	// MaxRetry bounds CC-abort restarts per request (0 = default of 3,
@@ -130,6 +140,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Classes:         cfg.Classes,
 		ClassControl:    cfg.ClassControl,
 		ClassController: cfg.ClassController,
+		SLOController:   cfg.SLOController,
+		WeightEpoch:     cfg.WeightEpoch,
 		Interval:        cfg.Interval,
 		Mix:             workload.DefaultMix(),
 		MaxRetry:        cfg.MaxRetry,
