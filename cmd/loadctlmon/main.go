@@ -1,0 +1,76 @@
+// Loadctlmon is the fleet monitor: it scrapes /metrics,
+// /controller?trace=1, /healthz and /debug/incidents from a set of
+// loadctld and loadctlproxy instances (tiers are auto-detected), merges
+// everything into one cluster timeline — per-class admitted/shed/p95/SLO
+// series plus overload-incident markers correlated across tiers by time
+// and by shared trace IDs — and emits it as committed-format JSON
+// ("loadctlmon/1") plus a human-readable text rendering.
+//
+//	# watch a proxy and its three backends for 30s
+//	go run ./cmd/loadctlmon \
+//	    -targets 127.0.0.1:8080,127.0.0.1:8344,127.0.0.1:8345,127.0.0.1:8346 \
+//	    -duration 30s -out timeline.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/obs"
+)
+
+func main() {
+	var (
+		targets  = flag.String("targets", "", "comma-separated base URLs to scrape (host:port accepted); required")
+		interval = flag.Duration("interval", time.Second, "scrape period")
+		duration = flag.Duration("duration", 10*time.Second, "how long to observe (0 = until interrupted)")
+		out      = flag.String("out", "timeline.json", "timeline JSON output path (- or empty = stdout)")
+		text     = flag.Bool("text", true, "print the human-readable timeline to stdout")
+	)
+	flag.Parse()
+
+	if *targets == "" {
+		log.Fatal("loadctlmon: -targets is required (comma-separated list)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*targets, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("loadctlmon: -targets is empty after trimming")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	m := obs.NewMonitor(obs.MonitorConfig{Targets: urls, Interval: *interval})
+	tl := m.Run(ctx, *duration)
+
+	blob, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		log.Fatalf("loadctlmon: encode timeline: %v", err)
+	}
+	blob = append(blob, '\n')
+	switch *out {
+	case "", "-":
+		os.Stdout.Write(blob)
+	default:
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatalf("loadctlmon: write %s: %v", *out, err)
+		}
+		fmt.Printf("loadctlmon: timeline written to %s\n", *out)
+	}
+	if *text {
+		fmt.Print(tl.Text())
+	}
+}

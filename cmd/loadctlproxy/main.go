@@ -83,6 +83,7 @@ func main() {
 	if *debugAddr != "" {
 		dmux := debughttp.Mux()
 		dmux.Handle("/debug/requests", p.Requests().Handler())
+		dmux.Handle("/debug/incidents", p.Incidents().Handler())
 		if err := debughttp.Serve(ctx, *debugAddr, dmux); err != nil {
 			log.Fatalf("loadctlproxy: debug listen %s: %v", *debugAddr, err)
 		}

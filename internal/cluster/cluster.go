@@ -28,7 +28,9 @@
 // text, ?format=json for a snapshot — the same dual-format contract as
 // loadctld), GET /healthz (proxy self-health: degraded/down as backends
 // disappear), GET /debug/requests (captured per-request routing traces —
-// policy picks, relay attempts, failovers; see internal/reqtrace).
+// policy picks, relay attempts, failovers; see internal/reqtrace), GET
+// /debug/incidents (overload incidents — cluster-wide shed, backend
+// death, relay shed spikes — with flight-recorder bundles; internal/obs).
 package cluster
 
 import (
@@ -46,6 +48,7 @@ import (
 
 	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/obs"
 	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/telemetry"
 )
@@ -212,6 +215,24 @@ type Proxy struct {
 	tel *telemetry.Counters // striped hot-path counters (one group)
 	rec *reqtrace.Recorder  // per-request traces behind /debug/requests
 
+	// relayHist buckets relay latencies (successful relays only): the
+	// interval-delta source of the proxy's p95 and of incident-bundle
+	// histogram evidence. Atomic buckets; Observe stays on the relay path
+	// without growing its allocation budget.
+	relayHist telemetry.Histogram
+
+	// Overload observability (internal/obs), mirroring the server's:
+	// obsRing/det/obsRec detect and file incidents, runtime samples the Go
+	// runtime at tune ticks. det and the prev*/decisionHist fields below
+	// belong to the tune-tick goroutine exclusively.
+	obsRing       *obs.Ring
+	det           *obs.Detector
+	obsRec        *obs.Recorder
+	runtime       *telemetry.RuntimeSampler
+	prevObsFold   telemetry.Fold
+	prevRelayHist telemetry.HistCounts
+	decisionHist  []ctl.Decision
+
 	loop *ctl.Loop // θ self-tuning + decision trace
 
 	stop chan struct{}
@@ -254,9 +275,16 @@ func New(cfg Config) (*Proxy, error) {
 	cfg.ReqTrace.Tier = "proxy"
 	p.rec = reqtrace.New(cfg.ReqTrace)
 	p.tel = telemetry.NewCounters(1, counterSchema...)
+	p.obsRing = obs.NewRing(obs.DefaultRingSize)
+	p.det = obs.NewDetector(p.obsRing)
+	p.obsRec = obs.NewRecorder("proxy", obs.DefaultMaxIncidents,
+		func() float64 { return float64(p.nowNanos()) / 1e9 }, p.obsRing)
+	p.runtime = telemetry.NewRuntimeSampler()
+	p.prevObsFold = make(telemetry.Fold, len(counterSchema))
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/txn", p.handleTxn)
 	p.mux.Handle("/debug/requests", p.rec.Handler())
+	p.mux.Handle("/debug/incidents", p.obsRec.Handler())
 	p.mux.Handle("/metrics", telemetry.MetricsEndpoint{
 		Snapshot: func(bool) any { return p.SnapshotNow() },
 		Prom:     func() *telemetry.PromText { return renderProm(p.SnapshotNow()) },
@@ -288,6 +316,10 @@ func (p *Proxy) PolicyName() string { return p.policy.Name() }
 // Requests returns the per-request trace recorder (the state behind
 // GET /debug/requests), for embedders mounting it on a debug listener.
 func (p *Proxy) Requests() *reqtrace.Recorder { return p.rec }
+
+// Incidents returns the overload flight recorder (the state behind
+// GET /debug/incidents), for embedders mounting it on a debug listener.
+func (p *Proxy) Incidents() *obs.Recorder { return p.obsRec }
 
 func (p *Proxy) nowNanos() int64 { return time.Since(p.start).Nanoseconds() }
 
@@ -435,6 +467,9 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			lat := time.Since(t0)
 			cell.Add(cRespNanos, uint64(lat.Nanoseconds()))
 			cell.Inc(cRespN)
+			// Bucketed alongside the sum/count cells: the interval delta
+			// yields the relay p95 (atomic adds, no allocation).
+			p.relayHist.Observe(lat.Seconds())
 			tr.FinishWall(reqtrace.StatusRelayed, true, lat)
 			return
 		}

@@ -78,6 +78,9 @@ func (p *Proxy) tuneTick(now time.Time) []ctl.Decision {
 			d.Sample.Perf = float64(allBelow) / float64(picks)
 		}
 	}
+	// Overload detection rides the same tick (obs.go): the conditions it
+	// reads are exactly what was sensed above.
+	p.observeTuneTick(float64(nowNanos)/1e9, shedFrac, d)
 	return []ctl.Decision{d}
 }
 

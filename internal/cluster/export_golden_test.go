@@ -36,6 +36,12 @@ func assertProxyExportsAgree(t *testing.T, p *Proxy) {
 	if snap.Threshold > 0 {
 		check("loadctlproxy_threshold", snap.Threshold)
 	}
+	check("loadctlproxy_relay_p95_seconds", snap.RelayP95Seconds)
+	check("loadctlproxy_incidents_open", float64(snap.IncidentsOpen))
+	check("loadctl_go_goroutines", float64(snap.Runtime.Goroutines))
+	check("loadctl_go_heap_bytes", float64(snap.Runtime.HeapBytes))
+	check("loadctl_go_gc_pause_seconds_count", float64(snap.Runtime.GCPauses))
+	check("loadctl_go_gc_pause_seconds_sum", snap.Runtime.GCPauseTotalSeconds)
 	for _, bs := range snap.Backends {
 		label := func(name string) string { return fmt.Sprintf("%s{backend=%q}", name, fmt.Sprint(bs.Index)) }
 		check(label("loadctlproxy_backend_forwarded_total"), float64(bs.Forwarded))

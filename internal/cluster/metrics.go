@@ -76,12 +76,19 @@ type Snapshot struct {
 	Policy string  `json:"policy"`
 	// Threshold is the threshold policy's current learned θ (0 for the
 	// other policies).
-	Threshold             float64           `json:"threshold,omitempty"`
-	HealthIntervalSeconds float64           `json:"health_interval_seconds"`
-	Alive                 int               `json:"alive"`
-	Totals                Totals            `json:"totals"`
-	MeanLatencySeconds    float64           `json:"mean_latency_seconds"`
-	Backends              []BackendSnapshot `json:"backends"`
+	Threshold             float64 `json:"threshold,omitempty"`
+	HealthIntervalSeconds float64 `json:"health_interval_seconds"`
+	Alive                 int     `json:"alive"`
+	Totals                Totals  `json:"totals"`
+	MeanLatencySeconds    float64 `json:"mean_latency_seconds"`
+	// RelayP95Seconds is the p95 relay latency since start (log-bucketed).
+	RelayP95Seconds float64 `json:"relay_p95_seconds"`
+	// Runtime is the Go runtime snapshot taken at the last tune tick.
+	Runtime telemetry.RuntimeStats `json:"runtime"`
+	// IncidentsOpen is the number of overload incidents currently open on
+	// the flight recorder (see GET /debug/incidents).
+	IncidentsOpen int               `json:"incidents_open"`
+	Backends      []BackendSnapshot `json:"backends"`
 }
 
 // Totals are the proxy's monotone counters since start. The identity
@@ -132,6 +139,9 @@ func (p *Proxy) SnapshotNow() Snapshot {
 	if respN > 0 {
 		snap.MeanLatencySeconds = float64(respNanos) / 1e9 / float64(respN)
 	}
+	snap.RelayP95Seconds = p.relayHist.Quantile(0.95)
+	snap.Runtime = p.runtime.Stats()
+	snap.IncidentsOpen = p.obsRec.OpenCount()
 	for i, b := range p.backends {
 		bs := BackendSnapshot{
 			Index:              i,
@@ -224,6 +234,9 @@ func renderProm(snap Snapshot) *telemetry.PromText {
 		})
 	gaugeVec("loadctlproxy_backend_ewma_latency_seconds", "smoothed relay latency per backend",
 		func(bs BackendSnapshot) float64 { return bs.EWMALatencySeconds })
+	p.Gauge("loadctlproxy_relay_p95_seconds", "p95 relay latency since start (log-bucketed)", snap.RelayP95Seconds)
+	p.Gauge("loadctlproxy_incidents_open", "overload incidents currently open on the flight recorder", float64(snap.IncidentsOpen))
+	telemetry.AppendRuntimeProm(&p, snap.Runtime)
 	return &p
 }
 

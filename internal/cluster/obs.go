@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/obs"
+)
+
+// This file is the proxy's overload-event wiring, the routing-tier mirror
+// of the server's: every tune tick feeds the hysteresis detector the
+// conditions only this tier can see — cluster-wide shed propagation,
+// backend death, and the proxy's own fast-reject spike — and files
+// incident bundles on start edges. All of it runs on the tune-tick
+// goroutine, off the relay hot path.
+
+// observeTuneTick runs the proxy's overload detection for one tune
+// interval. t is seconds since proxy start, shedFrac the sensed fraction
+// of routable backends shedding ≥1 class, d this tick's decision.
+func (p *Proxy) observeTuneTick(t float64, shedFrac float64, d ctl.Decision) {
+	p.decisionHist = append(p.decisionHist, d)
+	if n := len(p.decisionHist); n > obs.BundleDecisions {
+		p.decisionHist = append(p.decisionHist[:0], p.decisionHist[n-obs.BundleDecisions:]...)
+	}
+	rt := p.runtime.Sample()
+
+	var started, ended []*obs.Event
+	observe := func(kind, subject string, value float64, th obs.Threshold) {
+		if ev := p.det.Observe(t, kind, subject, value, th); ev != nil {
+			if ev.Edge == obs.EdgeStart {
+				started = append(started, ev)
+			} else {
+				ended = append(ended, ev)
+			}
+		}
+	}
+
+	// Interval deltas of the proxy's own counters: the fast-reject
+	// fraction is this tier's shed-spike reading.
+	fold := p.tel.Fold(0)
+	dReq := fold[cRequests] - p.prevObsFold[cRequests]
+	dShed := (fold[cShedOverload] - p.prevObsFold[cShedOverload]) +
+		(fold[cShedNoBackend] - p.prevObsFold[cShedNoBackend])
+	p.prevObsFold = fold
+	var frac float64
+	if dReq >= obs.MinShedArrivals {
+		frac = float64(dShed) / float64(dReq)
+	}
+	observe(obs.KindShedSpike, "", frac, obs.ShedSpikeThreshold())
+
+	// Cluster-wide shed propagation: the same sensed fraction the θ
+	// tuner consumes.
+	observe(obs.KindClusterShed, "", shedFrac, obs.ClusterShedThreshold())
+
+	// Backend death, one condition per backend (the health loop already
+	// debounces liveness, so Hold is 1).
+	for _, b := range p.backends {
+		var deadV float64
+		if b.dead.Load() {
+			deadV = 1
+		}
+		observe(obs.KindBackendDead, b.indexStr, deadV, obs.BackendDeadThreshold())
+	}
+
+	// The relay-latency delta over this interval, for bundle evidence.
+	relayCounts := p.relayHist.Counts()
+	relayDelta := relayCounts.Sub(p.prevRelayHist)
+	p.prevRelayHist = relayCounts
+
+	for _, ev := range ended {
+		p.obsRec.Close(ev)
+	}
+	if len(started) == 0 {
+		return
+	}
+	bundle := obs.BuildBundle(p.decisionHist,
+		[]obs.HistDelta{obs.DeltaOf("", relayDelta)},
+		nil, p.rec, rt)
+	for _, ev := range started {
+		p.obsRec.Open(ev, bundle)
+	}
+}

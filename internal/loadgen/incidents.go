@@ -1,0 +1,41 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/tpctl/loadctl/internal/obs"
+)
+
+// FetchIncidents retrieves a tier's overload-incident dump from its GET
+// /debug/incidents endpoint — the scrape experiment harnesses use to
+// assert that a driven overload actually registered as an incident (and
+// closed again) on the target under test.
+func FetchIncidents(ctx context.Context, client *http.Client, baseURL string) (*obs.IncidentDump, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(baseURL, "/") + "/debug/incidents"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("loadgen: %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var dump obs.IncidentDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: decode: %w", url, err)
+	}
+	return &dump, nil
+}

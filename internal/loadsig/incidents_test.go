@@ -1,0 +1,47 @@
+package loadsig
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIncidentsRoundTrip(t *testing.T) {
+	s := Signal{Status: StatusOK, Limit: 16, Active: 16, Queued: 4, Util: 1, Incidents: 2}
+	h := s.Encode()
+	if !strings.Contains(h, ";inc=2") {
+		t.Fatalf("header %q is missing inc=2", h)
+	}
+	got, err := Parse(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Incidents != 2 {
+		t.Fatalf("round trip: incidents %d, want 2", got.Incidents)
+	}
+}
+
+func TestIncidentsOmittedWhenZero(t *testing.T) {
+	s := Signal{Status: StatusOK, Limit: 16, Active: 1, Util: 0.0625}
+	if h := s.Encode(); strings.Contains(h, "inc=") {
+		t.Fatalf("zero incidents leaked into header %q", h)
+	}
+	// Absent key parses as zero.
+	got, err := Parse(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Incidents != 0 {
+		t.Fatalf("incidents %d, want 0", got.Incidents)
+	}
+}
+
+func TestIncidentsRejectsMalformed(t *testing.T) {
+	for _, h := range []string{
+		"status=ok;limit=4;active=0;queued=0;util=0;inc=x",
+		"status=ok;limit=4;active=0;queued=0;util=0;inc=-1",
+	} {
+		if _, err := Parse(h); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", h)
+		}
+	}
+}

@@ -62,6 +62,11 @@ type Signal struct {
 	// live backend propagates the overload by fast-rejecting that class
 	// instead of queueing it.
 	Shedding []string `json:"shedding,omitempty"`
+	// Incidents is the number of overload incidents currently open on the
+	// backend's flight recorder — a coarse "how bad is it over there"
+	// scalar routing tiers get for free, without scraping the incident
+	// dump. Omitted from the header when zero.
+	Incidents int `json:"incidents,omitempty"`
 }
 
 // Draining reports whether the backend asked not to receive new work.
@@ -102,6 +107,9 @@ func (s *Signal) Encode() string {
 	if len(s.Shedding) > 0 {
 		b.WriteString(";shed=")
 		b.WriteString(strings.Join(s.Shedding, ","))
+	}
+	if s.Incidents > 0 {
+		fmt.Fprintf(&b, ";inc=%d", s.Incidents)
 	}
 	return b.String()
 }
@@ -161,6 +169,12 @@ func Parse(header string) (*Signal, error) {
 			if val != "" {
 				s.Shedding = strings.Split(val, ",")
 			}
+		case "inc":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("loadsig: bad inc %q", val)
+			}
+			s.Incidents = n
 		default:
 			// Unknown key: a newer backend talking to an older proxy.
 		}

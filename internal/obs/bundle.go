@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// Bundle assembly limits. A bundle is evidence, not an archive: enough of
+// each record to read the episode back, small enough to file on every
+// incident start without budget anxiety.
+const (
+	// BundleDecisions is how many trailing controller decisions a bundle
+	// carries.
+	BundleDecisions = 16
+	// BundleRecent is how many recent ring traces a bundle carries
+	// (error-captured first, so a shed episode always shows its rejects).
+	BundleRecent = 8
+	// BundleSlowest is how many slow-tail traces a bundle carries.
+	BundleSlowest = 4
+)
+
+// BucketCount is one non-empty histogram bucket of an interval delta.
+type BucketCount struct {
+	// Bucket is the telemetry histogram bucket index; its upper edge is
+	// HistBase·2^((i+1)/4) seconds.
+	Bucket int    `json:"bucket"`
+	Count  uint64 `json:"count"`
+}
+
+// HistDelta is one interval histogram delta (telemetry.HistCounts.Sub) in
+// sparse form: only the buckets that counted observations, plus the total
+// and the p95 the delta yields.
+type HistDelta struct {
+	// Class is the admission class ("" for a tier-wide histogram, e.g.
+	// the proxy's relay latencies).
+	Class      string        `json:"class,omitempty"`
+	Total      uint64        `json:"total"`
+	P95Seconds float64       `json:"p95_seconds"`
+	Buckets    []BucketCount `json:"buckets,omitempty"`
+}
+
+// DeltaOf renders one histogram delta in the bundle's sparse form.
+func DeltaOf(class string, d telemetry.HistCounts) HistDelta {
+	hd := HistDelta{Class: class, P95Seconds: d.Quantile(0.95)}
+	for i, n := range d {
+		if n == 0 {
+			continue
+		}
+		hd.Total += n
+		hd.Buckets = append(hd.Buckets, BucketCount{Bucket: i, Count: n})
+	}
+	return hd
+}
+
+// Bundle is the flight recorder's evidence for one incident, assembled at
+// the start edge on the detecting tier's tick goroutine. Every field is a
+// plain value or an immutable pointer, and the layout contains no maps,
+// so the JSON form is deterministic — the golden round-trip test encodes,
+// decodes and re-encodes a bundle byte-identically.
+type Bundle struct {
+	// Decisions are the last controller decisions up to the edge, oldest
+	// first — what the control loop saw and did going into the episode.
+	Decisions []ctl.Decision `json:"decisions"`
+	// HistDeltas are the tick's interval latency deltas per class.
+	HistDeltas []HistDelta `json:"hist_deltas,omitempty"`
+	// Signal is the tier's current load signal (nil on tiers without one).
+	Signal *loadsig.Signal `json:"signal,omitempty"`
+	// Recent are request traces from the capture ring, error-captured
+	// first and newest first within each group — the shed/failed requests
+	// of the episode itself.
+	Recent []*reqtrace.Trace `json:"recent,omitempty"`
+	// Slowest are the tier's slow-tail traces at the edge.
+	Slowest []*reqtrace.Trace `json:"slowest,omitempty"`
+	// Runtime is the Go runtime snapshot at the edge (heap, GC pauses,
+	// goroutines) — overload episodes with a runtime cause (GC churn,
+	// goroutine pileup) carry their own diagnosis.
+	Runtime telemetry.RuntimeStats `json:"runtime"`
+}
+
+// BuildBundle assembles one incident bundle. decisions is the caller's
+// trailing decision window (oldest first; the last BundleDecisions are
+// kept); deltas the tick's histogram deltas (empty ones are dropped); sig
+// may be nil; rec may be nil on tiers without request tracing.
+func BuildBundle(decisions []ctl.Decision, deltas []HistDelta, sig *loadsig.Signal, rec *reqtrace.Recorder, rt telemetry.RuntimeStats) *Bundle {
+	b := &Bundle{Runtime: rt, Signal: sig}
+	if n := len(decisions); n > 0 {
+		if n > BundleDecisions {
+			decisions = decisions[n-BundleDecisions:]
+		}
+		b.Decisions = append([]ctl.Decision(nil), decisions...)
+	}
+	for _, d := range deltas {
+		if d.Total > 0 {
+			b.HistDeltas = append(b.HistDeltas, d)
+		}
+	}
+	if rec != nil {
+		dump := rec.Dump()
+		b.Recent = pickRecent(dump.Ring, BundleRecent)
+		if n := len(dump.Slowest); n > 0 {
+			if n > BundleSlowest {
+				dump.Slowest = dump.Slowest[:BundleSlowest]
+			}
+			b.Slowest = append([]*reqtrace.Trace(nil), dump.Slowest...)
+		}
+	}
+	return b
+}
+
+// pickRecent selects up to n ring traces, error-captured first (an
+// overload bundle must show the requests that were shed), then
+// head-captured, newest first within each group.
+func pickRecent(ring []*reqtrace.Trace, n int) []*reqtrace.Trace {
+	var out []*reqtrace.Trace
+	for pass := 0; pass < 2 && len(out) < n; pass++ {
+		for i := len(ring) - 1; i >= 0 && len(out) < n; i-- {
+			t := ring[i]
+			isErr := t.Capture == reqtrace.CaptureError
+			if (pass == 0) == isErr {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/core"
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/loadsig"
+	"github.com/tpctl/loadctl/internal/reqtrace"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the committed golden files")
+
+// goldenBundle is a fully-populated bundle with fixed values: every field
+// of the incident-evidence schema exercised, nothing runtime-dependent.
+func goldenBundle() *Bundle {
+	var delta telemetry.HistCounts
+	delta[10] = 3
+	delta[24] = 1
+	return &Bundle{
+		Decisions: []ctl.Decision{
+			{Seq: 41, Scope: "pool", Controller: "pa",
+				Sample: core.Sample{Time: 12.5, Load: 31.2, Perf: 410, Throughput: 410, RespTime: 0.073, RespP95: 0.19, Completions: 410},
+				Limit:  28},
+			{Seq: 42, Scope: "pool", Controller: "pa",
+				Sample: core.Sample{Time: 13.5, Load: 27.9, Perf: 455, Throughput: 455, RespTime: 0.058, RespP95: 0.12, Completions: 455},
+				Limit:  30},
+		},
+		HistDeltas: []HistDelta{DeltaOf("interactive", delta)},
+		Signal: &loadsig.Signal{
+			Status: loadsig.StatusOK, Limit: 30, Active: 30, Queued: 12, Util: 1,
+			Default: "interactive", Shedding: []string{"batch", "interactive"}, Incidents: 1,
+		},
+		Recent: []*reqtrace.Trace{{
+			ID: "00000000deadbeef", Tier: "server", Class: "interactive",
+			Status: reqtrace.StatusTimeout, Capture: reqtrace.CaptureError,
+			StartUnixNanos: 1700000000000000000, WallNanos: 200e6, Limit: 30, ShedMask: 3,
+			Spans: []reqtrace.Span{{Name: "queue", StartNanos: 0, DurNanos: 200e6, Detail: "timeout"}},
+		}},
+		Slowest: []*reqtrace.Trace{{
+			ID: "00000000cafef00d", Tier: "server", Class: "batch",
+			Status: reqtrace.StatusCommitted, Capture: reqtrace.CaptureSlow,
+			StartUnixNanos: 1700000000100000000, WallNanos: 450e6, Limit: 30,
+			Spans: []reqtrace.Span{
+				{Name: "queue", StartNanos: 0, DurNanos: 150e6},
+				{Name: "exec", StartNanos: 150e6, DurNanos: 300e6, Detail: "committed", N: 1},
+			},
+		}},
+		Runtime: telemetry.RuntimeStats{
+			Goroutines: 87, HeapBytes: 12 << 20, GCPauses: 9, GCPauseTotalSeconds: 0.0021,
+		},
+	}
+}
+
+// TestBundleGoldenRoundTrip pins the incident-bundle wire schema two
+// ways: against the committed golden file (schema drift fails the diff;
+// regenerate deliberately with -update), and through a decode→re-encode
+// round-trip that must be byte-identical — the Bundle layout carries no
+// maps, so its JSON form is deterministic.
+func TestBundleGoldenRoundTrip(t *testing.T) {
+	raw, err := json.MarshalIndent(goldenBundle(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	golden := filepath.Join("testdata", "bundle_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("bundle JSON drifted from %s:\ngot:\n%s\nwant:\n%s", golden, raw, want)
+	}
+
+	var decoded Bundle
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("decoding bundle: %v", err)
+	}
+	re, err := json.MarshalIndent(&decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re = append(re, '\n')
+	if !bytes.Equal(raw, re) {
+		t.Fatalf("bundle does not round-trip byte-identically:\nfirst:\n%s\nsecond:\n%s", raw, re)
+	}
+}
+
+func TestDeltaOfSparseForm(t *testing.T) {
+	var d telemetry.HistCounts
+	d[3] = 5
+	d[40] = 2
+	hd := DeltaOf("batch", d)
+	if hd.Total != 7 || hd.Class != "batch" {
+		t.Fatalf("delta: %+v", hd)
+	}
+	if len(hd.Buckets) != 2 || hd.Buckets[0] != (BucketCount{Bucket: 3, Count: 5}) ||
+		hd.Buckets[1] != (BucketCount{Bucket: 40, Count: 2}) {
+		t.Fatalf("sparse buckets: %+v", hd.Buckets)
+	}
+	if want := d.Quantile(0.95); hd.P95Seconds != want {
+		t.Fatalf("p95 %g, want the delta's own %g", hd.P95Seconds, want)
+	}
+	if empty := DeltaOf("", telemetry.HistCounts{}); empty.Total != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("empty delta: %+v", empty)
+	}
+}
+
+// TestBuildBundleSelection: the assembly rules — decision window trimmed
+// to the newest BundleDecisions, empty histogram deltas dropped, recent
+// traces error-captured first and newest first within each group.
+func TestBuildBundleSelection(t *testing.T) {
+	var decisions []ctl.Decision
+	for i := 0; i < BundleDecisions+5; i++ {
+		decisions = append(decisions, ctl.Decision{Seq: uint64(i + 1)})
+	}
+	var nonEmpty telemetry.HistCounts
+	nonEmpty[0] = 1
+	b := BuildBundle(decisions,
+		[]HistDelta{DeltaOf("idle", telemetry.HistCounts{}), DeltaOf("busy", nonEmpty)},
+		nil, nil, telemetry.RuntimeStats{})
+	if len(b.Decisions) != BundleDecisions {
+		t.Fatalf("bundle carries %d decisions, want %d", len(b.Decisions), BundleDecisions)
+	}
+	if b.Decisions[0].Seq != 6 || b.Decisions[len(b.Decisions)-1].Seq != uint64(BundleDecisions+5) {
+		t.Fatalf("decision window not the newest: first seq %d last %d",
+			b.Decisions[0].Seq, b.Decisions[len(b.Decisions)-1].Seq)
+	}
+	if len(b.HistDeltas) != 1 || b.HistDeltas[0].Class != "busy" {
+		t.Fatalf("empty delta survived: %+v", b.HistDeltas)
+	}
+
+	ring := []*reqtrace.Trace{
+		{ID: "01", Capture: reqtrace.CaptureHead},
+		{ID: "02", Capture: reqtrace.CaptureError},
+		{ID: "03", Capture: reqtrace.CaptureHead},
+		{ID: "04", Capture: reqtrace.CaptureError},
+	}
+	got := pickRecent(ring, 3)
+	want := []string{"04", "02", "03"} // errors newest-first, then heads newest-first
+	if len(got) != len(want) {
+		t.Fatalf("picked %d traces, want %d", len(got), len(want))
+	}
+	for i, tr := range got {
+		if tr.ID != want[i] {
+			t.Fatalf("pick %d: trace %s, want %s (order %v)", i, tr.ID, want[i], want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+// Hysteresis-gated event detection. A Detector is fed one condition
+// reading per control-loop tick per (kind, subject) pair and turns the
+// level signal into clean start/end edges:
+//
+//   - closed → open when the reading reaches the on-threshold: a start
+//     edge is emitted immediately (detection latency is one tick);
+//   - open → closed only after Hold consecutive readings at or below the
+//     off-threshold: a single recovered interval cannot close an episode,
+//     and a reading between off and on neither opens nor closes — the
+//     gap between the two thresholds is what keeps a condition hovering
+//     at the boundary from flapping.
+//
+// The detector is deliberately single-threaded: it belongs to the tier's
+// tick goroutine (the ctl.Loop path), which is already off the serving
+// hot path. Only the event Ring it publishes into is read concurrently.
+
+// Threshold is one condition's hysteresis band.
+type Threshold struct {
+	// On opens an incident when the reading reaches it (reading >= On).
+	On float64
+	// Off arms closing when the reading falls to it (reading <= Off);
+	// Off < On leaves the hysteresis gap.
+	Off float64
+	// Hold is how many consecutive readings at or below Off close the
+	// incident (minimum 1). A reading above Off resets the count.
+	Hold int
+}
+
+// DefaultHold is the close-confirmation tick count the builtin thresholds
+// use: one recovered interval arms the close, the second confirms it.
+const DefaultHold = 2
+
+// MinShedArrivals is the minimum interval arrivals for a shed fraction to
+// be meaningful; below it callers feed 0 (an idle class is not shedding).
+const MinShedArrivals = 5
+
+// MinBurnSamples is the minimum interval response samples for an SLO
+// burn reading; below it callers feed 0.
+const MinBurnSamples = 5
+
+// ShedSpikeThreshold: open when ≥10% of a class's interval arrivals were
+// shed, close after Hold intervals at ≤2%.
+func ShedSpikeThreshold() Threshold { return Threshold{On: 0.10, Off: 0.02, Hold: DefaultHold} }
+
+// SLOBurnThreshold reads p95/target: open at 1.5× the target, close after
+// Hold intervals back within it.
+func SLOBurnThreshold() Threshold { return Threshold{On: 1.5, Off: 1.0, Hold: DefaultHold} }
+
+// LimitCollapseThreshold reads trailingMax(limit)/limit: open when the
+// installed limit fell to a quarter of its recent maximum, close once it
+// has recovered to at least half.
+func LimitCollapseThreshold() Threshold { return Threshold{On: 4, Off: 2, Hold: DefaultHold} }
+
+// ClusterShedThreshold reads the fraction of routable backends shedding
+// at least one class: open only when all of them are (the proxy's
+// fast-reject condition), close once at most half still are.
+func ClusterShedThreshold() Threshold { return Threshold{On: 1, Off: 0.5, Hold: DefaultHold} }
+
+// BackendDeadThreshold reads a 0/1 dead flag; a single live probe closes
+// the episode (liveness is not a noisy level — the health loop already
+// debounces it via DeadAfter).
+func BackendDeadThreshold() Threshold { return Threshold{On: 1, Off: 0, Hold: 1} }
+
+type condKey struct{ kind, subject string }
+
+type condState struct {
+	open     bool
+	below    int    // consecutive readings at or below Off while open
+	incident uint64 // current incident ID while open
+}
+
+// Detector turns per-tick condition readings into edge events. Not safe
+// for concurrent use: one tick goroutine owns it (see the file comment).
+type Detector struct {
+	ring     *Ring
+	seq      uint64
+	nextIncd uint64
+	states   map[condKey]*condState
+}
+
+// NewDetector builds a detector publishing edges into ring.
+func NewDetector(ring *Ring) *Detector {
+	return &Detector{ring: ring, states: make(map[condKey]*condState)}
+}
+
+// Ring returns the event ring the detector publishes into.
+func (d *Detector) Ring() *Ring { return d.ring }
+
+// Observe feeds one reading for (kind, subject) at time t and returns the
+// edge event it produced, or nil while the state is unchanged. The caller
+// must feed every tracked condition every tick — including zero readings
+// for idle conditions — or open incidents cannot close.
+func (d *Detector) Observe(t float64, kind, subject string, value float64, th Threshold) *Event {
+	key := condKey{kind, subject}
+	st := d.states[key]
+	if st == nil {
+		st = &condState{}
+		d.states[key] = st
+	}
+	if !st.open {
+		if value < th.On {
+			return nil
+		}
+		d.nextIncd++
+		st.open = true
+		st.below = 0
+		st.incident = d.nextIncd
+		return d.emit(&Event{
+			Kind: kind, Subject: subject, Edge: EdgeStart,
+			T: t, Value: value, Threshold: th.On, Incident: st.incident,
+		})
+	}
+	if value > th.Off {
+		st.below = 0
+		return nil
+	}
+	st.below++
+	hold := th.Hold
+	if hold < 1 {
+		hold = 1
+	}
+	if st.below < hold {
+		return nil
+	}
+	st.open = false
+	st.below = 0
+	return d.emit(&Event{
+		Kind: kind, Subject: subject, Edge: EdgeEnd,
+		T: t, Value: value, Threshold: th.Off, Incident: st.incident,
+	})
+}
+
+// Open reports whether (kind, subject) currently has an open incident.
+func (d *Detector) Open(kind, subject string) bool {
+	st := d.states[condKey{kind, subject}]
+	return st != nil && st.open
+}
+
+func (d *Detector) emit(e *Event) *Event {
+	d.seq++
+	e.Seq = d.seq
+	d.ring.Put(e)
+	return e
+}
+
+// TrailingMax tracks the maximum over the last n pushed values — the
+// reference the limit-collapse condition compares the installed limit
+// against. The zero value is unusable; build with NewTrailingMax.
+type TrailingMax struct {
+	buf []float64
+	n   int // values pushed so far, capped at len(buf)
+	w   int // next write position
+}
+
+// DefaultTrailingWindow is the limit-collapse reference window in ticks.
+const DefaultTrailingWindow = 60
+
+// NewTrailingMax builds a window over the last n values (0 =
+// DefaultTrailingWindow).
+func NewTrailingMax(n int) *TrailingMax {
+	if n <= 0 {
+		n = DefaultTrailingWindow
+	}
+	return &TrailingMax{buf: make([]float64, n)}
+}
+
+// Push records one value.
+func (m *TrailingMax) Push(v float64) {
+	m.buf[m.w] = v
+	m.w = (m.w + 1) % len(m.buf)
+	if m.n < len(m.buf) {
+		m.n++
+	}
+}
+
+// Max returns the maximum of the retained values (0 before any Push).
+func (m *TrailingMax) Max() float64 {
+	var max float64
+	for i := 0; i < m.n; i++ {
+		if m.buf[i] > max {
+			max = m.buf[i]
+		}
+	}
+	return max
+}

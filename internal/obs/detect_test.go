@@ -1,0 +1,144 @@
+package obs
+
+import "testing"
+
+// feed drives one condition through a reading sequence and returns the
+// edges produced, in order.
+func feed(d *Detector, th Threshold, readings []float64) []*Event {
+	var edges []*Event
+	for i, v := range readings {
+		if e := d.Observe(float64(i), KindShedSpike, "interactive", v, th); e != nil {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+func TestDetectorOpensOnThresholdAndClosesAfterHold(t *testing.T) {
+	d := NewDetector(NewRing(16))
+	th := Threshold{On: 0.10, Off: 0.02, Hold: 2}
+
+	// Quiet, spike, quiet: one incident, one start edge, one end edge —
+	// the end only after Hold consecutive readings at or below Off.
+	edges := feed(d, th, []float64{0, 0.01, 0.5, 0.3, 0.01, 0.0})
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want start+end: %+v", len(edges), edges)
+	}
+	start, end := edges[0], edges[1]
+	if start.Edge != EdgeStart || start.T != 2 || start.Value != 0.5 || start.Threshold != th.On {
+		t.Fatalf("start edge: %+v", start)
+	}
+	if end.Edge != EdgeEnd || end.T != 5 || end.Threshold != th.Off {
+		t.Fatalf("end edge: %+v", end)
+	}
+	if start.Incident != end.Incident || start.Incident == 0 {
+		t.Fatalf("edges do not share an incident ID: start %d end %d", start.Incident, end.Incident)
+	}
+	if start.Seq >= end.Seq {
+		t.Fatalf("sequence not monotone: start %d end %d", start.Seq, end.Seq)
+	}
+	if d.Open(KindShedSpike, "interactive") {
+		t.Fatal("condition still open after the end edge")
+	}
+}
+
+// TestDetectorNoFlappingInTheGap is the hysteresis property itself: a
+// reading hovering between Off and On — the regime that would make a
+// single-threshold detector emit an edge per tick — produces no edges at
+// all, whether the incident is open or closed.
+func TestDetectorNoFlappingInTheGap(t *testing.T) {
+	d := NewDetector(NewRing(64))
+	th := Threshold{On: 0.10, Off: 0.02, Hold: 2}
+
+	// Closed, hovering in the gap: never opens.
+	if edges := feed(d, th, []float64{0.05, 0.09, 0.05, 0.09, 0.05}); len(edges) != 0 {
+		t.Fatalf("gap readings opened an incident: %+v", edges)
+	}
+
+	// Open, then hover in the gap: never closes, and a dip to Off that is
+	// interrupted before Hold is reached does not close either.
+	edges := feed(d, th, []float64{0.5, 0.05, 0.09, 0.02, 0.09, 0.02, 0.05, 0.02, 0.09})
+	if len(edges) != 1 || edges[0].Edge != EdgeStart {
+		t.Fatalf("hovering readings produced extra edges: %+v", edges)
+	}
+	if !d.Open(KindShedSpike, "interactive") {
+		t.Fatal("incident closed without Hold consecutive readings at or below Off")
+	}
+
+	// Two consecutive recovered readings finally close it — exactly once.
+	edges = feed(d, th, []float64{0.01, 0.0})
+	if len(edges) != 1 || edges[0].Edge != EdgeEnd {
+		t.Fatalf("recovery produced %+v, want a single end edge", edges)
+	}
+}
+
+func TestDetectorMintsFreshIncidentIDs(t *testing.T) {
+	d := NewDetector(NewRing(16))
+	th := Threshold{On: 1, Off: 0, Hold: 1}
+
+	edges := feed(d, th, []float64{1, 0, 1, 0})
+	if len(edges) != 4 {
+		t.Fatalf("got %d edges, want 4: %+v", len(edges), edges)
+	}
+	first, second := edges[0].Incident, edges[2].Incident
+	if first == second {
+		t.Fatalf("second episode reused incident ID %d", first)
+	}
+	if edges[1].Incident != first || edges[3].Incident != second {
+		t.Fatalf("end edges mismatched: %+v", edges)
+	}
+}
+
+// TestDetectorTracksSubjectsIndependently: the same kind with different
+// subjects is different conditions — one class's spike neither opens nor
+// closes another's.
+func TestDetectorTracksSubjectsIndependently(t *testing.T) {
+	d := NewDetector(NewRing(16))
+	th := ShedSpikeThreshold()
+
+	if e := d.Observe(0, KindShedSpike, "batch", 0.9, th); e == nil || e.Edge != EdgeStart {
+		t.Fatalf("batch spike: %+v", e)
+	}
+	if e := d.Observe(0, KindShedSpike, "interactive", 0.0, th); e != nil {
+		t.Fatalf("idle interactive emitted %+v", e)
+	}
+	if !d.Open(KindShedSpike, "batch") || d.Open(KindShedSpike, "interactive") {
+		t.Fatal("subject states bled into each other")
+	}
+}
+
+func TestBackendDeadThresholdClosesOnOneProbe(t *testing.T) {
+	d := NewDetector(NewRing(16))
+	th := BackendDeadThreshold()
+
+	var edges []*Event
+	for i, v := range []float64{0, 1, 1, 0} {
+		if e := d.Observe(float64(i), KindBackendDead, "2", v, th); e != nil {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) != 2 || edges[0].Edge != EdgeStart || edges[1].Edge != EdgeEnd {
+		t.Fatalf("dead/alive flag produced %+v, want one start and one end", edges)
+	}
+	if edges[1].T != 3 {
+		t.Fatalf("Hold=1 should close on the first live probe, closed at t=%g", edges[1].T)
+	}
+}
+
+func TestTrailingMax(t *testing.T) {
+	m := NewTrailingMax(3)
+	if m.Max() != 0 {
+		t.Fatalf("empty window max = %g", m.Max())
+	}
+	m.Push(48)
+	m.Push(12)
+	if got := m.Max(); got != 48 {
+		t.Fatalf("max = %g, want 48", got)
+	}
+	// 48 ages out of the 3-wide window.
+	m.Push(10)
+	m.Push(11)
+	if got := m.Max(); got != 12 {
+		t.Fatalf("max after aging = %g, want 12", got)
+	}
+}

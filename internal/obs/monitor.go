@@ -1,0 +1,568 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The monitor half of the package: scrape a fleet's /metrics,
+// /controller?trace=1, /healthz and /debug/incidents and merge them into
+// one cluster Timeline. Each target keeps its own clock (seconds since
+// process start); every scraped document carries a "now" on that clock,
+// so the monitor aligns each target to its own wall clock per scrape and
+// the merged timeline runs on one axis: seconds since the monitor
+// started.
+
+// TimelineFormat is the committed format tag of the timeline JSON; bump
+// it when the schema changes incompatibly.
+const TimelineFormat = "loadctlmon/1"
+
+// MonitorConfig parameterizes a Monitor.
+type MonitorConfig struct {
+	// Targets are the base URLs to scrape (loadctld and loadctlproxy
+	// instances, mixed freely — the tier is detected from /metrics).
+	Targets []string
+	// Interval is the scrape period (default 1s).
+	Interval time.Duration
+	// Client is the scrape HTTP client (default: 5s timeout).
+	Client *http.Client
+}
+
+// Monitor scrapes a fleet and accumulates the cluster timeline. Create
+// with NewMonitor, drive with Run (or Scrape per round), read the result
+// with Timeline.
+type Monitor struct {
+	cfg    MonitorConfig
+	client *http.Client
+	start  time.Time
+
+	targets []*targetState
+}
+
+type classCum struct {
+	admitted, shed uint64
+	seen           bool
+}
+
+type targetState struct {
+	url     string
+	tier    string
+	health  string
+	scrapes int
+	errors  int
+	// offset converts the target's clock to the monitor's: monitor time =
+	// target time + offset (refreshed every scrape).
+	offset float64
+	prev   map[string]*classCum
+	series map[string]*Series
+	// incidents is keyed by incident ID; marks are updated in place as
+	// open incidents close.
+	incidents map[uint64]*IncidentMark
+}
+
+// NewMonitor builds a monitor; the timeline clock starts now.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	m := &Monitor{cfg: cfg, client: client, start: time.Now()}
+	for _, u := range cfg.Targets {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		m.targets = append(m.targets, &targetState{
+			url:       u,
+			prev:      make(map[string]*classCum),
+			series:    make(map[string]*Series),
+			incidents: make(map[uint64]*IncidentMark),
+		})
+	}
+	return m
+}
+
+// Run scrapes every Interval until ctx ends or duration elapses (0 =
+// until ctx ends), then returns the merged timeline. One final scrape
+// runs after the loop so incidents that closed during the last interval
+// are recorded closed.
+func (m *Monitor) Run(ctx context.Context, duration time.Duration) *Timeline {
+	var deadline <-chan time.Time
+	if duration > 0 {
+		t := time.NewTimer(duration)
+		defer t.Stop()
+		deadline = t.C
+	}
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	m.Scrape(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return m.Timeline()
+		case <-deadline:
+			m.Scrape(ctx)
+			return m.Timeline()
+		case <-ticker.C:
+			m.Scrape(ctx)
+		}
+	}
+}
+
+// Scrape runs one scrape round over all targets. Scrape errors are
+// counted per target, never fatal: a dead backend is data, not a monitor
+// failure.
+func (m *Monitor) Scrape(ctx context.Context) {
+	for _, ts := range m.targets {
+		m.scrapeTarget(ctx, ts)
+	}
+}
+
+// Decoding structs for the two tiers' /metrics JSON — only the fields the
+// timeline needs; the schemas are additive, so unknown fields are free.
+type serverMetricsDoc struct {
+	Now     float64 `json:"now"`
+	Engine  string  `json:"engine"`
+	Classes []struct {
+		Name   string `json:"name"`
+		Totals struct {
+			Commits  uint64 `json:"commits"`
+			Rejected uint64 `json:"rejected"`
+			Timeouts uint64 `json:"timeouts"`
+		} `json:"totals"`
+		Interval struct {
+			RespP95 float64 `json:"resp_p95"`
+		} `json:"interval"`
+	} `json:"classes"`
+}
+
+type proxyMetricsDoc struct {
+	Now    float64 `json:"now"`
+	Policy string  `json:"policy"`
+	Totals struct {
+		Relayed               uint64 `json:"relayed"`
+		FastRejectedOverload  uint64 `json:"fast_rejected_overload"`
+		FastRejectedNoBackend uint64 `json:"fast_rejected_no_backend"`
+	} `json:"totals"`
+	RelayP95Seconds float64 `json:"relay_p95_seconds"`
+}
+
+type controllerDoc struct {
+	Classes []struct {
+		Class             string `json:"class"`
+		TargetedIntervals uint64 `json:"targeted_intervals"`
+		AttainedIntervals uint64 `json:"attained_intervals"`
+	} `json:"classes"`
+	Trace []struct {
+		Seq uint64 `json:"seq"`
+	} `json:"trace"`
+}
+
+type healthDoc struct {
+	Status string `json:"status"`
+}
+
+func (m *Monitor) scrapeTarget(ctx context.Context, ts *targetState) {
+	ts.scrapes++
+	raw, err := m.get(ctx, ts.url+"/metrics?format=json")
+	if err != nil {
+		ts.errors++
+		ts.health = "unreachable"
+		return
+	}
+	t := time.Since(m.start).Seconds()
+
+	// Tier detection: the server snapshot names its engine, the proxy its
+	// policy; both carry "now" on the target's own clock.
+	var srv serverMetricsDoc
+	var pxy proxyMetricsDoc
+	if json.Unmarshal(raw, &srv) == nil && srv.Engine != "" {
+		ts.tier = "server"
+		ts.offset = t - srv.Now
+		attain := m.scrapeController(ctx, ts)
+		for _, c := range srv.Classes {
+			cum := c.Totals.Commits
+			shed := c.Totals.Rejected + c.Totals.Timeouts
+			m.point(ts, c.Name, t, cum, shed, c.Interval.RespP95, attain[c.Name])
+		}
+	} else if json.Unmarshal(raw, &pxy) == nil && pxy.Policy != "" {
+		ts.tier = "proxy"
+		ts.offset = t - pxy.Now
+		m.scrapeController(ctx, ts)
+		shed := pxy.Totals.FastRejectedOverload + pxy.Totals.FastRejectedNoBackend
+		m.point(ts, "", t, pxy.Totals.Relayed, shed, pxy.RelayP95Seconds, -1)
+	} else {
+		ts.errors++
+		return
+	}
+
+	if raw, err := m.get(ctx, ts.url+"/healthz"); err == nil {
+		var h healthDoc
+		if json.Unmarshal(raw, &h) == nil && h.Status != "" {
+			ts.health = h.Status
+		}
+	}
+	m.scrapeIncidents(ctx, ts)
+}
+
+// scrapeController reads per-class SLO attainment (server tier); it also
+// exercises ?trace=1 so a scrape proves the decision trace is readable.
+func (m *Monitor) scrapeController(ctx context.Context, ts *targetState) map[string]float64 {
+	attain := map[string]float64{}
+	raw, err := m.get(ctx, ts.url+"/controller?trace=1")
+	if err != nil {
+		return attain
+	}
+	var doc controllerDoc
+	if json.Unmarshal(raw, &doc) != nil {
+		return attain
+	}
+	for _, c := range doc.Classes {
+		if c.TargetedIntervals > 0 {
+			attain[c.Class] = float64(c.AttainedIntervals) / float64(c.TargetedIntervals)
+		} else {
+			attain[c.Class] = -1
+		}
+	}
+	return attain
+}
+
+func (m *Monitor) scrapeIncidents(ctx context.Context, ts *targetState) {
+	raw, err := m.get(ctx, ts.url+"/debug/incidents")
+	if err != nil {
+		return
+	}
+	var dump IncidentDump
+	if json.Unmarshal(raw, &dump) != nil {
+		return
+	}
+	// Align the dump's clock: monitor time = dump time + offset.
+	offset := time.Since(m.start).Seconds() - dump.Now
+	for i := range dump.Incidents {
+		inc := &dump.Incidents[i]
+		mark := ts.incidents[inc.ID]
+		if mark == nil {
+			mark = &IncidentMark{
+				Target: ts.url, Tier: dump.Tier,
+				ID: inc.ID, Kind: inc.Kind, Subject: inc.Subject,
+				StartT: inc.StartT + offset,
+				Value:  inc.Value, Group: -1,
+			}
+			if inc.Bundle != nil {
+				mark.TraceIDs = bundleTraceIDs(inc.Bundle)
+			}
+			ts.incidents[inc.ID] = mark
+		}
+		if inc.Open() {
+			mark.Open = true
+			mark.EndT = 0
+		} else {
+			mark.Open = false
+			mark.EndT = inc.EndT + offset
+		}
+	}
+}
+
+// bundleTraceIDs collects the request-trace IDs a bundle carries — the
+// cross-tier join keys (the proxy forwards each ID downstream, so the
+// backend's traces of the same requests share them).
+func bundleTraceIDs(b *Bundle) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range b.Recent {
+		if t != nil && !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t.ID)
+		}
+	}
+	for _, t := range b.Slowest {
+		if t != nil && !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t.ID)
+		}
+	}
+	const maxIDs = 16
+	if len(out) > maxIDs {
+		out = out[:maxIDs]
+	}
+	return out
+}
+
+func (m *Monitor) point(ts *targetState, class string, t float64, admitted, shed uint64, p95, attain float64) {
+	cum := ts.prev[class]
+	if cum == nil {
+		cum = &classCum{}
+		ts.prev[class] = cum
+	}
+	key := class
+	s := ts.series[key]
+	if s == nil {
+		s = &Series{Target: ts.url, Tier: ts.tier, Class: class}
+		ts.series[key] = s
+	}
+	pt := Point{T: t, P95Seconds: p95, SLOAttainment: attain}
+	if cum.seen {
+		pt.Admitted = admitted - cum.admitted
+		pt.Shed = shed - cum.shed
+	}
+	cum.admitted, cum.shed, cum.seen = admitted, shed, true
+	s.Points = append(s.Points, pt)
+}
+
+func (m *Monitor) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Status codes are not errors: /healthz answers 503 while draining
+	// and the body still carries the signal.
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
+// Point is one scrape's delta for one series: work admitted and shed
+// since the previous scrape, plus the level readings at scrape time.
+type Point struct {
+	// T is seconds since the monitor started.
+	T float64 `json:"t"`
+	// Admitted/Shed are deltas over the scrape interval (commits vs
+	// rejected+timeouts on a server class; relays vs fast-rejects on the
+	// proxy).
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	// P95Seconds is the target's interval p95 at scrape time.
+	P95Seconds float64 `json:"p95_seconds"`
+	// SLOAttainment is attained/targeted intervals (-1 when the class has
+	// no SLO target or the tier none at all).
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// Series is one (target, class) strand of the timeline.
+type Series struct {
+	Target string  `json:"target"`
+	Tier   string  `json:"tier"`
+	Class  string  `json:"class,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// IncidentMark is one incident on the merged timeline, aligned to the
+// monitor clock and annotated with its correlation group.
+type IncidentMark struct {
+	Target  string `json:"target"`
+	Tier    string `json:"tier"`
+	ID      uint64 `json:"id"`
+	Kind    string `json:"kind"`
+	Subject string `json:"subject,omitempty"`
+	// StartT/EndT are seconds since the monitor started; EndT is 0 and
+	// Open true while the incident is still open.
+	StartT float64 `json:"start_t"`
+	EndT   float64 `json:"end_t,omitempty"`
+	Open   bool    `json:"open,omitempty"`
+	Value  float64 `json:"value"`
+	// TraceIDs are the request-trace IDs the incident's bundle carries.
+	TraceIDs []string `json:"trace_ids,omitempty"`
+	// Group numbers the correlation group: marks sharing a group are the
+	// same cluster episode seen from different tiers (joined by shared
+	// trace IDs, or by overlapping windows of overload-family kinds).
+	Group int `json:"group"`
+}
+
+// TargetInfo summarizes one scraped target.
+type TargetInfo struct {
+	URL     string `json:"url"`
+	Tier    string `json:"tier"`
+	Health  string `json:"health"`
+	Scrapes int    `json:"scrapes"`
+	Errors  int    `json:"errors"`
+}
+
+// Timeline is the merged cluster document loadctlmon emits.
+type Timeline struct {
+	Format string `json:"format"`
+	// DurationSeconds is the monitor's observation span.
+	DurationSeconds float64        `json:"duration_seconds"`
+	Targets         []TargetInfo   `json:"targets"`
+	Series          []Series       `json:"series"`
+	Incidents       []IncidentMark `json:"incidents"`
+	// Groups is the number of incident correlation groups.
+	Groups int `json:"groups"`
+}
+
+// correlateSlack is how much two incident windows may miss each other and
+// still correlate by time: one scrape/tick of skew between tiers.
+const correlateSlack = 1.0
+
+// overloadFamily are the kinds that describe one propagating overload
+// episode; concurrent windows of these kinds across tiers are the same
+// event. backend-dead stays out: a death and an overload can coincide
+// without being one episode.
+var overloadFamily = map[string]bool{
+	KindShedSpike:     true,
+	KindSLOBurn:       true,
+	KindClusterShed:   true,
+	KindLimitCollapse: true,
+}
+
+// Timeline merges everything scraped so far.
+func (m *Monitor) Timeline() *Timeline {
+	tl := &Timeline{Format: TimelineFormat, DurationSeconds: time.Since(m.start).Seconds()}
+	var marks []IncidentMark
+	for _, ts := range m.targets {
+		tl.Targets = append(tl.Targets, TargetInfo{
+			URL: ts.url, Tier: ts.tier, Health: ts.health,
+			Scrapes: ts.scrapes, Errors: ts.errors,
+		})
+		for _, s := range ts.series {
+			tl.Series = append(tl.Series, *s)
+		}
+		for _, mk := range ts.incidents {
+			marks = append(marks, *mk)
+		}
+	}
+	sort.Slice(tl.Series, func(i, j int) bool {
+		if tl.Series[i].Target != tl.Series[j].Target {
+			return tl.Series[i].Target < tl.Series[j].Target
+		}
+		return tl.Series[i].Class < tl.Series[j].Class
+	})
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].StartT != marks[j].StartT {
+			return marks[i].StartT < marks[j].StartT
+		}
+		return marks[i].Target < marks[j].Target
+	})
+	tl.Groups = correlate(marks)
+	tl.Incidents = marks
+	return tl
+}
+
+// correlate assigns group numbers to marks via union-find: two marks join
+// when their bundles share a request-trace ID, or when both are
+// overload-family kinds with overlapping (slack-padded) windows. Returns
+// the group count.
+func correlate(marks []IncidentMark) int {
+	parent := make([]int, len(marks))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byTrace := map[string]int{}
+	for i := range marks {
+		for _, id := range marks[i].TraceIDs {
+			if j, ok := byTrace[id]; ok {
+				union(i, j)
+			} else {
+				byTrace[id] = i
+			}
+		}
+	}
+	overlaps := func(a, b *IncidentMark) bool {
+		aEnd, bEnd := a.EndT, b.EndT
+		if a.Open || aEnd == 0 {
+			aEnd = 1e18
+		}
+		if b.Open || bEnd == 0 {
+			bEnd = 1e18
+		}
+		return a.StartT-correlateSlack <= bEnd && b.StartT-correlateSlack <= aEnd
+	}
+	for i := range marks {
+		if !overloadFamily[marks[i].Kind] {
+			continue
+		}
+		for j := i + 1; j < len(marks); j++ {
+			if overloadFamily[marks[j].Kind] && overlaps(&marks[i], &marks[j]) {
+				union(i, j)
+			}
+		}
+	}
+	next := 0
+	groupOf := map[int]int{}
+	for i := range marks {
+		r := find(i)
+		g, ok := groupOf[r]
+		if !ok {
+			g = next
+			next++
+			groupOf[r] = g
+		}
+		marks[i].Group = g
+	}
+	return next
+}
+
+// Text renders the timeline for humans: targets, per-series totals, and
+// the incidents grouped by correlation.
+func (tl *Timeline) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster timeline (%s): %d targets, %d series, %d incidents in %d groups over %.1fs\n",
+		tl.Format, len(tl.Targets), len(tl.Series), len(tl.Incidents), tl.Groups, tl.DurationSeconds)
+	for _, t := range tl.Targets {
+		fmt.Fprintf(&b, "  target %-9s %s  health=%s scrapes=%d errors=%d\n", t.Tier, t.URL, t.Health, t.Scrapes, t.Errors)
+	}
+	if len(tl.Series) > 0 {
+		b.WriteString("series:\n")
+		for _, s := range tl.Series {
+			var adm, shed uint64
+			var lastP95 float64
+			for _, p := range s.Points {
+				adm += p.Admitted
+				shed += p.Shed
+				lastP95 = p.P95Seconds
+			}
+			name := s.Class
+			if name == "" {
+				name = "(relay)"
+			}
+			fmt.Fprintf(&b, "  [%-6s] %s %-12s admitted=%d shed=%d last_p95=%.1fms\n",
+				s.Tier, s.Target, name, adm, shed, lastP95*1e3)
+		}
+	}
+	if len(tl.Incidents) > 0 {
+		b.WriteString("incidents:\n")
+		for g := 0; g < tl.Groups; g++ {
+			fmt.Fprintf(&b, "  group %d:\n", g)
+			for _, mk := range tl.Incidents {
+				if mk.Group != g {
+					continue
+				}
+				subj := mk.Subject
+				if subj != "" {
+					subj = " " + subj
+				}
+				end := "open"
+				if !mk.Open && mk.EndT > 0 {
+					end = fmt.Sprintf("end=%.2fs", mk.EndT)
+				}
+				fmt.Fprintf(&b, "    #%d [%s %s] %s%s start=%.2fs %s value=%.3f traces=%d\n",
+					mk.ID, mk.Tier, mk.Target, mk.Kind, subj, mk.StartT, end, mk.Value, len(mk.TraceIDs))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+func TestRecorderFilesAndClosesIncidents(t *testing.T) {
+	ring := NewRing(16)
+	rec := NewRecorder("server", 0, func() float64 { return 99 }, ring)
+
+	start := &Event{Kind: KindShedSpike, Subject: "batch", Edge: EdgeStart,
+		T: 10, Value: 0.5, Threshold: 0.1, Incident: 1}
+	ring.Put(start)
+	rec.Open(start, BuildBundle(nil, nil, nil, nil, telemetry.RuntimeStats{}))
+	if rec.OpenCount() != 1 {
+		t.Fatalf("open count %d after one start", rec.OpenCount())
+	}
+
+	d := rec.Dump()
+	if d.Tier != "server" || d.Now != 99 || d.Open != 1 {
+		t.Fatalf("dump header: %+v", d)
+	}
+	if len(d.Incidents) != 1 || !d.Incidents[0].Open() || d.Incidents[0].Bundle == nil {
+		t.Fatalf("incidents: %+v", d.Incidents)
+	}
+	if len(d.Events) != 1 || d.Events[0].Incident != 1 {
+		t.Fatalf("events: %+v", d.Events)
+	}
+
+	end := &Event{Kind: KindShedSpike, Subject: "batch", Edge: EdgeEnd,
+		T: 14, Value: 0.01, Threshold: 0.02, Incident: 1}
+	rec.Close(end)
+	d = rec.Dump()
+	if rec.OpenCount() != 0 || d.Incidents[0].Open() || d.Incidents[0].EndT != 14 {
+		t.Fatalf("after close: open=%d incident=%+v", rec.OpenCount(), d.Incidents[0])
+	}
+}
+
+// TestRecorderTrimPrefersClosed: over the retention bound the recorder
+// drops the oldest closed incident first, and only evicts an open one
+// when everything retained is still open.
+func TestRecorderTrimPrefersClosed(t *testing.T) {
+	rec := NewRecorder("server", 2, nil, nil)
+	open := func(id uint64) {
+		rec.Open(&Event{Kind: KindShedSpike, Incident: id, T: float64(id)}, nil)
+	}
+	open(1)
+	rec.Close(&Event{Incident: 1, T: 1.5})
+	open(2)
+	open(3) // over the bound: the closed #1 goes, the open #2 stays
+
+	d := rec.Dump()
+	if len(d.Incidents) != 2 || d.Incidents[0].ID != 2 || d.Incidents[1].ID != 3 {
+		t.Fatalf("retained: %+v", d.Incidents)
+	}
+
+	open(4) // everything retained is open: the oldest open #2 goes
+	d = rec.Dump()
+	if len(d.Incidents) != 2 || d.Incidents[0].ID != 3 || d.Incidents[1].ID != 4 {
+		t.Fatalf("retained after open-only trim: %+v", d.Incidents)
+	}
+	if rec.OpenCount() != 3 {
+		t.Fatalf("open count %d: trimming must not lose open accounting", rec.OpenCount())
+	}
+}
+
+func TestRecorderHandler(t *testing.T) {
+	ring := NewRing(8)
+	rec := NewRecorder("proxy", 0, func() float64 { return 5 }, ring)
+	ts := httptest.NewServer(rec.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	var d IncidentDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decoding dump: %v", err)
+	}
+	if d.Tier != "proxy" || d.Now != 5 {
+		t.Fatalf("dump: %+v", d)
+	}
+
+	post, err := http.Post(ts.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status %d, want 405", post.StatusCode)
+	}
+}

@@ -1,0 +1,131 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// filterRecorder records a fixed mix of traces across two classes and two
+// outcomes: every request head-sampled, so the ring holds all of them.
+func filterRecorder(t *testing.T, classes []string) *Recorder {
+	t.Helper()
+	r := New(Config{Tier: "server", SampleEvery: 1, Classes: classes})
+	put := func(id uint64, class, status string, ok bool) {
+		a := r.Begin(id)
+		a.Annotate(class)
+		a.Finish(status, ok)
+	}
+	put(1, "interactive", StatusCommitted, true)
+	put(2, "interactive", StatusTimeout, false)
+	put(3, "batch", StatusCommitted, true)
+	put(4, "batch", StatusRejected, false)
+	return r
+}
+
+func TestDumpFiltered(t *testing.T) {
+	r := filterRecorder(t, nil)
+
+	whole := r.DumpFiltered("", "")
+	if len(whole.Ring) != 4 {
+		t.Fatalf("unfiltered ring holds %d traces, want 4", len(whole.Ring))
+	}
+
+	byClass := r.DumpFiltered("batch", "")
+	if len(byClass.Ring) != 2 {
+		t.Fatalf("class filter kept %d traces, want 2", len(byClass.Ring))
+	}
+	for _, tr := range byClass.Ring {
+		if tr.Class != "batch" {
+			t.Fatalf("class filter leaked %+v", tr)
+		}
+	}
+
+	byOutcome := r.DumpFiltered("", StatusTimeout)
+	if len(byOutcome.Ring) != 1 || byOutcome.Ring[0].Status != StatusTimeout {
+		t.Fatalf("outcome filter: %+v", byOutcome.Ring)
+	}
+
+	both := r.DumpFiltered("interactive", StatusCommitted)
+	if len(both.Ring) != 1 || both.Ring[0].Class != "interactive" || both.Ring[0].Status != StatusCommitted {
+		t.Fatalf("combined filter: %+v", both.Ring)
+	}
+
+	// Counters and configuration describe the recorder, not the selection.
+	if both.Counts != whole.Counts || both.SampleEvery != whole.SampleEvery {
+		t.Fatalf("filtering mutated the header: %+v vs %+v", both.Counts, whole.Counts)
+	}
+}
+
+func TestHandlerFilterParams(t *testing.T) {
+	r := filterRecorder(t, []string{"interactive", "batch"})
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	get := func(params string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("?class=batch&outcome=rejected")
+	if code != http.StatusOK {
+		t.Fatalf("valid filter: status %d: %s", code, body)
+	}
+	var d Dump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ring) != 1 || d.Ring[0].Status != StatusRejected {
+		t.Fatalf("filtered dump: %+v", d.Ring)
+	}
+
+	code, body = get("?outcome=exploded")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad outcome: status %d", code)
+	}
+	if !strings.Contains(body, `unknown outcome "exploded"`) || !strings.Contains(body, StatusCommitted) {
+		t.Fatalf("bad-outcome message does not name the valid values: %s", body)
+	}
+
+	code, body = get("?class=nosuch")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad class: status %d", code)
+	}
+	if !strings.Contains(body, `unknown class "nosuch"`) || !strings.Contains(body, "interactive") {
+		t.Fatalf("bad-class message does not name the valid values: %s", body)
+	}
+}
+
+// TestHandlerOpenClassVocabulary: a recorder without a class list (the
+// proxy, which relays arbitrary class tags) accepts any class value and
+// filters by it instead of rejecting.
+func TestHandlerOpenClassVocabulary(t *testing.T) {
+	r := filterRecorder(t, nil)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "?class=anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open vocabulary rejected a class: status %d", resp.StatusCode)
+	}
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ring) != 0 {
+		t.Fatalf("unmatched class filter kept %d traces", len(d.Ring))
+	}
+}

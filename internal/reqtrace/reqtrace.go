@@ -215,6 +215,12 @@ type Config struct {
 	// SlowN is how many slowest requests the tail keeps (default 16;
 	// negative disables the slow tail).
 	SlowN int
+	// Classes is the tier's closed class vocabulary, when it has one: the
+	// handler then rejects ?class= filters naming unknown classes with 400
+	// instead of silently returning an empty dump. Nil means the class
+	// labels are open-ended (the proxy, where classes are client-supplied)
+	// and any filter value is accepted.
+	Classes []string
 }
 
 func (c Config) withDefaults() Config {

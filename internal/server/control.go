@@ -48,6 +48,7 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 	prevAgg := make(telemetry.Fold, len(counterSchema))
 	var aggHist telemetry.HistCounts
 	var shed uint64
+	cds := make([]classDelta, len(folds))
 	for ci := range folds {
 		iv, sample := telemetry.CloseInterval(t, accumOf(folds[ci]), accumOf(s.prevFold[ci]), nowNanos, dtNanos)
 		dh := hists[ci].Sub(s.prevHist[ci])
@@ -57,11 +58,34 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 		sample.RespP95 = dh.Quantile(0.95)
 		iv.RespP95 = sample.RespP95
 		s.prevHist[ci] = hists[ci]
+		// Interval-local readings for the overload detector, captured
+		// before the previous-fold snapshot is overwritten below.
+		cd := classDelta{
+			name:     s.classes[ci].Name,
+			arrivals: folds[ci][cRequests] - s.prevFold[ci][cRequests],
+			shed: (folds[ci][cTimeouts] - s.prevFold[ci][cTimeouts]) +
+				(folds[ci][cRejected] - s.prevFold[ci][cRejected]),
+			p95:    sample.RespP95,
+			target: s.classes[ci].SLOTarget,
+			dh:     dh,
+		}
+		for _, n := range dh {
+			cd.total += n
+		}
+		cds[ci] = cd
+		// SLO attainment: an interval counts as targeted when the class
+		// has a target and produced response samples; it is attained when
+		// the interval p95 met the target.
+		if cd.target > 0 && cd.total > 0 {
+			s.sloTargeted[ci]++
+			if cd.p95 <= cd.target {
+				s.sloAttained[ci]++
+			}
+		}
 		// A class that timed out or rejected arrivals this interval is
 		// shedding: the bit feeds the load signal's per-class shed state,
 		// which routing tiers use for overload propagation.
-		if ci < 64 && (folds[ci][cTimeouts]-s.prevFold[ci][cTimeouts])+
-			(folds[ci][cRejected]-s.prevFold[ci][cRejected]) > 0 {
+		if ci < 64 && cd.shed > 0 {
 			shed |= 1 << uint(ci)
 		}
 		agg.Add(folds[ci])
@@ -124,8 +148,12 @@ func (s *Server) tick(now time.Time) []ctl.Decision {
 	if len(s.history) > s.cfg.HistoryLen {
 		s.history = s.history[len(s.history)-s.cfg.HistoryLen:]
 	}
+	// The total installed limit, for the limit-collapse condition (read
+	// under mu so a concurrent controller switch can't interleave).
+	poolLimit := s.multi.Limit()
 	s.mu.Unlock()
 	s.shedMask.Store(shed)
+	s.observeTick(t, cds, poolLimit, decisions)
 	return decisions
 }
 
@@ -180,9 +208,16 @@ type classCtrlView struct {
 	Limit      float64 `json:"limit"`
 	// SLOTarget is the class's p95 response-time target in seconds (slo
 	// mode; omitted when the class has none).
-	SLOTarget  float64     `json:"slo_target,omitempty"`
-	Updates    uint64      `json:"updates"`
-	LastSample core.Sample `json:"last_sample"`
+	SLOTarget float64 `json:"slo_target,omitempty"`
+	// TargetedIntervals counts closed intervals where the class had an SLO
+	// target and response samples; AttainedIntervals the subset whose
+	// interval p95 met the target; SLOAttainment their ratio. All omitted
+	// until the class has targeted at least one interval.
+	TargetedIntervals uint64      `json:"targeted_intervals,omitempty"`
+	AttainedIntervals uint64      `json:"attained_intervals,omitempty"`
+	SLOAttainment     float64     `json:"slo_attainment,omitempty"`
+	Updates           uint64      `json:"updates"`
+	LastSample        core.Sample `json:"last_sample"`
 }
 
 // controllerView is the GET /controller document.
@@ -241,20 +276,31 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 			Updates:         s.updates,
 			LastSample:      s.lastSamp,
 		}
+		// Per-class rows are present exactly when the mode is not pool —
+		// the consistency contract /controller promises its readers (a
+		// pool-mode document never carries per-class rows). SLO attainment
+		// is tracked regardless of mode and surfaces here whenever the
+		// rows do.
 		if s.perClass {
 			for ci, cc := range s.classes {
 				name := "(pool)"
 				if s.classCtrls[ci] != nil {
 					name = s.classCtrls[ci].Name()
 				}
-				view.Classes = append(view.Classes, classCtrlView{
+				cv := classCtrlView{
 					Class:      cc.Name,
 					Controller: name,
 					Limit:      s.multi.ClassLimit(ci),
 					SLOTarget:  cc.SLOTarget,
 					Updates:    s.classUpdates[ci],
 					LastSample: s.lastClassSmp[ci],
-				})
+				}
+				if tg := s.sloTargeted[ci]; tg > 0 {
+					cv.TargetedIntervals = tg
+					cv.AttainedIntervals = s.sloAttained[ci]
+					cv.SLOAttainment = float64(s.sloAttained[ci]) / float64(tg)
+				}
+				view.Classes = append(view.Classes, cv)
 			}
 		}
 		// Limit and trace are read while still holding mu: reading them

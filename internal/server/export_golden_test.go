@@ -68,6 +68,14 @@ func TestPromAndJSONExportsAgree(t *testing.T) {
 	check("loadctl_gate_admitted_total", float64(snap.Gate.Admitted))
 	check("loadctl_gate_rejected_total", float64(snap.Gate.Rejected))
 	check("loadctl_gate_queue_max", float64(snap.Gate.QueueMax))
+	check("loadctl_incidents_open", float64(snap.IncidentsOpen))
+	check("loadctl_go_goroutines", float64(snap.Runtime.Goroutines))
+	check("loadctl_go_heap_bytes", float64(snap.Runtime.HeapBytes))
+	check("loadctl_go_gc_pause_seconds_count", float64(snap.Runtime.GCPauses))
+	check("loadctl_go_gc_pause_seconds_sum", snap.Runtime.GCPauseTotalSeconds)
+	if snap.Runtime.Goroutines == 0 {
+		t.Fatal("runtime snapshot never sampled: a measurement tick should have filled it")
+	}
 	for _, c := range snap.Classes {
 		label := func(name string) string { return fmt.Sprintf("%s{class=%q}", name, c.Name) }
 		check(label("loadctl_class_limit"), c.Limit)

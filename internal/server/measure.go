@@ -150,6 +150,13 @@ type Snapshot struct {
 	// Interval is the most recently closed measurement interval (zero
 	// value until the first interval closes).
 	Interval IntervalStats `json:"interval"`
+	// Runtime is the Go runtime snapshot taken at the last measurement
+	// tick (goroutines, heap, GC pauses) — sampled on the control loop's
+	// cadence, never per request.
+	Runtime telemetry.RuntimeStats `json:"runtime"`
+	// IncidentsOpen is the number of overload incidents currently open on
+	// the flight recorder (see GET /debug/incidents).
+	IncidentsOpen int `json:"incidents_open"`
 	// Classes holds the per-class breakdown in configuration order.
 	Classes []ClassSnapshot `json:"classes"`
 	// History holds the retained closed aggregate intervals, oldest first
@@ -209,6 +216,8 @@ func (s *Server) SnapshotNow(withHistory bool) Snapshot {
 	snap.Active = gateStats.Active
 	snap.Queued = gateStats.Queued
 	snap.Gate = s.multi.AggregateStats()
+	snap.Runtime = s.runtime.Stats()
+	snap.IncidentsOpen = s.obsRec.OpenCount()
 	return snap
 }
 
@@ -257,6 +266,9 @@ func (s *Server) loadSignal() *cachedSignal {
 			sig.Shedding = append(sig.Shedding, cc.Name)
 		}
 	}
+	// Open incident count rides the signal so routing tiers see incident
+	// pressure without scraping the dump (atomic load; refresh-path only).
+	sig.Incidents = s.obsRec.OpenCount()
 	c := &cachedSignal{sig: sig, header: sig.Encode()}
 	s.sigCache.Store(c)
 	return c

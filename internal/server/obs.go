@@ -1,0 +1,99 @@
+package server
+
+import (
+	"math"
+
+	"github.com/tpctl/loadctl/internal/ctl"
+	"github.com/tpctl/loadctl/internal/obs"
+	"github.com/tpctl/loadctl/internal/telemetry"
+)
+
+// This file is the server's overload-event wiring: every measurement tick
+// feeds the hysteresis detector one reading per tracked condition and, on
+// start edges, assembles the flight-recorder bundle. All of it runs on
+// the tick goroutine, after the interval close — nothing here touches the
+// /txn hot path.
+
+// classDelta is one class's interval-local reading set, captured inside
+// tick's class loop before the previous-fold snapshots are overwritten.
+type classDelta struct {
+	name     string
+	arrivals uint64 // requests delta over the interval
+	shed     uint64 // admission timeouts + rejections delta
+	total    uint64 // response histogram delta total (commits with latency)
+	p95      float64
+	target   float64 // the class's SLO target (0 = none)
+	dh       telemetry.HistCounts
+}
+
+// observeTick runs the server's overload detection for one closed
+// interval: per-class shed-spike and SLO-burn conditions, the tier-wide
+// limit-collapse condition, and — on any start edge — one shared incident
+// bundle. Called from tick after the interval state is published, with
+// the tick's decisions.
+func (s *Server) observeTick(t float64, cds []classDelta, limit float64, decisions []ctl.Decision) {
+	// decisionHist is the bundle's trailing decision window. tick runs
+	// before ctl.Loop records the decisions into its trace, so the window
+	// is kept here, on the tick goroutine, rather than read back from the
+	// loop (which isn't even assigned yet on the very first tick).
+	s.decisionHist = append(s.decisionHist, decisions...)
+	if n := len(s.decisionHist); n > obs.BundleDecisions {
+		s.decisionHist = append(s.decisionHist[:0], s.decisionHist[n-obs.BundleDecisions:]...)
+	}
+	rt := s.runtime.Sample()
+
+	var started, ended []*obs.Event
+	observe := func(kind, subject string, value float64, th obs.Threshold) {
+		if ev := s.det.Observe(t, kind, subject, value, th); ev != nil {
+			if ev.Edge == obs.EdgeStart {
+				started = append(started, ev)
+			} else {
+				ended = append(ended, ev)
+			}
+		}
+	}
+	for _, cd := range cds {
+		// Every condition gets a reading every tick — an idle class reads
+		// 0, which is what lets its open incidents close.
+		var frac float64
+		if cd.arrivals >= obs.MinShedArrivals {
+			frac = float64(cd.shed) / float64(cd.arrivals)
+		}
+		observe(obs.KindShedSpike, cd.name, frac, obs.ShedSpikeThreshold())
+		var burn float64
+		if cd.target > 0 && cd.total >= obs.MinBurnSamples {
+			burn = cd.p95 / cd.target
+		}
+		observe(obs.KindSLOBurn, cd.name, burn, obs.SLOBurnThreshold())
+	}
+	// Limit collapse: the installed limit against its own trailing
+	// maximum. An uncontrolled (+Inf) or unset limit is neither a
+	// reference nor a reading.
+	if limit > 0 && !math.IsInf(limit, 1) {
+		if m := s.limitMax.Max(); m > 0 {
+			observe(obs.KindLimitCollapse, "", m/limit, obs.LimitCollapseThreshold())
+		}
+		s.limitMax.Push(limit)
+	}
+
+	for _, ev := range ended {
+		s.obsRec.Close(ev)
+	}
+	if len(started) == 0 {
+		return
+	}
+	// One bundle shared by every incident this tick opened: they describe
+	// the same instant, and the evidence (decisions, deltas, traces,
+	// runtime) is identical.
+	var deltas []obs.HistDelta
+	for _, cd := range cds {
+		if cd.total > 0 {
+			deltas = append(deltas, obs.DeltaOf(cd.name, cd.dh))
+		}
+	}
+	sig := s.loadSignal().sig // value copy; the cache pointer stays immutable
+	bundle := obs.BuildBundle(s.decisionHist, deltas, &sig, s.rec, rt)
+	for _, ev := range started {
+		s.obsRec.Open(ev, bundle)
+	}
+}

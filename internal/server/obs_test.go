@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tpctl/loadctl/internal/obs"
+	"github.com/tpctl/loadctl/internal/reqtrace"
+)
+
+// burst fires n concurrent transactions and waits for all of them — the
+// overload stimulus for the incident tests.
+func burst(ts string, n int, params string) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postTxnQuiet(ts, params)
+		}()
+	}
+	wg.Wait()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestOverloadIncidentLifecycle drives a shed spike through the real tick
+// path and follows the incident through the flight recorder: it opens
+// within a tick of the spike with its evidence bundle attached, stays a
+// single incident while the overload persists, and closes — once — after
+// the class has been quiet for the hysteresis hold.
+func TestOverloadIncidentLifecycle(t *testing.T) {
+	s, ts := newClassServer(t, 1, func(c *Config) {
+		c.Interval = 50 * time.Millisecond
+		c.Reject = true // non-blocking: a full gate sheds immediately
+		c.ReqTrace = reqtrace.Config{SampleEvery: 1}
+		// Real service time, or the burst serializes through the in-memory
+		// store without ever filling the gate.
+		c.Engine = slowEngine{inner: c.Engine, delay: 10 * time.Millisecond}
+	})
+
+	// A hard burst against limit 1: most requests reject, the interval's
+	// shed fraction lands far above the on-threshold.
+	burst(ts.URL, 40, "?class=interactive&k=2")
+
+	waitFor(t, 2*time.Second, "incident to open", func() bool {
+		return s.Incidents().OpenCount() > 0
+	})
+
+	dump := s.Incidents().Dump()
+	if dump.Tier != "server" {
+		t.Fatalf("dump tier %q", dump.Tier)
+	}
+	var inc *obs.Incident
+	for i := range dump.Incidents {
+		if dump.Incidents[i].Kind == obs.KindShedSpike && dump.Incidents[i].Subject == "interactive" {
+			inc = &dump.Incidents[i]
+			break
+		}
+	}
+	if inc == nil {
+		t.Fatalf("no shed-spike incident for interactive: %+v", dump.Incidents)
+	}
+	if inc.Value < obs.ShedSpikeThreshold().On {
+		t.Fatalf("incident value %g below the on-threshold", inc.Value)
+	}
+	if inc.Bundle == nil {
+		t.Fatal("incident filed without a bundle")
+	}
+	if len(inc.Bundle.Decisions) == 0 {
+		t.Fatal("bundle carries no controller decisions")
+	}
+	var deltaTotal uint64
+	for _, hd := range inc.Bundle.HistDeltas {
+		deltaTotal += hd.Total
+	}
+	if deltaTotal == 0 {
+		t.Fatalf("bundle histogram deltas are all empty: %+v", inc.Bundle.HistDeltas)
+	}
+	foundReject := false
+	for _, tr := range inc.Bundle.Recent {
+		if tr.Status == reqtrace.StatusRejected || tr.Status == reqtrace.StatusTimeout {
+			foundReject = true
+			break
+		}
+	}
+	if !foundReject {
+		t.Fatalf("bundle recent traces show no shed request: %+v", inc.Bundle.Recent)
+	}
+	if inc.Bundle.Signal == nil || inc.Bundle.Signal.Limit != 1 {
+		t.Fatalf("bundle signal: %+v", inc.Bundle.Signal)
+	}
+
+	// Quiet traffic: the class goes idle, the detector reads zero sheds,
+	// and the incident closes after the hold — and only once.
+	waitFor(t, 3*time.Second, "incident to close", func() bool {
+		return s.Incidents().OpenCount() == 0
+	})
+	dump = s.Incidents().Dump()
+	starts, ends := 0, 0
+	for _, e := range dump.Events {
+		if e.Kind != obs.KindShedSpike || e.Subject != "interactive" {
+			continue
+		}
+		switch e.Edge {
+		case obs.EdgeStart:
+			starts++
+		case obs.EdgeEnd:
+			ends++
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Fatalf("edge events flapped: %d starts, %d ends", starts, ends)
+	}
+
+	// The wire form agrees with the in-process record.
+	resp, err := http.Get(ts.URL + "/debug/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/incidents: status %d", resp.StatusCode)
+	}
+	var wire obs.IncidentDump
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Open != 0 || len(wire.Incidents) != len(dump.Incidents) {
+		t.Fatalf("wire dump open=%d incidents=%d, in-process says open=0 incidents=%d",
+			wire.Open, len(wire.Incidents), len(dump.Incidents))
+	}
+}
+
+// TestSLOAttainmentOnController: in slo mode the /controller document
+// reports per-class attained/targeted interval counts for classes with a
+// target, and fast commits under a generous target attain every interval.
+func TestSLOAttainmentOnController(t *testing.T) {
+	_, ts := newClassServer(t, 32, func(c *Config) {
+		c.Interval = 30 * time.Millisecond
+		c.ClassControl = "slo"
+		c.Classes[0].SLOTarget = 10 // seconds: unmissable
+	})
+
+	type classRow struct {
+		Class             string  `json:"class"`
+		TargetedIntervals uint64  `json:"targeted_intervals"`
+		AttainedIntervals uint64  `json:"attained_intervals"`
+		SLOAttainment     float64 `json:"slo_attainment"`
+	}
+	var rows []classRow
+	fetch := func() []classRow {
+		resp, err := http.Get(ts.URL + "/controller")
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		var view struct {
+			Mode    string     `json:"mode"`
+			Classes []classRow `json:"classes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return nil
+		}
+		if view.Mode != "slo" {
+			t.Fatalf("mode %q, want slo", view.Mode)
+		}
+		return view.Classes
+	}
+
+	waitFor(t, 3*time.Second, "a targeted interval to close", func() bool {
+		for i := 0; i < 4; i++ {
+			postTxnQuiet(ts.URL, "?class=interactive&k=2")
+		}
+		rows = fetch()
+		for _, r := range rows {
+			if r.Class == "interactive" && r.TargetedIntervals > 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	for _, r := range rows {
+		switch r.Class {
+		case "interactive":
+			if r.AttainedIntervals != r.TargetedIntervals || r.SLOAttainment != 1 {
+				t.Fatalf("interactive under a 10s target must attain every interval: %+v", r)
+			}
+		default:
+			if r.TargetedIntervals != 0 || r.SLOAttainment != 0 {
+				t.Fatalf("untargeted class %s reports attainment: %+v", r.Class, r)
+			}
+		}
+	}
+}

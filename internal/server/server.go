@@ -28,7 +28,10 @@
 //	                 draining — the cluster tier's active health check
 //	GET  /debug/requests  captured per-request traces: head-sampled,
 //	                 shed/failed, and slowest-N requests with per-stage
-//	                 spans (see internal/reqtrace)
+//	                 spans (see internal/reqtrace); ?class= and ?outcome=
+//	                 filter the retained set
+//	GET  /debug/incidents overload incidents with their flight-recorder
+//	                 bundles and the raw event-edge ring (see internal/obs)
 //
 // The package is deliberately thin: it wires the shared layers together.
 // internal/telemetry owns the striped hot-path counters, latency
@@ -57,6 +60,7 @@ import (
 	"github.com/tpctl/loadctl/internal/ctl"
 	"github.com/tpctl/loadctl/internal/gate"
 	"github.com/tpctl/loadctl/internal/kv"
+	"github.com/tpctl/loadctl/internal/obs"
 	"github.com/tpctl/loadctl/internal/reqtrace"
 	"github.com/tpctl/loadctl/internal/telemetry"
 	"github.com/tpctl/loadctl/internal/workload"
@@ -188,6 +192,21 @@ type Server struct {
 	hists []telemetry.Histogram
 	rec   *reqtrace.Recorder
 
+	// Overload observability (internal/obs): obsRing is the raw event-edge
+	// ring, det the hysteresis detector, obsRec the flight recorder behind
+	// GET /debug/incidents, runtime the tick-cadence Go runtime sampler,
+	// limitMax the installed limit's trailing maximum (the limit-collapse
+	// reference), decisionHist the trailing controller-decision window
+	// incident bundles carry. det, limitMax and decisionHist belong to the
+	// tick goroutine exclusively; obsRec and runtime are internally
+	// synchronized.
+	obsRing      *obs.Ring
+	det          *obs.Detector
+	obsRec       *obs.Recorder
+	runtime      *telemetry.RuntimeSampler
+	limitMax     *obs.TrailingMax
+	decisionHist []ctl.Decision
+
 	mu           sync.Mutex
 	ctrl         core.Controller   // steers the shared pool in pool mode
 	classCtrls   []core.Controller // steer per-class limits in perclass mode
@@ -203,6 +222,13 @@ type Server struct {
 	history      []IntervalStats
 	lastSamp     core.Sample
 	lastClassSmp []core.Sample
+
+	// sloTargeted/sloAttained count, per class, the closed intervals where
+	// the class had an SLO target and response samples, and the subset
+	// whose interval p95 met the target — the attainment ratio exported by
+	// GET /controller (under mu).
+	sloTargeted []uint64
+	sloAttained []uint64
 
 	// Weight-learning epoch state (pool mode, Config.WeightEpoch > 0):
 	// epochTicks counts intervals since the last retune, epochFold holds
@@ -252,6 +278,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg.ReqTrace.Tier = "server"
+	classNames := make([]string, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		classNames[i] = cc.Name
+	}
+	// The class vocabulary is closed on the server, so the trace handler
+	// can 400 on ?class= filters naming unknown classes.
+	cfg.ReqTrace.Classes = classNames
 	s := &Server{
 		cfg:          cfg,
 		classes:      cfg.Classes,
@@ -268,7 +301,14 @@ func New(cfg Config) (*Server, error) {
 		lastClass:    make([]IntervalStats, len(cfg.Classes)),
 		lastClassSmp: make([]core.Sample, len(cfg.Classes)),
 		baseWeights:  make([]float64, len(cfg.Classes)),
+		sloTargeted:  make([]uint64, len(cfg.Classes)),
+		sloAttained:  make([]uint64, len(cfg.Classes)),
 	}
+	s.obsRing = obs.NewRing(obs.DefaultRingSize)
+	s.det = obs.NewDetector(s.obsRing)
+	s.obsRec = obs.NewRecorder("server", obs.DefaultMaxIncidents, s.elapsed, s.obsRing)
+	s.runtime = telemetry.NewRuntimeSampler()
+	s.limitMax = obs.NewTrailingMax(obs.DefaultTrailingWindow)
 	for ci := range s.prevFold {
 		s.prevFold[ci] = make(telemetry.Fold, len(counterSchema))
 	}
@@ -300,6 +340,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/controller", s.handleController)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/debug/requests", s.rec.Handler())
+	s.mux.Handle("/debug/incidents", s.obsRec.Handler())
 	s.loop = ctl.Start(ctl.Config{
 		Interval: cfg.Interval,
 		Tick:     s.tick,
@@ -314,6 +355,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Requests returns the per-request trace recorder (the state behind
 // GET /debug/requests), for embedders mounting it on a debug listener.
 func (s *Server) Requests() *reqtrace.Recorder { return s.rec }
+
+// Incidents returns the overload flight recorder (the state behind
+// GET /debug/incidents), for embedders mounting it on a debug listener.
+func (s *Server) Incidents() *obs.Recorder { return s.obsRec }
 
 // Close stops the measurement loop; the handler keeps working with the
 // last installed limit.

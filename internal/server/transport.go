@@ -423,5 +423,7 @@ func renderProm(snap Snapshot) *telemetry.PromText {
 		func(c ClassSnapshot) uint64 { return c.Totals.Rejected })
 	counterVec("loadctl_class_timeouts_total", "class requests that gave up waiting for admission",
 		func(c ClassSnapshot) uint64 { return c.Totals.Timeouts })
+	p.Gauge("loadctl_incidents_open", "overload incidents currently open on the flight recorder", float64(snap.IncidentsOpen))
+	telemetry.AppendRuntimeProm(&p, snap.Runtime)
 	return &p
 }

@@ -61,6 +61,25 @@ func (p *PromText) CounterVec(name, help, label string, emit func(sample func(va
 	})
 }
 
+// Histogram emits one cumulative Prometheus histogram from a telemetry
+// bucket snapshot. The 64 quarter-log2 buckets are coarsened to one `le`
+// edge per power of two (HistBase·2^(j+1) for j = 0..15) so the exposition
+// stays readable; `+Inf` and `_count` are the bucket total, `_sum` the
+// supplied sum of observations.
+func (p *PromText) Histogram(name, help string, c HistCounts, sum float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for j := 0; j < HistBuckets/4; j++ {
+		for k := 0; k < 4; k++ {
+			cum += c[4*j+k]
+		}
+		le := HistBase * math.Pow(2, float64(j+1))
+		fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, PromFloat(le), cum)
+	}
+	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(&p.b, "%s_sum %s\n%s_count %d\n", name, PromFloat(sum), name, cum)
+}
+
 // String returns the accumulated exposition text.
 func (p *PromText) String() string { return p.b.String() }
 

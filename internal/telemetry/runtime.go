@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeStats is one Go runtime snapshot: the gauges both binaries
+// export as loadctl_go_* and the flight recorder files into incident
+// bundles. PauseBuckets backs the Prometheus pause histogram; the JSON
+// form carries only the scalar summary (count + total), so it is omitted
+// there.
+type RuntimeStats struct {
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	// GCPauses / GCPauseTotalSeconds summarize the stop-the-world pauses
+	// observed since the sampler was created; PauseBuckets is the same
+	// record log-bucketed (telemetry histogram layout), consistent with
+	// the scalars by construction — all three are updated from the same
+	// drained pause entries.
+	GCPauses            uint64     `json:"gc_pauses"`
+	GCPauseTotalSeconds float64    `json:"gc_pause_total_seconds"`
+	PauseBuckets        HistCounts `json:"-"`
+}
+
+// RuntimeSampler reads the Go runtime at measurement ticks — never per
+// request: ReadMemStats stops the world briefly, so it belongs on the
+// control loop's cadence, not the data path's. Sample is called from the
+// tick goroutine; Stats may be read concurrently (snapshot assembly).
+type RuntimeSampler struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	stats     RuntimeStats
+}
+
+// NewRuntimeSampler builds a sampler primed at the current GC state, so
+// pauses from before its creation are not retroactively counted.
+func NewRuntimeSampler() *RuntimeSampler {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &RuntimeSampler{lastNumGC: ms.NumGC}
+}
+
+// Sample reads the runtime once and folds the GC pauses completed since
+// the previous Sample into the pause histogram. Returns the updated
+// snapshot.
+func (s *RuntimeSampler) Sample() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Drain the new entries of the runtime's 256-deep circular pause log;
+	// more than 256 GCs between ticks loses the overwritten ones (the
+	// totals then undercount, they never double-count).
+	n := ms.NumGC - s.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		ns := ms.PauseNs[(ms.NumGC-i+255)%256]
+		sec := float64(ns) / 1e9
+		s.stats.PauseBuckets[BucketIndex(sec)]++
+		s.stats.GCPauses++
+		s.stats.GCPauseTotalSeconds += sec
+	}
+	s.lastNumGC = ms.NumGC
+	s.stats.Goroutines = runtime.NumGoroutine()
+	s.stats.HeapBytes = ms.HeapAlloc
+	return s.stats
+}
+
+// Stats returns the last sampled snapshot without touching the runtime.
+func (s *RuntimeSampler) Stats() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// AppendRuntimeProm renders the loadctl_go_* runtime families onto p —
+// shared by both binaries' /metrics so the fleet exposes one schema.
+func AppendRuntimeProm(p *PromText, rs RuntimeStats) {
+	p.Gauge("loadctl_go_goroutines", "live goroutines at the last measurement tick", float64(rs.Goroutines))
+	p.Gauge("loadctl_go_heap_bytes", "heap bytes in use at the last measurement tick", float64(rs.HeapBytes))
+	p.Histogram("loadctl_go_gc_pause_seconds", "GC stop-the-world pause durations since start", rs.PauseBuckets, rs.GCPauseTotalSeconds)
+}

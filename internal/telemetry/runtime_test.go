@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeSamplerCountsPausesSinceCreation(t *testing.T) {
+	s := NewRuntimeSampler()
+	if got := s.Stats(); got.GCPauses != 0 || got.GCPauseTotalSeconds != 0 {
+		t.Fatalf("fresh sampler already counts pauses: %+v", got)
+	}
+
+	// Force GC cycles so the sampler has pauses to drain; allocate between
+	// them so the cycles are not free.
+	for i := 0; i < 3; i++ {
+		_ = make([]byte, 1<<20)
+		runtime.GC()
+	}
+	st := s.Sample()
+	if st.Goroutines <= 0 {
+		t.Fatalf("goroutines %d", st.Goroutines)
+	}
+	if st.HeapBytes == 0 {
+		t.Fatal("heap bytes 0")
+	}
+	if st.GCPauses < 3 {
+		t.Fatalf("sampled %d GC pauses, forced at least 3", st.GCPauses)
+	}
+	if st.GCPauseTotalSeconds <= 0 {
+		t.Fatalf("pause total %g with %d pauses", st.GCPauseTotalSeconds, st.GCPauses)
+	}
+
+	// The bucket record and the scalar summary come from the same drained
+	// entries: their totals must agree exactly.
+	var bucketed uint64
+	for _, n := range st.PauseBuckets {
+		bucketed += n
+	}
+	if bucketed != st.GCPauses {
+		t.Fatalf("pause buckets hold %d entries, scalar says %d", bucketed, st.GCPauses)
+	}
+
+	// A second sample must not re-count the already-drained pauses.
+	before := st.GCPauses
+	again := s.Sample()
+	if again.GCPauses < before {
+		t.Fatalf("pause count went backwards: %d then %d", before, again.GCPauses)
+	}
+	prev := s.Stats()
+	if prev.GCPauses != again.GCPauses {
+		t.Fatalf("Stats %d != last Sample %d", prev.GCPauses, again.GCPauses)
+	}
+}
+
+func TestAppendRuntimeProm(t *testing.T) {
+	var pauses HistCounts
+	pauses[0] = 2
+	pauses[8] = 1
+	rs := RuntimeStats{
+		Goroutines: 42, HeapBytes: 1 << 20,
+		GCPauses: 3, GCPauseTotalSeconds: 0.005, PauseBuckets: pauses,
+	}
+	var p PromText
+	AppendRuntimeProm(&p, rs)
+	text := p.String()
+	vals := ParsePromText(text)
+
+	if got := vals["loadctl_go_goroutines"]; got != 42 {
+		t.Fatalf("goroutines gauge %g", got)
+	}
+	if got := vals["loadctl_go_heap_bytes"]; got != float64(1<<20) {
+		t.Fatalf("heap gauge %g", got)
+	}
+	if got := vals["loadctl_go_gc_pause_seconds_count"]; got != 3 {
+		t.Fatalf("pause count %g", got)
+	}
+	if got := vals["loadctl_go_gc_pause_seconds_sum"]; got != 0.005 {
+		t.Fatalf("pause sum %g", got)
+	}
+	if got := vals[`loadctl_go_gc_pause_seconds_bucket{le="+Inf"}`]; got != 3 {
+		t.Fatalf("+Inf bucket %g, want the count", got)
+	}
+	if !strings.Contains(text, "# TYPE loadctl_go_gc_pause_seconds histogram") {
+		t.Fatal("missing histogram TYPE header")
+	}
+
+	// Cumulative le edges never decrease and end at the total.
+	var last float64
+	for j := 0; j < HistBuckets/4; j++ {
+		le := HistBase * pow2(j+1)
+		key := fmt.Sprintf("loadctl_go_gc_pause_seconds_bucket{le=%q}", PromFloat(le))
+		v, ok := vals[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < last {
+			t.Fatalf("bucket %s: cumulative count %g < previous %g", key, v, last)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Fatalf("last finite bucket %g, want the total 3", last)
+	}
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}

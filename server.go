@@ -207,6 +207,7 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 		// listener so profiling under load never rides the data path.
 		dmux := debughttp.Mux()
 		dmux.Handle("/debug/requests", s.inner.Requests().Handler())
+		dmux.Handle("/debug/incidents", s.inner.Incidents().Handler())
 		if err := debughttp.Serve(ctx, cfg.DebugAddr, dmux); err != nil {
 			return fmt.Errorf("loadctl: debug listen %s: %w", cfg.DebugAddr, err)
 		}
