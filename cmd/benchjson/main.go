@@ -16,6 +16,17 @@
 // more than N allocs/op — the check that keeps the request hot path at its
 // audited allocation count (a time/op gate would flake on shared CI
 // hardware; an allocation count is exact and machine-independent).
+//
+// With -baseline FILE the current run is diffed against a committed
+// benchjson output (e.g. BENCH_PR10.json): a benchmark whose (package,
+// name) pair appears in the baseline fails the gate if its ns/op exceeds
+// the baseline by more than -max-regress (a fractional tolerance, default
+// 0.15, absorbing shared-runner jitter) or if its allocs/op rose at all
+// (allocation counts are deterministic, so any increase is a real
+// regression). Benchmarks absent from the baseline pass freely — new
+// benchmarks land before their baseline does — but a baseline that
+// matches nothing in the current run means the suite was renamed out from
+// under the gate, and that exits 1 rather than green-lighting the typo.
 package main
 
 import (
@@ -41,6 +52,8 @@ type Result struct {
 func main() {
 	maxAllocs := flag.Int64("max-allocs", -1, "exit 1 if a matched benchmark exceeds this many allocs/op (-1 = no gate)")
 	match := flag.String("match", "", "substring of benchmark names the -max-allocs gate applies to (empty = every benchmark reporting allocations)")
+	baseline := flag.String("baseline", "", "committed benchjson JSON to diff against; exit 1 on ns/op or allocs/op regression")
+	maxRegress := flag.Float64("max-regress", 0.15, "fractional ns/op regression tolerated against -baseline (allocs/op tolerates none)")
 	flag.Parse()
 
 	var results []Result
@@ -91,6 +104,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if !diffBaseline(results, *baseline, *maxRegress) {
+			os.Exit(1)
+		}
+	}
 	if *maxAllocs >= 0 {
 		gated, failed := 0, false
 		for _, r := range results {
@@ -117,4 +135,48 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// diffBaseline compares the current results against the committed
+// baseline file and reports whether the run passes: every benchmark with
+// a baseline entry must stay within maxRegress of its ns/op and must not
+// allocate more per op. Zero matched benchmarks is itself a failure.
+func diffBaseline(results []Result, path string, maxRegress float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	var base []Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
+		return false
+	}
+	index := make(map[string]Result, len(base))
+	for _, b := range base {
+		index[b.Package+"\x00"+b.Name] = b
+	}
+	matched, ok := 0, true
+	for _, r := range results {
+		b, found := index[r.Package+"\x00"+r.Name]
+		if !found {
+			continue
+		}
+		matched++
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			ok = false
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %.0f ns/op vs baseline %.0f (+%.0f%% > %.0f%% tolerance)\n",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*maxRegress)
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			ok = false
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %d allocs/op vs baseline %d — allocation regressions have no tolerance\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s matched no benchmark in this run — renamed suite or wrong file\n", path)
+		return false
+	}
+	return ok
 }

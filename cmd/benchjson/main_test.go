@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `[
+  {"package":"p","name":"BenchmarkTxn/serial","iterations":1000,"ns_per_op":1000,"bytes_per_op":16,"allocs_per_op":0},
+  {"package":"p","name":"BenchmarkRelay/serial","iterations":1000,"ns_per_op":5000,"bytes_per_op":2048,"allocs_per_op":17}
+]`
+
+func TestDiffBaselinePasses(t *testing.T) {
+	path := writeBaseline(t, baseJSON)
+	results := []Result{
+		// 10% slower: inside the 15% tolerance.
+		{Package: "p", Name: "BenchmarkTxn/serial", NsPerOp: 1100, BytesPerOp: 16, AllocsPerOp: 0},
+		// Faster and fewer allocations: always fine.
+		{Package: "p", Name: "BenchmarkRelay/serial", NsPerOp: 4000, BytesPerOp: 1024, AllocsPerOp: 12},
+		// Not in the baseline: passes freely (new benchmarks land first).
+		{Package: "p", Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 99},
+	}
+	if !diffBaseline(results, path, 0.15) {
+		t.Fatal("within-tolerance run failed the baseline gate")
+	}
+}
+
+func TestDiffBaselineNsRegression(t *testing.T) {
+	path := writeBaseline(t, baseJSON)
+	results := []Result{
+		{Package: "p", Name: "BenchmarkTxn/serial", NsPerOp: 1200, BytesPerOp: 16, AllocsPerOp: 0},
+	}
+	if diffBaseline(results, path, 0.15) {
+		t.Fatal("20% ns/op regression passed a 15% gate")
+	}
+}
+
+func TestDiffBaselineAllocRegression(t *testing.T) {
+	path := writeBaseline(t, baseJSON)
+	results := []Result{
+		// Faster, but one more alloc: allocations tolerate no increase.
+		{Package: "p", Name: "BenchmarkTxn/serial", NsPerOp: 900, BytesPerOp: 32, AllocsPerOp: 1},
+	}
+	if diffBaseline(results, path, 0.15) {
+		t.Fatal("allocs/op increase passed the baseline gate")
+	}
+}
+
+func TestDiffBaselineZeroMatchesFails(t *testing.T) {
+	path := writeBaseline(t, baseJSON)
+	results := []Result{
+		{Package: "p", Name: "BenchmarkRenamed", NsPerOp: 1, AllocsPerOp: 0},
+	}
+	if diffBaseline(results, path, 0.15) {
+		t.Fatal("a baseline matching nothing must fail, not green-light a rename")
+	}
+}
+
+func TestDiffBaselineMatchesPackageAndName(t *testing.T) {
+	path := writeBaseline(t, baseJSON)
+	results := []Result{
+		// Same name, different package: not a baseline match, so its numbers
+		// are not judged — but then nothing matches, which fails the run.
+		{Package: "q", Name: "BenchmarkTxn/serial", NsPerOp: 9999, AllocsPerOp: 50},
+	}
+	if diffBaseline(results, path, 0.15) {
+		t.Fatal("cross-package name collision treated as a baseline match")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -134,8 +135,9 @@ func (c Config) withDefaults() Config {
 type backend struct {
 	url string
 	// txnURL and indexStr are precomputed at New so the relay path never
-	// concatenates or formats per request.
-	txnURL   string
+	// parses, concatenates, or formats per request: forward copies the
+	// pre-parsed URL value and splices in the request's RawQuery.
+	txnURL   url.URL
 	indexStr string
 
 	inflight atomic.Int64 // proxy's own outstanding requests toward it
@@ -153,8 +155,12 @@ type backend struct {
 	checks      atomic.Uint64 // health probes sent
 	checkFails  atomic.Uint64 // health probes failed
 
-	sig   atomic.Pointer[loadsig.Signal]
-	sigAt atomic.Int64 // nanos since proxy start of the last signal
+	sig atomic.Pointer[loadsig.Signal]
+	// sigRaw is the raw header the current sig was parsed from: backends
+	// regenerate the signal once per control interval, so consecutive
+	// responses carry byte-identical headers and ingest skips the reparse.
+	sigRaw atomic.Pointer[string]
+	sigAt  atomic.Int64 // nanos since proxy start of the last signal
 
 	ewmaLatNanos atomic.Int64 // smoothed relay latency
 }
@@ -270,7 +276,11 @@ func New(cfg Config) (*Proxy, error) {
 			return nil, fmt.Errorf("cluster: duplicate backend %q", u)
 		}
 		seen[u] = true
-		p.backends = append(p.backends, &backend{url: u, txnURL: u + "/txn", indexStr: strconv.Itoa(len(p.backends))})
+		tu, err := url.Parse(u + "/txn")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend URL %q: %w", u, err)
+		}
+		p.backends = append(p.backends, &backend{url: u, txnURL: *tu, indexStr: strconv.Itoa(len(p.backends))})
 	}
 	cfg.ReqTrace.Tier = "proxy"
 	p.rec = reqtrace.New(cfg.ReqTrace)
@@ -323,10 +333,14 @@ func (p *Proxy) Incidents() *obs.Recorder { return p.obsRec }
 
 func (p *Proxy) nowNanos() int64 { return time.Since(p.start).Nanoseconds() }
 
-// routable collects the backends new work may go to: not dead, not
-// draining. Excluded indexes (already tried this request) are skipped.
-func (p *Proxy) routable(exclude uint64) []int {
-	idx := make([]int, 0, len(p.backends)) //loadctl:allocok audited: routable set, sized by backend count — in the relay alloc budget
+// routable collects into dst the backends new work may go to: not dead,
+// not draining. Excluded indexes (already tried this request) are
+// skipped. dst comes from the relay scratch, so the set costs nothing to
+// build in steady state.
+//
+//loadctl:hotpath
+func (p *Proxy) routable(dst []int, exclude uint64) []int {
+	dst = dst[:0]
 	for i, b := range p.backends {
 		if exclude&(1<<uint(i)) != 0 {
 			continue
@@ -334,9 +348,9 @@ func (p *Proxy) routable(exclude uint64) []int {
 		if b.dead.Load() || b.draining.Load() {
 			continue
 		}
-		idx = append(idx, i)
+		dst = append(dst, i) //loadctl:allocok audited: grows the pooled routable set to backend count once; the steady state reuses its capacity
 	}
-	return idx
+	return dst
 }
 
 // clusterShedding reports whether every routable backend's fresh signal
@@ -390,6 +404,8 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 	cell := p.tel.Cell(0, p.seq.Add(1))
 	cell.Inc(cRequests)
+	sc := getRelayScratch()
+	defer putRelayScratch(sc)
 
 	// Per-request tracing. The proxy is the edge: it reuses a client's
 	// trace ID or mints one, records its own routing spans under it, and
@@ -425,12 +441,16 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	class := r.URL.Query().Get("class")
+	class, plain := queryClassFast(r.URL.RawQuery)
+	if !plain {
+		class = r.URL.Query().Get("class") //loadctl:allocok audited: escaped query strings only — plain queries take the zero-alloc scan
+	}
 	tr.Annotate(class)
 	var tried uint64
 	t0 := tr.Start()
 	for attempt := 0; ; attempt++ {
-		routable := p.routable(tried)
+		sc.routable = p.routable(sc.routable, tried)
+		routable := sc.routable
 		if len(routable) == 0 {
 			if attempt == 0 {
 				cell.Inc(cShedNoBackend)
@@ -453,14 +473,14 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pickStart := tr.Now()
-		i := p.pick(routable)
+		i := p.pick(sc, routable)
 		tr.Span(reqtrace.SpanPick, pickStart, "", i)
 		tried |= 1 << uint(i)
 		if attempt > 0 {
 			cell.Inc(cRetries)
 		}
 		relayStart := tr.Now()
-		done, err := p.forward(w, r, i, body, idHex)
+		done, err := p.forward(w, r, sc, i, body, idHex)
 		if done {
 			tr.Span(reqtrace.SpanRelay, relayStart, reqtrace.DetailRelayed, i)
 			cell.Inc(cRelayed)
@@ -503,22 +523,26 @@ func (p *Proxy) handleTxn(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// pick scores the routable backends and lets the policy choose.
-func (p *Proxy) pick(routable []int) int {
+// pick scores the routable backends and lets the policy choose. The
+// scoring slate lives in the relay scratch, so a pick allocates nothing
+// in steady state.
+//
+//loadctl:hotpath
+func (p *Proxy) pick(sc *relayScratch, routable []int) int {
 	if len(routable) == 1 {
 		return routable[0]
 	}
 	now := p.nowNanos()
-	cands := make([]Candidate, len(routable)) //loadctl:allocok audited: policy scoring slate, sized by backend count — in the relay alloc budget
-	for k, i := range routable {
+	sc.cands = sc.cands[:0]
+	for _, i := range routable {
 		b := p.backends[i]
-		cands[k] = Candidate{
+		sc.cands = append(sc.cands, Candidate{ //loadctl:allocok audited: grows the pooled scoring slate to backend count once; the steady state reuses its capacity
 			Index:    i,
 			Score:    b.score(now, p.cfg.SignalStale),
 			Inflight: b.inflight.Load(),
-		}
+		})
 	}
-	return p.policy.Pick(cands)
+	return p.policy.Pick(sc.cands)
 }
 
 // retriableForward reports whether a forward error happened at the dial
@@ -530,40 +554,63 @@ func retriableForward(err error) bool {
 	return errors.As(err, &op) && op.Op == "dial"
 }
 
-// analyzer walks it transitively; the explicit marker below documents it.
-//
 // forward sends the request to backend i and relays the response. It
 // returns done=true when a response (any status) was relayed to the
 // client; done=false with the transport error when the backend could not
 // be reached, leaving the ResponseWriter untouched so the caller may
 // retry elsewhere.
 //
-//loadctl:hotpath is implied: forward is reached from handleTxn, so the
-func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []byte, traceHex string) (bool, error) {
+// The outbound request is built by hand from the backend's pre-parsed
+// /txn URL — no string concatenation, no URL parsing, no GetBody
+// snapshot (the proxy does its own at-most-once failover; backends never
+// redirect /txn). Its pieces — URL copy, header map, body reader — are
+// the relay path's deliberate per-request allocations: they escape into
+// the transport, whose write loop can still be consuming them after Do
+// returns when a backend answers before reading the full request, so
+// pooling them would race (see fastrelay.go).
+//
+//loadctl:hotpath
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, sc *relayScratch, i int, body []byte, traceHex string) (bool, error) {
 	b := p.backends[i]
-	url := b.txnURL
-	if r.URL.RawQuery != "" {
-		url += "?" + r.URL.RawQuery //loadctl:allocok audited: query passthrough — one concat only for requests that carry parameters
-	}
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, rd)
-	if err != nil {
-		return false, err
-	}
+	u := b.txnURL // copy; the pre-parsed original stays pristine
+	u.RawQuery = r.URL.RawQuery
+	hdr := make(http.Header, 2) //loadctl:allocok audited: escapes into the transport — see the function comment
 	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
+		hdr["Content-Type"] = []string{ct} //loadctl:allocok audited: escapes into the transport — see the function comment
 	}
 	// Propagate the trace ID: the backend records its spans under the
 	// same trace, and head sampling (a pure function of the ID) picks the
 	// same requests on both tiers.
-	req.Header.Set(reqtrace.Header, traceHex)
+	hdr[reqtrace.Header] = []string{traceHex} //loadctl:allocok audited: escapes into the transport — see the function comment
+	req := (&http.Request{
+		Method: http.MethodPost,
+		URL:    &u,
+		Header: hdr,
+	}).WithContext(r.Context())
+	if body != nil {
+		br := &relayBody{} //loadctl:allocok audited: escapes into the transport — see the function comment
+		br.Reset(body)
+		req.Body = br
+		req.ContentLength = int64(len(body))
+		// GetBody keeps the request replayable so the transport can retry
+		// it transparently when a kept-alive idle connection turns out to
+		// have died — without it a stale-connection race would surface as
+		// a backend failure.
+		req.GetBody = func() (io.ReadCloser, error) { //loadctl:allocok audited: escapes into the transport — see the function comment
+			rb := &relayBody{}
+			rb.Reset(body)
+			return rb, nil
+		}
+	}
 	b.forwarded.Add(1)
 	b.inflight.Add(1)
 	t0 := time.Now() //loadctl:allocok audited: relay-latency clock read for the EWMA — the proxy's sanctioned t0
-	resp, err := p.client.Do(req)
+	// The transport is driven directly, not through http.Client: the proxy
+	// relays 3xx answers verbatim rather than following them, has no
+	// cookie jar, and bounds the call with the inbound request's context —
+	// everything Client.do would add is redirect machinery that clones the
+	// header map on every request.
+	resp, err := p.client.Transport.RoundTrip(req)
 	b.inflight.Add(-1)
 	if err != nil {
 		b.errs.Add(1)
@@ -577,12 +624,12 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []by
 	h := w.Header()
 	for _, key := range relayHeaders {
 		if v := resp.Header.Get(key); v != "" {
-			h.Set(key, v)
+			setHeader(h, key, v)
 		}
 	}
-	h.Set(BackendHeader, b.indexStr)
+	setHeader(h, BackendHeader, b.indexStr)
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	_, _ = io.CopyBuffer(w, resp.Body, sc.copyBuf)
 	return true, nil
 }
 
@@ -590,17 +637,36 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, i int, body []by
 // client (hoisted so the relay loop does not rebuild the list per request).
 var relayHeaders = [...]string{"Content-Type", "Retry-After", loadsig.Header}
 
-// ingest records the load signal riding a forwarded response.
+// relayBody is the outbound request body: a bytes.Reader over the
+// buffered request bytes that satisfies io.ReadCloser without the
+// io.NopCloser wrapper allocation.
+type relayBody struct{ bytes.Reader }
+
+func (*relayBody) Close() error { return nil }
+
+// ingest records the load signal riding a forwarded response. The
+// backend rebuilds its signal once per control interval, so consecutive
+// responses usually carry a byte-identical header: those only refresh
+// the freshness timestamp, skipping the parse (sig is stored before
+// sigRaw, so a raw match always sees a signal at least that new).
+//
+//loadctl:hotpath
 func (p *Proxy) ingest(b *backend, resp *http.Response) {
 	h := resp.Header.Get(loadsig.Header)
 	if h == "" {
 		return
 	}
-	sig, err := loadsig.Parse(h)
+	if prev := b.sigRaw.Load(); prev != nil && *prev == h {
+		b.sigAt.Store(p.nowNanos())
+		return
+	}
+	sig, err := loadsig.Parse(h) //loadctl:allocok audited: signal changed — at most once per backend control interval, not per request
 	if err != nil {
 		return // a garbled signal is ignored, not trusted
 	}
+	raw := h //loadctl:allocok audited: boxed raw-header cache, same once-per-interval cadence as the parse
 	b.sig.Store(sig)
+	b.sigRaw.Store(&raw)
 	b.sigAt.Store(p.nowNanos())
 	b.draining.Store(sig.Draining())
 }

@@ -40,7 +40,7 @@ func (p *Proxy) tuneTick(now time.Time) []ctl.Decision {
 	// cluster-wide shed state: the fraction of routable backends whose
 	// fresh load signal sheds at least one class.
 	var meanScore, shedFrac float64
-	if routable := p.routable(0); len(routable) > 0 {
+	if routable := p.routable(nil, 0); len(routable) > 0 {
 		shedding := 0
 		for _, i := range routable {
 			b := p.backends[i]

@@ -1,0 +1,92 @@
+// Relay fast-path plumbing: the pooled per-request scratch and the
+// allocation-free helpers behind the proxy's /txn data path (handleTxn /
+// forward in cluster.go).
+//
+// The pooling line is drawn at the transport boundary. Scratch state that
+// stays inside one handleTxn call — the routable set, the policy's
+// scoring slate, the response copy buffer — is pooled and reused.
+// Anything that escapes into the outbound http.Request (the URL copy,
+// the header map, the body reader) is allocated fresh per request: the
+// transport writes the request from its own goroutine, and on a backend
+// that answers before consuming the full request, Do can return while
+// that goroutine is still reading the request's memory. Reusing it would
+// be a data race with a remote trigger, so those few allocations are the
+// audited, deliberate remainder of the relay budget.
+package cluster
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// relayScratch is the pooled working state of one relay pass.
+type relayScratch struct {
+	routable []int
+	cands    []Candidate
+	copyBuf  []byte // io.CopyBuffer scratch for relaying response bodies
+}
+
+// relayCopyBufSize matches io.Copy's internal buffer; pooling it keeps
+// the response relay from allocating 32KiB per request.
+const relayCopyBufSize = 32 << 10
+
+var relayScratchPool sync.Pool
+
+//loadctl:hotpath
+func getRelayScratch() *relayScratch {
+	sc, ok := relayScratchPool.Get().(*relayScratch)
+	if !ok {
+		sc = &relayScratch{copyBuf: make([]byte, relayCopyBufSize)} //loadctl:allocok audited: pool miss — cold start only, the steady state reuses released scratches
+	}
+	return sc
+}
+
+//loadctl:hotpath
+func putRelayScratch(sc *relayScratch) { relayScratchPool.Put(sc) }
+
+// queryClassFast extracts the first "class" query parameter from a raw
+// query string without allocating, agreeing with url.Values.Get on the
+// plain subset (no %-escapes, '+' or ';' anywhere in the string);
+// ok=false means the query uses escapes and the caller must fall back to
+// full url.Values parsing.
+//
+//loadctl:hotpath
+func queryClassFast(raw string) (class string, ok bool) {
+	for i := 0; i < len(raw); i++ {
+		if c := raw[i]; c == '%' || c == '+' || c == ';' {
+			return "", false
+		}
+	}
+	for len(raw) > 0 {
+		pair := raw
+		if j := strings.IndexByte(raw, '&'); j >= 0 {
+			pair, raw = raw[:j], raw[j+1:]
+		} else {
+			raw = ""
+		}
+		key, val := pair, ""
+		if j := strings.IndexByte(pair, '='); j >= 0 {
+			key, val = pair[:j], pair[j+1:]
+		}
+		if key == "class" {
+			return val, true
+		}
+	}
+	return "", true
+}
+
+// setHeader installs key: value like Header.Set but overwrites in place
+// when the slot already holds exactly one value — Set allocates a fresh
+// one-element slice every call, which on a reused response header map
+// (keep-alive connections, pooled recorders) is pure churn. key must
+// already be in canonical form; every caller passes a canonical constant.
+//
+//loadctl:hotpath
+func setHeader(h http.Header, key, value string) {
+	if vs := h[key]; len(vs) == 1 {
+		vs[0] = value
+		return
+	}
+	h[key] = []string{value} //loadctl:allocok audited: first write to this header slot; later writes reuse the slice in place
+}

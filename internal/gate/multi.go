@@ -54,12 +54,19 @@ type ClassSpec struct {
 	Priority int
 }
 
+// waiters pools the capacity-1 channels queued acquirers park on, so the
+// queue/admit cycle performs no allocation in steady state. Admission is
+// a single send (admitHeadLocked), consumed exactly once by the owning
+// acquirer, which drains or verifies the channel empty before returning
+// it — a pooled channel is therefore always empty when reused.
+var waiters = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
 type classGate struct {
 	spec   ClassSpec
 	limit  float64 // per-class-mode limit
 	active int
 	// queue of waiting goroutines in arrival order; each waits on its own
-	// channel, as in Live.
+	// pooled capacity-1 channel and is admitted by a send.
 	queue []chan struct{}
 
 	arrivals uint64
@@ -171,8 +178,8 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 		m.mu.Unlock()
 		return nil
 	}
-	ch := make(chan struct{}) //loadctl:allocok audited: queued arrivals only — the immediate-admit path returned above
-	c.queue = append(c.queue, ch)
+	ch := waiters.Get().(chan struct{})
+	c.queue = append(c.queue, ch) //loadctl:allocok audited: queue growth only — the backing array is retained across append cycles, so steady-state queueing does not allocate
 	if len(c.queue) > c.queueMax {
 		c.queueMax = len(c.queue)
 	}
@@ -180,6 +187,7 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 
 	select {
 	case <-ch:
+		waiters.Put(ch)
 		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
@@ -195,6 +203,7 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 			c.timeouts++
 			m.pumpLocked()
 			m.mu.Unlock()
+			waiters.Put(ch)
 			return ctx.Err()
 		default:
 		}
@@ -206,8 +215,37 @@ func (m *Multi) Acquire(ctx context.Context, class int) error {
 		}
 		c.timeouts++
 		m.mu.Unlock()
+		// Off the queue under the lock with no pending send, so the
+		// channel is empty and safe to reuse.
+		waiters.Put(ch)
 		return ctx.Err()
 	}
+}
+
+// AcquireFast is the zero-allocation, zero-context happy path: it admits
+// class class immediately if admission rules allow and otherwise reports
+// false WITHOUT counting anything — the caller must then fall through to
+// Acquire (or TryAcquire), which performs the full arrival accounting.
+// An arrival is thus counted exactly once, by whichever call disposes of
+// it, and the identity Arrivals == Admitted + Rejected + Timeouts +
+// Queued is untouched. The point of the split: the serving fast path can
+// skip building a cancellable context (and its allocations) entirely
+// whenever the gate is uncontended.
+//
+//loadctl:hotpath
+func (m *Multi) AcquireFast(class int) bool {
+	m.mu.Lock()
+	c := m.classes[class]
+	if m.admitNowLocked(class) {
+		c.arrivals++
+		c.active++
+		m.active++
+		c.admitted++
+		m.mu.Unlock()
+		return true
+	}
+	m.mu.Unlock()
+	return false
 }
 
 // TryAcquire admits class class without blocking. At a full pool (or a
@@ -306,7 +344,9 @@ func (m *Multi) admitHeadLocked(c *classGate) {
 	c.active++
 	m.active++
 	c.admitted++
-	close(ch)
+	// Never blocks: the channel has capacity 1 and each queued entry
+	// receives exactly one send over its queue lifetime.
+	ch <- struct{}{}
 }
 
 // SetPoolLimit installs a new shared limit (pool mode); raising it wakes

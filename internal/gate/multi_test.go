@@ -270,6 +270,90 @@ func TestMultiRaceIdentity(t *testing.T) {
 	}
 }
 
+// AcquireFast admits only when a slot is free and must count NOTHING on
+// refusal — a refused fast probe followed by TryAcquire/Acquire is one
+// arrival, counted by whichever call disposes of it.
+func TestMultiAcquireFastIdentity(t *testing.T) {
+	m := twoClass(t, 1)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+	if !m.AcquireFast(inter) {
+		t.Fatal("free gate must fast-admit")
+	}
+	if m.AcquireFast(batch) {
+		t.Fatal("full gate must not fast-admit")
+	}
+	st := m.Stats()
+	if a := st.Classes[batch].Arrivals; a != 0 {
+		t.Fatalf("refused AcquireFast counted %d arrivals, want 0", a)
+	}
+	if m.TryAcquire(batch) {
+		t.Fatal("full gate must not try-admit")
+	}
+	m.Release(inter)
+	st = m.Stats()
+	if st.Classes[inter].Arrivals != 1 || st.Classes[inter].Admitted != 1 {
+		t.Fatalf("interactive counters off: %+v", st.Classes[inter])
+	}
+	if st.Classes[batch].Arrivals != 1 || st.Classes[batch].Rejected != 1 {
+		t.Fatalf("batch counters off: %+v", st.Classes[batch])
+	}
+	for _, c := range st.Classes {
+		if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+			t.Fatalf("class %s identity violated: %+v", c.Name, c)
+		}
+	}
+}
+
+// The serving fast path's exact calling pattern — AcquireFast, falling
+// through to a deadline Acquire on refusal — hammered concurrently with
+// pooled-waiter admissions; identity at quiescence (run with -race).
+func TestMultiAcquireFastRaceIdentity(t *testing.T) {
+	m := twoClass(t, 4)
+	inter, _ := m.ClassIndex("interactive")
+	batch, _ := m.ClassIndex("batch")
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for g := 0; g < 16; g++ {
+		class := inter
+		if g%2 == 0 {
+			class = batch
+		}
+		wg.Add(1)
+		go func(class int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if m.AcquireFast(class) {
+					m.Release(class)
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				err := m.Acquire(ctx, class)
+				cancel()
+				if err == nil {
+					m.Release(class)
+				}
+			}
+		}(class)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Active != 0 {
+		t.Fatalf("active = %d at quiescence", st.Active)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("queued = %d at quiescence", st.Queued)
+	}
+	for _, c := range st.Classes {
+		if c.Arrivals != c.Admitted+c.Rejected+c.Timeouts+uint64(c.Queued) {
+			t.Fatalf("class %s identity violated: %+v", c.Name, c)
+		}
+	}
+}
+
 func TestMultiSetClassWeightUpdatesShares(t *testing.T) {
 	m := twoClass(t, 8) // shares: interactive 6, batch 2
 	inter, _ := m.ClassIndex("interactive")

@@ -1,0 +1,169 @@
+// Group commit: a flat-combining batcher that coalesces concurrent OCC
+// commits so one ascending-order shard-lock acquisition certifies and
+// applies many transactions.
+//
+// Protocol: a committing goroutine pushes its transaction onto a lock-free
+// Treiber stack and then tries to become the combiner (mutex TryLock).
+// The combiner repeatedly swaps the whole stack out, takes the union of
+// the batch's shard masks, locks those shards once in ascending order,
+// and runs each transaction through the same certifyApplyLocked used by
+// the direct path — so validation semantics and per-shard/per-class
+// commit/abort accounting are bit-identical to ungrouped commits; only
+// the number of lock acquisitions changes. Goroutines that lose the
+// TryLock race park on a pooled capacity-1 channel until the combiner
+// delivers their result.
+//
+// Lost wakeups are impossible: a pusher either becomes the combiner
+// (and processes its own waiter), or it observed the combiner lock held
+// — and every combiner, after unlocking, re-checks the stack head and
+// re-acquires if anything was pushed meanwhile, so the waiter pushed
+// before the failed TryLock is always drained by the then-current
+// combiner chain.
+package kv
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// commitWaiter is one pending commit parked in the group-commit stack.
+// Waiters are pooled; the capacity-1 done channel is reused across
+// commits (the owner always drains its signal before releasing).
+type commitWaiter struct {
+	t       *Txn
+	touched uint64
+	err     error
+	done    chan struct{}
+	next    *commitWaiter
+}
+
+// groupCommitter batches commits for one Store.
+type groupCommitter struct {
+	s    *Store
+	head atomic.Pointer[commitWaiter] // Treiber stack of pending commits
+	mu   sync.Mutex                   // combiner election (TryLock only)
+	pool sync.Pool                    // *commitWaiter
+
+	batches atomic.Uint64 // drain rounds that processed >= 1 transaction
+	grouped atomic.Uint64 // transactions committed or aborted via batches
+}
+
+// EnableGroupCommit routes every subsequent Txn.Commit on the store
+// through the flat-combining group committer. It is an initialization-
+// time switch: call it before the store is shared, not concurrently
+// with in-flight commits. Enabling twice is a no-op.
+func (s *Store) EnableGroupCommit() {
+	if s.gc == nil {
+		s.gc = &groupCommitter{s: s}
+	}
+}
+
+// GroupCommitEnabled reports whether commits are being batched.
+func (s *Store) GroupCommitEnabled() bool { return s.gc != nil }
+
+// GroupCommitStats returns how many drain rounds ran and how many
+// transactions they processed (committed or aborted); both zero when
+// group commit is disabled. grouped/batches is the amortization factor:
+// 1.0 means no coalescing happened (every commit ran alone).
+func (s *Store) GroupCommitStats() (batches, grouped uint64) {
+	if s.gc == nil {
+		return 0, 0
+	}
+	return s.gc.batches.Load(), s.gc.grouped.Load()
+}
+
+// commit enqueues the transaction and returns its certification result,
+// combining pending commits if this goroutine wins the combiner lock.
+//
+//loadctl:hotpath
+func (g *groupCommitter) commit(t *Txn, touched uint64) error {
+	w := g.waiter(t, touched)
+	for {
+		old := g.head.Load()
+		w.next = old
+		if g.head.CompareAndSwap(old, w) {
+			break
+		}
+	}
+	if g.mu.TryLock() {
+		for {
+			g.drainLocked()
+			g.mu.Unlock()
+			// A pusher that lost TryLock while we were draining relies
+			// on us re-checking here; if we cannot retake the lock, the
+			// goroutine that did inherits the obligation.
+			if g.head.Load() == nil || !g.mu.TryLock() {
+				break
+			}
+		}
+	}
+	<-w.done
+	err := w.err
+	g.release(w)
+	return err
+}
+
+// drainLocked swaps out and processes pending batches until the stack
+// is empty. Caller holds g.mu.
+//
+//loadctl:hotpath
+func (g *groupCommitter) drainLocked() {
+	for {
+		batch := g.head.Swap(nil)
+		if batch == nil {
+			return
+		}
+		// Reverse the LIFO stack into push order and union the shard
+		// masks so the whole batch locks once, in ascending order.
+		var rev *commitWaiter
+		var union uint64
+		var n uint64
+		for batch != nil {
+			next := batch.next
+			batch.next = rev
+			rev = batch
+			union |= batch.touched
+			n++
+			batch = next
+		}
+		g.s.lockShards(union)
+		for w := rev; w != nil; w = w.next {
+			w.err = g.s.certifyApplyLocked(w.t, w.touched)
+		}
+		g.s.unlockShards(union)
+		g.batches.Add(1)
+		g.grouped.Add(n)
+		// Deliver results only after the shard locks are released — no
+		// waiter ever wakes while the batch still holds store locks.
+		// Capture next before signalling: the owner may release w back
+		// to the pool the moment it receives.
+		for w := rev; w != nil; {
+			next := w.next
+			w.done <- struct{}{}
+			w = next
+		}
+	}
+}
+
+// waiter checks a pooled commitWaiter out for one commit.
+//
+//loadctl:hotpath
+func (g *groupCommitter) waiter(t *Txn, touched uint64) *commitWaiter {
+	w, ok := g.pool.Get().(*commitWaiter)
+	if !ok {
+		w = &commitWaiter{done: make(chan struct{}, 1)} //loadctl:allocok audited: pool miss — cold start only, waiters recycle in steady state
+	}
+	w.t = t
+	w.touched = touched
+	w.err = nil
+	return w
+}
+
+// release returns a drained waiter to the pool.
+//
+//loadctl:hotpath
+func (g *groupCommitter) release(w *commitWaiter) {
+	w.t = nil
+	w.next = nil
+	g.pool.Put(w)
+}

@@ -61,6 +61,15 @@ type Store struct {
 	bits   uint // log2(len(shards))
 	mask   int  // len(shards) - 1
 	n      int
+
+	// txns pools transactions for the BeginPooled/Release fast path: a
+	// released Txn keeps its (cleared) read/write maps, so the serving
+	// hot path begins and commits transactions without allocating.
+	txns sync.Pool
+
+	// gc, when non-nil, routes Commit through the group-commit batcher
+	// (EnableGroupCommit).
+	gc *groupCommitter
 }
 
 // NewStore returns a store with n zero-valued items and an automatic
@@ -189,9 +198,38 @@ func (s *Store) Begin() *Txn {
 	return &Txn{s: s, readVers: make(map[int]uint64), writes: make(map[int]int64)}
 }
 
+// BeginPooled starts a transaction in class 0 using the store's
+// transaction pool: the returned Txn reuses the cleared read/write maps
+// of a previously Released one, so the steady-state Begin→access→Commit→
+// Release cycle performs no allocation. The caller must call Release
+// exactly once when done with the transaction (after Commit or on
+// abandonment) and must not touch it afterwards.
+//
+//loadctl:hotpath
+func (s *Store) BeginPooled() *Txn {
+	t, ok := s.txns.Get().(*Txn)
+	if !ok {
+		return s.Begin() //loadctl:allocok audited: pool miss — cold start only, the steady state reuses released transactions
+	}
+	t.class = 0
+	return t
+}
+
+// Release clears the transaction and returns it to the store's pool for
+// BeginPooled to reuse. The transaction must not be used after Release.
+//
+//loadctl:hotpath
+func (t *Txn) Release() {
+	clear(t.readVers)
+	clear(t.writes)
+	t.s.txns.Put(t)
+}
+
 // WithClass tags the transaction with a class index for the per-class
 // commit/abort counters; out-of-range indexes clamp to class 0. It
 // returns the transaction for chaining.
+//
+//loadctl:hotpath
 func (t *Txn) WithClass(class int) *Txn {
 	t.class = clampClass(class)
 	return t
@@ -199,6 +237,8 @@ func (t *Txn) WithClass(class int) *Txn {
 
 // Get reads item i, recording its version for commit-time validation.
 // Reads see the transaction's own uncommitted writes.
+//
+//loadctl:hotpath
 func (t *Txn) Get(i int) int64 {
 	if v, ok := t.writes[i]; ok {
 		return v
@@ -215,6 +255,8 @@ func (t *Txn) Get(i int) int64 {
 }
 
 // Set buffers a write of item i.
+//
+//loadctl:hotpath
 func (t *Txn) Set(i int, v int64) { t.writes[i] = v }
 
 // Commit validates and atomically installs the write set. It returns
@@ -223,7 +265,25 @@ func (t *Txn) Set(i int, v int64) { t.writes[i] = v }
 // All shards touched by the read and write sets are locked together, in
 // ascending index order, so validation plus install is one atomic step
 // even across shards and lock acquisition cannot deadlock.
+//
+//loadctl:hotpath
 func (t *Txn) Commit() error {
+	touched := t.touchedMask()
+	if t.s.gc != nil {
+		return t.s.gc.commit(t, touched)
+	}
+	t.s.lockShards(touched)
+	err := t.s.certifyApplyLocked(t, touched)
+	t.s.unlockShards(touched)
+	return err
+}
+
+// touchedMask is the bitmask of shards the transaction's read and write
+// sets touch (never zero: an empty transaction is pinned to shard 0 so
+// its commit still counts somewhere stable).
+//
+//loadctl:hotpath
+func (t *Txn) touchedMask() uint64 {
 	var touched uint64
 	for i := range t.readVers {
 		touched |= 1 << uint(i&t.s.mask)
@@ -232,27 +292,34 @@ func (t *Txn) Commit() error {
 		touched |= 1 << uint(i&t.s.mask)
 	}
 	if touched == 0 {
-		// Empty transaction: still count the commit somewhere stable.
 		touched = 1
 	}
-	t.s.lockShards(touched)
-	first := &t.s.shards[bits.TrailingZeros64(touched)]
+	return touched
+}
+
+// certifyApplyLocked validates t's read set and installs its write set,
+// filing the commit or abort on the first shard t itself touches — the
+// identical accounting whether the commit came through the direct path
+// or a group-commit batch. The caller holds (at least) the locks of the
+// shards in touched.
+//
+//loadctl:hotpath
+func (s *Store) certifyApplyLocked(t *Txn, touched uint64) error {
+	first := &s.shards[bits.TrailingZeros64(touched)]
 	for i, ver := range t.readVers {
-		if t.s.shards[i&t.s.mask].vers[i>>t.s.bits] != ver {
+		if s.shards[i&s.mask].vers[i>>s.bits] != ver {
 			first.aborts++
 			first.classAborts[t.class]++
-			t.s.unlockShards(touched)
 			return ErrConflict
 		}
 	}
 	for i, v := range t.writes {
-		sh := &t.s.shards[i&t.s.mask]
-		sh.vals[i>>t.s.bits] = v
-		sh.vers[i>>t.s.bits]++
+		sh := &s.shards[i&s.mask]
+		sh.vals[i>>s.bits] = v
+		sh.vers[i>>s.bits]++
 	}
 	first.commits++
 	first.classCommits[t.class]++
-	t.s.unlockShards(touched)
 	return nil
 }
 

@@ -65,11 +65,16 @@ func (e *occEngine) Name() string { return "kv-occ" }
 // making every commit observable and every certification conflict real.
 // The access loop re-checks ctx periodically so a large transaction whose
 // client disconnected abandons instead of finishing work nobody will read.
+// Transactions come from the store's pool (BeginPooled/Release), so one
+// attempt allocates nothing in steady state.
+//
+//loadctl:hotpath
 func (e *occEngine) Exec(ctx context.Context, spec TxnSpec) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	txn := e.store.Begin().WithClass(spec.Class)
+	txn := e.store.BeginPooled().WithClass(spec.Class)
+	defer txn.Release()
 	for i, key := range spec.Keys {
 		if i&1023 == 1023 {
 			if err := ctx.Err(); err != nil {

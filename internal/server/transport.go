@@ -56,42 +56,38 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	telemetry.WriteJSON(w, code, v) //loadctl:allocok audited: response encode — pooled buffers in telemetry.WriteJSON, in the 39-alloc /txn budget
 }
 
-// buildSpec samples one transaction's access set: k distinct items from
-// the key range [base, base+span) mod Items (span<=0 = the whole store),
-// write intent per position for updaters.
-func (s *Server) buildSpec(rng *sim.RNG, k int, query bool, writeFrac float64, base, span int) TxnSpec {
-	domain := s.cfg.Items
-	if span > 0 && span < domain {
-		domain = span
+// parseTxnQueryLegacy is the url.Values query path, kept for queries
+// outside the fast parser's plain subset (percent escapes, '+', ';').
+// It is the semantic reference the fast parser is fuzzed against.
+func parseTxnQueryLegacy(r *http.Request, req *txnRequest) (errMsg string) {
+	q := r.URL.Query()
+	if v := q.Get("class"); v != "" {
+		req.Class = v
 	}
-	if k < 1 {
-		k = 1
+	if v := q.Get("shape"); v != "" {
+		req.Shape = v
 	}
-	if k > domain {
-		k = domain
-	}
-	spec := TxnSpec{Keys: make([]int, k), Write: make([]bool, k)} //loadctl:allocok audited: per-request access set, in the 39-alloc /txn budget
-	rng.SampleDistinct(spec.Keys, domain)
-	if base > 0 {
-		for i := range spec.Keys {
-			spec.Keys[i] = (spec.Keys[i] + base) % s.cfg.Items
+	for _, p := range []struct {
+		name string
+		bad  string
+		dst  *int
+		min  int
+	}{
+		{"k", "bad k", &req.K, 1},
+		{"base", "bad base", &req.Base, 0},
+		{"span", "bad span", &req.Span, 0},
+	} {
+		v := q.Get(p.name)
+		if v == "" {
+			continue
 		}
-	}
-	if query {
-		return spec
-	}
-	wrote := false
-	for i := range spec.Write {
-		if rng.Bernoulli(writeFrac) {
-			spec.Write[i] = true
-			wrote = true
+		n, err := strconv.Atoi(v)
+		if err != nil || n < p.min {
+			return p.bad
 		}
+		*p.dst = n
 	}
-	if !wrote {
-		// An updater writes at least one item, as in the simulation model.
-		spec.Write[rng.Intn(k)] = true
-	}
-	return spec
+	return ""
 }
 
 // resolveClass maps a request's class/shape fields to (class index, shape)
@@ -123,7 +119,11 @@ func (s *Server) resolveClass(req txnRequest) (ci int, shape string, errMsg stri
 }
 
 // handleTxn is the /txn data path; with admission, execution and
-// response in one function it is the tree's hottest code.
+// response in one function it is the tree's hottest code. The steady
+// state allocates nothing of its own: request state, access set, RNG
+// and response buffer live in pooled txnScratch (fastpath.go), the kv
+// transaction is pooled in the store, and the admission happy path
+// skips the cancellable context entirely via AcquireFast.
 //
 //loadctl:hotpath
 func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
@@ -131,58 +131,34 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req txnRequest
+	sc := getTxnScratch()
+	defer putTxnScratch(sc)
+	req := &sc.req
 	if r.Body != nil && r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil { //loadctl:allocok audited: request-body decode, only when a body is present
+		if err := json.NewDecoder(r.Body).Decode(req); err != nil { //loadctl:allocok audited: request-body decode, only when a body is present
 			http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest) //loadctl:allocok audited: 400 path for malformed JSON
 			return
 		}
 	}
-	q := r.URL.Query()
-	if v := q.Get("class"); v != "" {
-		req.Class = v
-	}
-	if v := q.Get("shape"); v != "" {
-		req.Shape = v
-	}
-	for _, p := range []struct { //loadctl:allocok audited: three-element parameter table, in the 39-alloc /txn budget
-		name string
-		bad  string
-		dst  *int
-		min  int
-	}{
-		{"k", "bad k", &req.K, 1},
-		{"base", "bad base", &req.Base, 0},
-		{"span", "bad span", &req.Span, 0},
-	} {
-		v := q.Get(p.name)
-		if v == "" {
-			continue
-		}
-		n, err := strconv.Atoi(v)
-		if err != nil || n < p.min {
-			http.Error(w, p.bad, http.StatusBadRequest)
+	if raw := r.URL.RawQuery; canFastParseQuery(raw) {
+		if errMsg := parseTxnQueryFast(raw, req); errMsg != "" {
+			http.Error(w, errMsg, http.StatusBadRequest)
 			return
 		}
-		*p.dst = n
+	} else if errMsg := parseTxnQueryLegacy(r, req); errMsg != "" { //loadctl:allocok audited: legacy url.Values parse, only for queries with escapes outside the fast parser's plain subset
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
 	}
 	if req.K < 0 || req.Base < 0 || req.Span < 0 {
 		http.Error(w, "k, base and span must not be negative", http.StatusBadRequest)
 		return
 	}
 
-	ci, shape, errMsg := s.resolveClass(req)
+	ci, shape, errMsg := s.resolveClass(*req)
 	if errMsg != "" {
 		http.Error(w, errMsg, http.StatusBadRequest)
 		return
 	}
-
-	// Every /txn answer carries the load signal so a routing tier learns
-	// backend saturation passively from the traffic it forwards. The
-	// header is rendered at response time, not arrival: a request that
-	// queued for admission must not ship saturation state that is a full
-	// QueueTimeout old as if it were fresh.
-	setSignal := func() { w.Header().Set(loadsig.Header, s.loadSignal().header) }
 
 	now := s.elapsed()
 	seq := s.seq.Add(1)
@@ -208,7 +184,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		// path stays allocation-free.
 		w.Header().Set(reqtrace.Header, reqtrace.FormatID(traceID)) //loadctl:allocok audited: header echo for head-sampled traces only
 	}
-	rng := sim.Stream(s.cfg.Seed, seq)
+	sc.rng = sim.NewFast(s.cfg.Seed, seq)
 	var query bool
 	switch shape {
 	case "query":
@@ -216,7 +192,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	case "update":
 		query = false
 	default:
-		query = rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
+		query = sc.rng.Bernoulli(s.cfg.Mix.QueryFracAt(now))
 	}
 	k := req.K
 	if k == 0 {
@@ -225,7 +201,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = s.cfg.Mix.KAt(now)
 	}
-	spec := s.buildSpec(rng, k, query, s.cfg.Mix.WriteFracAt(now), req.Base, req.Span)
+	spec := s.buildSpecFast(sc, k, query, s.cfg.Mix.WriteFracAt(now), req.Base, req.Span)
 	spec.Class = ci
 	class := "update"
 	if query {
@@ -241,46 +217,49 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 	// share one origin.
 	t0 := tr.Start()
 
-	// setAdmit snapshots the controller state the request hit at the gate:
-	// the installed limit (from the ≤50ms-stale cached load signal, so the
-	// hot path never takes the gate mutex for it) and the per-class shed
-	// mask of the last closed interval.
-	setAdmit := func() { tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load()) }
-
 	// Admission: the adaptive gate is the paper's §4.3 load control in
-	// front of real network traffic, per class.
+	// front of real network traffic, per class. Every shed or served
+	// answer carries the load signal header, rendered at response time
+	// (not arrival) so a request that queued does not ship stale
+	// saturation state as fresh; tr.SetAdmit snapshots the limit the
+	// request hit at the gate plus the last closed interval's shed mask.
 	if s.cfg.Reject {
 		if !s.multi.TryAcquire(ci) {
 			cell.Inc(cRejected)
-			setAdmit()
+			tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load())
 			tr.Span(reqtrace.SpanQueue, tr.Now(), reqtrace.DetailRejected, 0)
-			setSignal()
-			w.Header().Set("Retry-After", loadsig.RetryAfter())
-			writeJSON(w, http.StatusTooManyRequests, txnResponse{Status: "rejected", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
+			setHeaderValue(w.Header(), loadsig.Header, s.loadSignal().header)
+			setHeaderValue(w.Header(), "Retry-After", loadsig.RetryAfter())
+			writeTxnFast(w, sc, http.StatusTooManyRequests, "rejected", class, className, 0, msSince(t0))
 			tr.Finish(reqtrace.StatusRejected, false)
 			return
 		}
-		setAdmit()
+		tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load())
 		// Marker span (zero wait by construction): non-blocking admission
 		// still shows up in the trace as an admitted queue stage, so both
 		// admission modes read against one span schema.
 		tr.Span(reqtrace.SpanQueue, tr.Now(), reqtrace.DetailAdmitted, 0)
 	} else {
 		qStart := tr.Now()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-		err := s.multi.Acquire(ctx, ci)
-		cancel()
-		if err != nil {
-			cell.Inc(cTimeouts)
-			setAdmit()
-			tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailTimeout, 0)
-			setSignal()
-			w.Header().Set("Retry-After", loadsig.RetryAfter())
-			writeJSON(w, http.StatusServiceUnavailable, txnResponse{Status: "timeout", Class: class, AdmissionClass: className, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
-			tr.Finish(reqtrace.StatusTimeout, false)
-			return
+		if !s.multi.AcquireFast(ci) {
+			// Contended: fall back to the queue with a cancellable
+			// deadline. AcquireFast counted nothing, so the arrival is
+			// counted exactly once, by Acquire.
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout) //loadctl:allocok audited: contended admission only — the uncontended path fast-admits without a context
+			err := s.multi.Acquire(ctx, ci)
+			cancel()
+			if err != nil {
+				cell.Inc(cTimeouts)
+				tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load())
+				tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailTimeout, 0)
+				setHeaderValue(w.Header(), loadsig.Header, s.loadSignal().header)
+				setHeaderValue(w.Header(), "Retry-After", loadsig.RetryAfter())
+				writeTxnFast(w, sc, http.StatusServiceUnavailable, "timeout", class, className, 0, msSince(t0))
+				tr.Finish(reqtrace.StatusTimeout, false)
+				return
+			}
 		}
-		setAdmit()
+		tr.SetAdmit(s.loadSignal().sig.Limit, s.shedMask.Load())
 		tr.Span(reqtrace.SpanQueue, qStart, reqtrace.DetailAdmitted, 0)
 	}
 	s.noteEnter(cell)
@@ -308,7 +287,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 
 	s.multi.Release(ci)
 	s.noteExit(cell)
-	setSignal()
+	setHeaderValue(w.Header(), loadsig.Header, s.loadSignal().header)
 
 	lat := time.Since(t0)
 	switch {
@@ -317,12 +296,12 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		cell.Inc(cRespN)
 		cell.Inc(cCommits)
 		s.hists[ci].Observe(lat.Seconds())
-		writeJSON(w, http.StatusOK, txnResponse{Status: "committed", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
+		writeTxnFast(w, sc, http.StatusOK, "committed", class, className, attempts, msSince(t0))
 		// FinishWall with the histogram's own sample: trace wall time and
 		// the telemetry bucket the request landed in agree exactly.
 		tr.FinishWall(reqtrace.StatusCommitted, true, lat)
 	case errors.Is(execErr, ErrAborted):
-		writeJSON(w, http.StatusConflict, txnResponse{Status: "aborted", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
+		writeTxnFast(w, sc, http.StatusConflict, "aborted", class, className, attempts, msSince(t0))
 		tr.FinishWall(reqtrace.StatusAborted, false, lat)
 	case errors.Is(execErr, context.Canceled), errors.Is(execErr, context.DeadlineExceeded):
 		// The client went away (or its deadline passed) mid-transaction:
@@ -332,7 +311,7 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 		tr.FinishWall(reqtrace.StatusDisconnect, false, lat)
 	default:
 		// A genuine engine failure.
-		writeJSON(w, http.StatusInternalServerError, txnResponse{Status: "error", Class: class, AdmissionClass: className, Attempts: attempts, LatencyMS: msSince(t0)}) //loadctl:allocok audited: response boxing, in the 39-alloc /txn budget
+		writeTxnFast(w, sc, http.StatusInternalServerError, "error", class, className, attempts, msSince(t0))
 		tr.FinishWall(reqtrace.StatusError, false, lat)
 	}
 }

@@ -1,0 +1,128 @@
+package sim
+
+import "math/bits"
+
+// FastRNG is an allocation-free random stream for the serving hot path.
+// Where RNG wraps math/rand (whose source alone is ~4.8KB and must be
+// heap-allocated per stream), FastRNG is 8 bytes of inline state driven
+// by SplitMix64 — it lives by value inside a pooled per-request scratch
+// and costs nothing to derive. Streams are decorrelated the same way
+// Stream decorrelates RNG substreams: the (seed, id) pair is hashed into
+// the initial state.
+//
+// FastRNG is not a drop-in replacement for RNG: the two generators
+// produce different sequences, so switching a component from one to the
+// other changes its sampled values (uniformity and independence are
+// preserved). The simulation engine keeps RNG; the live serving path
+// uses FastRNG.
+type FastRNG struct {
+	s uint64
+}
+
+// NewFast derives the substream identified by (seed, id), mirroring
+// Stream's SplitMix64 derivation.
+//
+//loadctl:hotpath
+func NewFast(seed int64, id uint64) FastRNG {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return FastRNG{s: z}
+}
+
+// Uint64 returns the next raw 64-bit sample (SplitMix64 step).
+//
+//loadctl:hotpath
+func (g *FastRNG) Uint64() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample in [0,1).
+//
+//loadctl:hotpath
+func (g *FastRNG) Float64() float64 {
+	return float64(g.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0,n). It panics if n <= 0.
+//
+//loadctl:hotpath
+func (g *FastRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: FastRNG.Intn n <= 0")
+	}
+	// Lemire's multiply-shift range reduction; the modulo bias at these
+	// ranges (n ≤ millions against 2^64) is far below anything the
+	// workload statistics can resolve.
+	hi, _ := bits.Mul64(g.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Bernoulli returns true with probability p.
+//
+//loadctl:hotpath
+func (g *FastRNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.Float64() < p
+}
+
+// sampleScanMax bounds the access-set size SampleDistinct serves with the
+// quadratic-scan Floyd algorithm; larger draws take the allocating dense
+// path (k² comparisons past this point cost more than one allocation).
+const sampleScanMax = 128
+
+// SampleDistinct fills dst with len(dst) distinct integers drawn
+// uniformly from [0, n), like RNG.SampleDistinct but allocation-free for
+// draws up to sampleScanMax (Floyd's sampling with a linear duplicate
+// scan — O(k²) comparisons, zero scratch). It panics if len(dst) > n.
+//
+//loadctl:hotpath
+func (g *FastRNG) SampleDistinct(dst []int, n int) {
+	k := len(dst)
+	if k > n {
+		panic("sim: FastRNG.SampleDistinct k > n")
+	}
+	if k == 0 {
+		return
+	}
+	if k <= sampleScanMax {
+		// Floyd's algorithm: for the i-th draw sample from [0, n-k+i+1);
+		// on collision with an earlier draw take the new top value
+		// n-k+i itself. Every k-subset is equally likely.
+		for i := 0; i < k; i++ {
+			v := g.Intn(n - k + i + 1)
+			dup := false
+			for j := 0; j < i; j++ {
+				if dst[j] == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				v = n - k + i
+			}
+			dst[i] = v
+		}
+		return
+	}
+	// Dense draw: partial Fisher-Yates over an index table, as in RNG.
+	idx := make([]int, n) //loadctl:allocok audited: dense draws (k > sampleScanMax) only; the serving path's default access sets stay on the scan branch above
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + g.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		dst[i] = idx[i]
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestFastRNGDeterministic(t *testing.T) {
+	a := NewFast(42, 7)
+	b := NewFast(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal (seed,id) diverged at step %d", i)
+		}
+	}
+	c := NewFast(42, 8)
+	a = NewFast(42, 7)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different ids collided %d/100 times", same)
+	}
+}
+
+func TestFastRNGUniformSmoke(t *testing.T) {
+	g := NewFast(1, 1)
+	const n, draws = 16, 160000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Intn(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("value %d drawn %d times, want about %d", v, c, want)
+		}
+	}
+	pos := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bernoulli(0.3) {
+			pos++
+		}
+	}
+	if pos < 2700 || pos > 3300 {
+		t.Fatalf("Bernoulli(0.3) hit %d/10000", pos)
+	}
+	f := g.Float64()
+	if f < 0 || f >= 1 {
+		t.Fatalf("Float64 out of range: %v", f)
+	}
+}
+
+func TestFastRNGSampleDistinct(t *testing.T) {
+	g := NewFast(3, 9)
+	for _, tc := range []struct{ k, n int }{
+		{1, 1}, {8, 1024}, {8, 8}, {64, 100}, {128, 129}, {200, 4096}, {500, 512},
+	} {
+		dst := make([]int, tc.k)
+		g.SampleDistinct(dst, tc.n)
+		seen := make(map[int]bool, tc.k)
+		for _, v := range dst {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("k=%d n=%d: sample %d out of range", tc.k, tc.n, v)
+			}
+			if seen[v] {
+				t.Fatalf("k=%d n=%d: duplicate sample %d", tc.k, tc.n, v)
+			}
+			seen[v] = true
+		}
+	}
+	// Floyd branch must reach low values too (not just the top-of-range
+	// collision replacements).
+	low := 0
+	for i := 0; i < 1000; i++ {
+		dst := make([]int, 8)
+		g.SampleDistinct(dst, 1024)
+		for _, v := range dst {
+			if v < 512 {
+				low++
+			}
+		}
+	}
+	if low < 3200 || low > 4800 { // expect ~4000 of 8000
+		t.Fatalf("low-half samples %d/8000, want about 4000", low)
+	}
+}

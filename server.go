@@ -48,6 +48,14 @@ type ServerConfig struct {
 	// [1, 64]; 0 selects the automatic count (next power of two at or
 	// above GOMAXPROCS). Use 1 for the unsharded baseline.
 	KVShards int
+	// GroupCommit routes the occ engine's commits through the kv store's
+	// flat-combining group committer: concurrent commits coalesce into
+	// batches that certify and apply under one ascending-order shard-lock
+	// acquisition, amortizing lock traffic under multicore contention.
+	// Certification semantics and per-class commit/abort accounting are
+	// identical to direct commits; a lightly loaded or single-core server
+	// pays a small per-commit overhead for no benefit, so it is opt-in.
+	GroupCommit bool
 	// Classes declares the admission classes (empty = one "default"
 	// class, the single-gate behavior). Each class owns a weighted slice
 	// of the admission pool and sheds in priority order under overload;
@@ -129,6 +137,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("loadctl: ServerConfig.KVShards %d < 0", cfg.KVShards)
 	}
 	store := kv.NewStoreShards(items, cfg.KVShards)
+	if cfg.GroupCommit {
+		store.EnableGroupCommit()
+	}
 	engine, err := server.NewEngine(cfg.Engine, store)
 	if err != nil {
 		return nil, err
